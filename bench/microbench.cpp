@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the host-side library: raw set
+ * algorithms (merge/galloping/bitwise) and full engine instructions.
+ * These measure the *simulator's* throughput (host ns/op), which
+ * bounds how much evaluation a given wall-clock budget can cover.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sisa_engine.hpp"
+#include "sets/operations.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sisa;
+using sets::Element;
+using sets::OpWork;
+using sets::SortedArraySet;
+
+SortedArraySet
+randomSet(std::uint64_t seed, Element universe, std::size_t size)
+{
+    support::Xoshiro256 rng(seed);
+    std::vector<Element> elems;
+    elems.reserve(size * 2);
+    while (elems.size() < size)
+        elems.push_back(
+            static_cast<Element>(rng.nextBounded(universe)));
+    return SortedArraySet::fromUnsorted(std::move(elems));
+}
+
+void
+BM_IntersectMerge(benchmark::State &state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    const SortedArraySet a = randomSet(1, 1 << 20, size);
+    const SortedArraySet b = randomSet(2, 1 << 20, size);
+    for (auto _ : state) {
+        OpWork work;
+        benchmark::DoNotOptimize(sets::intersectMerge(a, b, work));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * size);
+}
+BENCHMARK(BM_IntersectMerge)->Range(64, 1 << 16);
+
+void
+BM_IntersectGallop(benchmark::State &state)
+{
+    const auto big = static_cast<std::size_t>(state.range(0));
+    const SortedArraySet a = randomSet(1, 1 << 20, 16);
+    const SortedArraySet b = randomSet(2, 1 << 20, big);
+    for (auto _ : state) {
+        OpWork work;
+        benchmark::DoNotOptimize(sets::intersectGallop(a, b, work));
+    }
+}
+BENCHMARK(BM_IntersectGallop)->Range(1 << 10, 1 << 18);
+
+void
+BM_DenseAnd(benchmark::State &state)
+{
+    const auto universe = static_cast<Element>(state.range(0));
+    const SortedArraySet a = randomSet(1, universe, universe / 8);
+    const SortedArraySet b = randomSet(2, universe, universe / 8);
+    const auto da = sets::DenseBitset::fromSorted(a.elements(),
+                                                  universe);
+    const auto db = sets::DenseBitset::fromSorted(b.elements(),
+                                                  universe);
+    for (auto _ : state) {
+        OpWork work;
+        benchmark::DoNotOptimize(sets::intersectCardDbDb(da, db,
+                                                         work));
+    }
+    state.SetBytesProcessed(state.iterations() * (universe / 8) * 2);
+}
+BENCHMARK(BM_DenseAnd)->Range(1 << 12, 1 << 20);
+
+void
+BM_EngineIntersectCard(benchmark::State &state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    core::SisaEngine eng(1 << 20, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const auto a_set = randomSet(1, 1 << 20, size);
+    const auto b_set = randomSet(2, 1 << 20, size);
+    const auto a = eng.create(
+        ctx, 0,
+        std::vector<Element>(a_set.begin(), a_set.end()),
+        sets::SetRepr::SparseArray);
+    const auto b = eng.create(
+        ctx, 0,
+        std::vector<Element>(b_set.begin(), b_set.end()),
+        sets::SetRepr::SparseArray);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eng.intersectCard(ctx, 0, a, b));
+}
+BENCHMARK(BM_EngineIntersectCard)->Range(64, 1 << 14);
+
+void
+BM_EngineInsertRemoveDb(benchmark::State &state)
+{
+    core::SisaEngine eng(1 << 16, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const auto a =
+        eng.createEmpty(ctx, 0, sets::SetRepr::DenseBitvector);
+    Element e = 0;
+    for (auto _ : state) {
+        eng.insert(ctx, 0, a, e);
+        eng.remove(ctx, 0, a, e);
+        e = (e + 7919) & 0xffff;
+    }
+}
+BENCHMARK(BM_EngineInsertRemoveDb);
+
+} // namespace

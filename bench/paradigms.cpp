@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Section 9.2 "Comparison to Other Paradigms" reproduction: SISA
+ * set-centric algorithms against the neighborhood-expansion paradigm
+ * (Peregrine / GRAMER style) and the relational-join paradigm
+ * (RStream / TrieJax style). Expected shape: SISA 10-100x faster than
+ * expansion, >100x faster than joins, and >1000x on maximal cliques,
+ * where the expansion paradigm has no native algorithm and must
+ * iterate over clique sizes.
+ */
+
+#include <iostream>
+
+#include "baselines/csr_view.hpp"
+#include "baselines/paradigms.hpp"
+#include "graph/dataset_registry.hpp"
+#include "graph/degeneracy.hpp"
+#include "harness.hpp"
+#include "support/table.hpp"
+
+using namespace sisa;
+using namespace sisa::bench;
+
+namespace {
+
+constexpr std::uint32_t threads = 8;
+
+/**
+ * Each engine runs under a bounded pattern budget; comparisons use
+ * cycles *per reported pattern*, which stays meaningful even though
+ * the engines wade through different amounts of speculative work.
+ */
+struct ParadigmRun
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t patterns = 0;
+
+    double
+    costPerPattern() const
+    {
+        return patterns == 0 ? 0.0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(patterns);
+    }
+};
+
+template <typename Fn>
+ParadigmRun
+runEngine(const graph::Graph &g, std::uint64_t cutoff, Fn &&fn)
+{
+    sim::CpuModel cpu(sim::CpuParams{}, threads);
+    sim::SimContext ctx(threads);
+    ctx.setPatternCutoff(cutoff);
+    baselines::CsrView view(g, cpu);
+    fn(view, ctx);
+    return {ctx.makespan(), ctx.totalPatterns()};
+}
+
+} // namespace
+
+int
+main()
+{
+    support::TextTable table(
+        "Paradigm comparison (kilocycles per reported pattern, T=8; "
+        "speedup = vs sisa)");
+    table.setHeader({"graph", "problem", "sisa", "expansion",
+                     "exp-slowdown", "joins", "join-slowdown"});
+
+    for (const char *name :
+         {"int-antCol5-d1", "bn-flyMedulla", "econ-beacxc"}) {
+        const graph::Graph g = graph::makeDataset(name);
+
+        // kcc-4: all three paradigms express it.
+        {
+            RunConfig config;
+            config.threads = threads;
+            config.cutoff = 100;
+            const auto sisa_out =
+                runProblem("kcc-4", g, Mode::Sisa, config);
+            const ParadigmRun sisa_run{sisa_out.cycles,
+                                       sisa_out.patterns};
+            const ParadigmRun exp = runEngine(
+                g, config.cutoff,
+                [](baselines::CsrView &v, sim::SimContext &c) {
+                    baselines::expansionKCliqueCount(v, c, 4);
+                });
+            const ParadigmRun join = runEngine(
+                g, config.cutoff,
+                [](baselines::CsrView &v, sim::SimContext &c) {
+                    baselines::joinKCliqueCount(v, c, 4);
+                });
+            table.addRow(
+                {name, "kcc-4",
+                 support::TextTable::formatDouble(
+                     sisa_run.costPerPattern() / 1e3, 2),
+                 support::TextTable::formatDouble(
+                     exp.costPerPattern() / 1e3, 2),
+                 support::TextTable::formatDouble(
+                     exp.costPerPattern() /
+                         sisa_run.costPerPattern(),
+                     1) + "x",
+                 support::TextTable::formatDouble(
+                     join.costPerPattern() / 1e3, 2),
+                 support::TextTable::formatDouble(
+                     join.costPerPattern() /
+                         sisa_run.costPerPattern(),
+                     1) + "x"});
+        }
+
+        // mc: expansion must emulate it size-by-size (no joins row;
+        // RStream cannot express maximal cliques at all). Expansion's
+        // pattern budget is consumed by *candidates tested*, so its
+        // cost per *maximal* clique reflects the emulation overhead.
+        {
+            RunConfig config;
+            config.threads = threads;
+            config.cutoff = 50;
+            const auto sisa_out =
+                runProblem("mc", g, Mode::Sisa, config);
+            const ParadigmRun sisa_run{sisa_out.cycles,
+                                       sisa_out.patterns};
+            const std::uint32_t max_size =
+                graph::exactDegeneracyOrder(g).degeneracy + 1;
+            std::uint64_t maximal_found = 0;
+            sim::CpuModel cpu(sim::CpuParams{}, threads);
+            sim::SimContext ctx(threads);
+            ctx.setPatternCutoff(2000);
+            baselines::CsrView view(g, cpu);
+            maximal_found = baselines::expansionMaximalCliques(
+                view, ctx, max_size);
+            const double exp_cost =
+                maximal_found == 0
+                    ? 0.0
+                    : static_cast<double>(ctx.makespan()) /
+                          static_cast<double>(maximal_found);
+            table.addRow(
+                {name, "mc",
+                 support::TextTable::formatDouble(
+                     sisa_run.costPerPattern() / 1e3, 2),
+                 support::TextTable::formatDouble(exp_cost / 1e3, 2),
+                 exp_cost == 0.0
+                     ? "inf"
+                     : support::TextTable::formatDouble(
+                           exp_cost / sisa_run.costPerPattern(), 1) +
+                           "x",
+                 "n/a", "n/a"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: expansion 10-100x more cycles per "
+                 "pattern on kcc and orders of magnitude more on mc "
+                 "(no native algorithm); joins >100x on kcc.\n";
+    return 0;
+}

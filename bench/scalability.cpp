@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Section 9.2 "Scalability" reproduction on Kronecker graphs: strong
+ * scaling (fixed graph, growing thread count) and weak scaling
+ * (threads grow with the edge count). Expected shape: SISA keeps its
+ * advantage over the set-based software baseline but the gap narrows
+ * at small T, where fewer threads exert less memory pressure.
+ */
+
+#include <iostream>
+
+#include "support/bits.hpp"
+
+#include "graph/generators.hpp"
+#include "harness.hpp"
+#include "support/table.hpp"
+
+using namespace sisa;
+using namespace sisa::bench;
+
+int
+main()
+{
+    // --- Strong scaling -----------------------------------------------------
+    {
+        graph::RmatParams params;
+        params.scale = 11;
+        params.edgeFactor = 12;
+        const graph::Graph g = graph::rmat(params, 77);
+        std::cout << "strong scaling: kcc-4 on Kronecker "
+                  << g.describe() << "\n\n";
+
+        support::TextTable table(
+            "Strong scaling (Mcycles, kcc-4)");
+        table.setHeader({"threads", "set-based", "sisa", "sisa-gain"});
+        for (const std::uint32_t threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            RunConfig config;
+            config.threads = threads;
+            config.cutoff = 0; // Full run: fixed work across T.
+            const auto set_based =
+                runProblem("kcc-4", g, Mode::SetBased, config);
+            const auto sisa_run =
+                runProblem("kcc-4", g, Mode::Sisa, config);
+            table.addRow(
+                {std::to_string(threads),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(set_based.cycles) / 1e6, 2),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(sisa_run.cycles) / 1e6, 2),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(set_based.cycles) /
+                         static_cast<double>(sisa_run.cycles),
+                     2) + "x"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // --- Weak scaling ---------------------------------------------------------
+    {
+        support::TextTable table(
+            "Weak scaling (threads grow with graph size, tc)");
+        table.setHeader({"threads", "scale", "edges", "set-based",
+                         "sisa", "sisa-gain"});
+        for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+            graph::RmatParams params;
+            params.scale = 11 + support::floorLog2(threads);
+            params.edgeFactor = 12;
+            const graph::Graph g = graph::rmat(params, 99);
+            RunConfig config;
+            config.threads = threads;
+            config.cutoff = 0; // Full runs.
+            const auto set_based =
+                runProblem("tc", g, Mode::SetBased, config);
+            const auto sisa_run =
+                runProblem("tc", g, Mode::Sisa, config);
+            table.addRow(
+                {std::to_string(threads),
+                 std::to_string(params.scale),
+                 std::to_string(g.numEdges()),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(set_based.cycles) / 1e6, 2),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(sisa_run.cycles) / 1e6, 2),
+                 support::TextTable::formatDouble(
+                     static_cast<double>(set_based.cycles) /
+                         static_cast<double>(sisa_run.cycles),
+                     2) + "x"});
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nShape check: SISA maintains its speedup across "
+                 "T; the margin is smallest at T=1.\n";
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Table 5 validation: per-instruction charged cost versus the
+ * Section 8.3 performance-model predictions, for every operand-shape
+ * variant, plus the ablation of the fused cardinality instructions
+ * (|A cap B| without materialization, Section 6.2.3).
+ */
+
+#include <iostream>
+
+#include "core/sisa_engine.hpp"
+#include "mem/pim.hpp"
+#include "support/table.hpp"
+
+using namespace sisa;
+
+namespace {
+
+constexpr sets::Element universe = 1 << 16;
+
+core::SetId
+makeSet(core::SisaEngine &eng, sim::SimContext &ctx, sets::Element n,
+        sets::Element stride, sets::SetRepr repr)
+{
+    std::vector<sets::Element> elems;
+    for (sets::Element e = 0; e < n; ++e)
+        elems.push_back(e * stride);
+    return eng.create(ctx, 0, std::move(elems), repr);
+}
+
+} // namespace
+
+int
+main()
+{
+    const mem::PimParams pim; // Defaults mirror Section 9.1.
+    support::TextTable table(
+        "Table 5: instruction cost vs performance model (cycles)");
+    table.setHeader({"instruction", "operands", "measured",
+                     "model", "backend"});
+
+    core::SisaEngine eng(universe, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+
+    auto measure = [&](auto &&fn) {
+        const auto before = ctx.threadCycles(0);
+        fn();
+        return ctx.threadCycles(0) - before;
+    };
+
+    // 0x0 merge intersection: two similar SAs.
+    {
+        const auto a = makeSet(eng, ctx, 2000, 2,
+                               sets::SetRepr::SparseArray);
+        const auto b = makeSet(eng, ctx, 2000, 3,
+                               sets::SetRepr::SparseArray);
+        const auto cycles = measure([&] {
+            eng.intersect(ctx, 0, a, b, core::SisaOp::IntersectMerge);
+        });
+        table.addRow({"0x0 and.mg", "SA2000,SA2000",
+                      std::to_string(cycles),
+                      std::to_string(
+                          mem::pnmStreamCycles(pim, 2000, 4)),
+                      "pnm-stream"});
+    }
+
+    // 0x1 galloping intersection: tiny vs large SA.
+    {
+        const auto a =
+            makeSet(eng, ctx, 4, 11, sets::SetRepr::SparseArray);
+        const auto b = makeSet(eng, ctx, 8000, 1,
+                               sets::SetRepr::SparseArray);
+        const auto cycles = measure([&] {
+            eng.intersect(ctx, 0, a, b,
+                          core::SisaOp::IntersectGallop);
+        });
+        table.addRow(
+            {"0x1 and.gl", "SA4,SA8000", std::to_string(cycles),
+             std::to_string(mem::pnmRandomCycles(
+                 pim, mem::predictedGallopProbes(4, 8000))),
+             "pnm-random"});
+    }
+
+    // 0x3 SA cap DB.
+    {
+        const auto a = makeSet(eng, ctx, 1000, 5,
+                               sets::SetRepr::SparseArray);
+        const auto b = makeSet(eng, ctx, 6000, 2,
+                               sets::SetRepr::DenseBitvector);
+        const auto cycles =
+            measure([&] { eng.intersect(ctx, 0, a, b); });
+        table.addRow({"0x3 and.sd", "SA1000,DB",
+                      std::to_string(cycles),
+                      std::to_string(
+                          mem::pnmRandomCycles(pim, 1000)),
+                      "pnm-random"});
+    }
+
+    // 0x4 DB cap DB: in-situ bulk AND.
+    {
+        const auto a = makeSet(eng, ctx, 6000, 2,
+                               sets::SetRepr::DenseBitvector);
+        const auto b = makeSet(eng, ctx, 6000, 3,
+                               sets::SetRepr::DenseBitvector);
+        const auto cycles =
+            measure([&] { eng.intersect(ctx, 0, a, b); });
+        table.addRow({"0x4 and.dd", "DB,DB", std::to_string(cycles),
+                      std::to_string(
+                          mem::pumBulkCycles(pim, universe)),
+                      "pum"});
+    }
+
+    // 0x5/0x6: single-bit insert/remove on a DB.
+    {
+        const auto a = makeSet(eng, ctx, 100, 7,
+                               sets::SetRepr::DenseBitvector);
+        const auto ins = measure([&] { eng.insert(ctx, 0, a, 3); });
+        table.addRow({"0x5 ins", "DB,{x}", std::to_string(ins),
+                      std::to_string(mem::pnmRandomCycles(pim, 1)),
+                      "pnm-random"});
+        const auto rem = measure([&] { eng.remove(ctx, 0, a, 3); });
+        table.addRow({"0x6 rem", "DB,{x}", std::to_string(rem),
+                      std::to_string(mem::pnmRandomCycles(pim, 1)),
+                      "pnm-random"});
+    }
+    table.print(std::cout);
+
+    // --- Ablation: fused cardinality vs materialize-then-measure ----------
+    support::TextTable ablation(
+        "Ablation: fused |A cap B| vs materialized intersection");
+    ablation.setHeader({"variant", "cycles"});
+    {
+        const auto a = makeSet(eng, ctx, 3000, 2,
+                               sets::SetRepr::SparseArray);
+        const auto b = makeSet(eng, ctx, 3000, 3,
+                               sets::SetRepr::SparseArray);
+        const auto fused = measure(
+            [&] { eng.intersectCard(ctx, 0, a, b); });
+        const auto materialized = measure([&] {
+            const auto r = eng.intersect(ctx, 0, a, b);
+            eng.cardinality(ctx, 0, r);
+            eng.destroy(ctx, 0, r);
+        });
+        ablation.addRow({"sisa.andc (fused)", std::to_string(fused)});
+        ablation.addRow(
+            {"sisa.and + card + del", std::to_string(materialized)});
+        std::cout << '\n';
+        ablation.print(std::cout);
+        std::cout << "\nFused cardinalities avoid creating the "
+                     "intermediate set (Section 6.2.3): "
+                  << support::TextTable::formatDouble(
+                         static_cast<double>(materialized) /
+                             static_cast<double>(fused),
+                         2)
+                  << "x cheaper here.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Maximal clique listing on a protein-interaction-style network --
+ * the paper's flagship workload (>10x speedup over hand-tuned
+ * Bron-Kerbosch). Runs the same problem in the three evaluation
+ * modes and prints the Figure 6-style comparison:
+ *
+ *   non-set    hand-tuned BK on the OoO CPU model
+ *   set-based  set-centric BK executed in software
+ *   sisa       set-centric BK offloaded to PIM
+ *
+ *   ./maximal_cliques [dataset-name]   (default: bio-SC-GT analogue)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "algorithms/bron_kerbosch.hpp"
+#include "baselines/bk_baseline.hpp"
+#include "baselines/csr_view.hpp"
+#include "core/cpu_set_engine.hpp"
+#include "core/sisa_engine.hpp"
+#include "graph/dataset_registry.hpp"
+
+using namespace sisa;
+
+namespace {
+
+constexpr std::uint32_t threads = 8;
+constexpr std::uint64_t cutoff = 300; // Patterns per thread.
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "bio-SC-GT";
+    const graph::Graph g = graph::makeDataset(name);
+    std::printf("dataset %s: %s\n", name.c_str(),
+                g.describe().c_str());
+
+    // --- non-set: hand-tuned Bron-Kerbosch --------------------------------
+    sim::CpuModel cpu(sim::CpuParams{}, threads);
+    sim::SimContext ctx_base(threads);
+    ctx_base.setPatternCutoff(cutoff);
+    baselines::CsrView view(g, cpu);
+    const auto base = baselines::maximalCliquesBaseline(view, ctx_base);
+
+    // --- set-based: the Algorithm 2 formulation in software ---------------
+    core::CpuSetEngine cpu_eng(g.numVertices(), sim::CpuParams{},
+                               threads);
+    sim::SimContext ctx_set(threads);
+    ctx_set.setPatternCutoff(cutoff);
+    core::SetGraph sg_cpu(g, cpu_eng);
+    const auto set_based = algorithms::maximalCliques(sg_cpu, ctx_set);
+
+    // --- sisa: the same formulation offloaded to PIM -----------------------
+    core::SisaEngine sisa_eng(g.numVertices(), isa::ScuConfig{},
+                              threads);
+    sim::SimContext ctx_sisa(threads);
+    ctx_sisa.setPatternCutoff(cutoff);
+    core::SetGraph sg_sisa(g, sisa_eng);
+    const auto sisa = algorithms::maximalCliques(sg_sisa, ctx_sisa);
+
+    std::printf("\n%-10s %14s %10s %10s\n", "mode", "cycles",
+                "cliques", "max-size");
+    std::printf("%-10s %14llu %10llu %10llu\n", "non-set",
+                static_cast<unsigned long long>(ctx_base.makespan()),
+                static_cast<unsigned long long>(base.cliqueCount),
+                static_cast<unsigned long long>(base.maxCliqueSize));
+    std::printf("%-10s %14llu %10llu %10llu\n", "set-based",
+                static_cast<unsigned long long>(ctx_set.makespan()),
+                static_cast<unsigned long long>(set_based.cliqueCount),
+                static_cast<unsigned long long>(
+                    set_based.maxCliqueSize));
+    std::printf("%-10s %14llu %10llu %10llu\n", "sisa",
+                static_cast<unsigned long long>(ctx_sisa.makespan()),
+                static_cast<unsigned long long>(sisa.cliqueCount),
+                static_cast<unsigned long long>(sisa.maxCliqueSize));
+
+    const double speedup_nonset =
+        static_cast<double>(ctx_base.makespan()) /
+        static_cast<double>(ctx_sisa.makespan());
+    const double speedup_set =
+        static_cast<double>(ctx_set.makespan()) /
+        static_cast<double>(ctx_sisa.makespan());
+    std::printf("\nsisa speedup: %.2fx over non-set, %.2fx over "
+                "set-based\n",
+                speedup_nonset, speedup_set);
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "algorithms/bfs.hpp"
+
+namespace sisa::algorithms {
+
+BfsResult
+bfsSetCentric(SetGraph &sg, sim::SimContext &ctx, VertexId root,
+              BfsDirection direction)
+{
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    BfsResult result;
+    result.parent.assign(n, graph::invalid_vertex);
+    result.depth.assign(n, 0);
+    result.parent[root] = root;
+    result.reached = 1;
+
+    // Pi = V setminus {root}: unvisited vertices, a dense bitvector.
+    core::SetId unvisited = eng.createFull(ctx, 0);
+    eng.remove(ctx, 0, unvisited, root);
+
+    // F = {root}.
+    core::SetId frontier = eng.create(
+        ctx, 0, {root}, sets::SetRepr::DenseBitvector);
+
+    std::uint32_t level = 0;
+    while (eng.cardinality(ctx, 0, frontier) != 0) {
+        ++level;
+        core::SetId next = eng.createEmpty(
+            ctx, 0, sets::SetRepr::DenseBitvector);
+
+        if (direction == BfsDirection::TopDown) {
+            const std::vector<sets::Element> front =
+                eng.elements(ctx, 0, frontier);
+            parallelFor(ctx, front.size(), [&](sim::ThreadId tid,
+                                               std::uint64_t i) {
+                const sets::Element u = front[i];
+                // for w in N(u) cap Pi: adopt, advance, mark visited.
+                const core::SetId fresh = eng.intersect(
+                    ctx, tid, sg.neighborhood(u), unvisited);
+                for (sets::Element w : eng.elements(ctx, tid, fresh)) {
+                    if (result.parent[w] != graph::invalid_vertex)
+                        continue; // Another thread claimed w.
+                    result.parent[w] = u;
+                    result.depth[w] = level;
+                    ++result.reached;
+                    eng.insert(ctx, tid, next, w);
+                    eng.remove(ctx, tid, unvisited, w);
+                }
+                eng.destroy(ctx, tid, fresh);
+            });
+        } else {
+            const std::vector<sets::Element> candidates =
+                eng.elements(ctx, 0, unvisited);
+            parallelFor(ctx, candidates.size(), [&](sim::ThreadId tid,
+                                                    std::uint64_t i) {
+                const sets::Element w = candidates[i];
+                if (result.parent[w] != graph::invalid_vertex)
+                    return;
+                // for u in N(w) cap F: first hit becomes the parent.
+                const core::SetId hits = eng.intersect(
+                    ctx, tid, sg.neighborhood(w), frontier);
+                const std::vector<sets::Element> parents =
+                    eng.elements(ctx, tid, hits);
+                if (!parents.empty()) {
+                    result.parent[w] = parents.front();
+                    result.depth[w] = level;
+                    ++result.reached;
+                    eng.insert(ctx, tid, next, w);
+                    eng.remove(ctx, tid, unvisited, w);
+                }
+                eng.destroy(ctx, tid, hits);
+            });
+        }
+
+        eng.destroy(ctx, 0, frontier);
+        frontier = next;
+    }
+
+    eng.destroy(ctx, 0, frontier);
+    eng.destroy(ctx, 0, unvisited);
+    return result;
+}
+
+} // namespace sisa::algorithms

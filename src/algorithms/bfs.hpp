@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Set-centric BFS (Section 5.3, Algorithm 12). BFS is one of the
+ * "low-complexity" problems SISA does not target for speedups, but
+ * the paper gives the formulation to show the paradigm's generality:
+ * the unvisited set Pi is a dense bitvector, and the frontier update
+ * is N(u) cap Pi (top-down) or N(w) cap F (bottom-up).
+ */
+
+#ifndef SISA_ALGORITHMS_BFS_HPP
+#define SISA_ALGORITHMS_BFS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/common.hpp"
+
+namespace sisa::algorithms {
+
+/** Traversal direction per Algorithm 12's preprocessor switch. */
+enum class BfsDirection { TopDown, BottomUp };
+
+/** Result: the parent map p and per-vertex depth. */
+struct BfsResult
+{
+    std::vector<VertexId> parent; ///< invalid_vertex when unreached.
+    std::vector<std::uint32_t> depth;
+    std::uint64_t reached = 0;
+};
+
+/** Run set-centric BFS from @p root. */
+BfsResult bfsSetCentric(SetGraph &sg, sim::SimContext &ctx, VertexId root,
+                        BfsDirection direction = BfsDirection::TopDown);
+
+} // namespace sisa::algorithms
+
+#endif // SISA_ALGORITHMS_BFS_HPP

@@ -1,0 +1,126 @@
+#include "algorithms/bron_kerbosch.hpp"
+
+#include <algorithm>
+
+#include "graph/degeneracy.hpp"
+
+namespace sisa::algorithms {
+
+namespace {
+
+/** Recursion state shared by one outer-loop task. */
+struct BkTask
+{
+    SetGraph &sg;
+    SetEngine &eng;
+    sim::SimContext &ctx;
+    sim::ThreadId tid;
+    MaximalCliqueResult &result;
+    const std::function<void(const std::vector<VertexId> &)> &onClique;
+    std::vector<VertexId> clique; ///< R, host-side (output only).
+
+    /**
+     * BKPivot(R, P, X): owns and destroys the set ids it is given.
+     */
+    void
+    recurse(core::SetId p, core::SetId x)
+    {
+        if (ctx.cutoffReached(tid)) {
+            eng.destroy(ctx, tid, p);
+            eng.destroy(ctx, tid, x);
+            return;
+        }
+        const std::uint64_t p_size = eng.cardinality(ctx, tid, p);
+        const std::uint64_t x_size = eng.cardinality(ctx, tid, x);
+        if (p_size == 0 && x_size == 0) {
+            // |P| == 0 and |X| == 0: R is a maximal clique.
+            ++result.cliqueCount;
+            result.maxCliqueSize =
+                std::max<std::uint64_t>(result.maxCliqueSize,
+                                        clique.size());
+            if (onClique)
+                onClique(clique);
+            ctx.countPattern(tid);
+            eng.destroy(ctx, tid, p);
+            eng.destroy(ctx, tid, x);
+            return;
+        }
+        if (p_size == 0) {
+            eng.destroy(ctx, tid, p);
+            eng.destroy(ctx, tid, x);
+            return;
+        }
+
+        // Tomita pivot: u in P cup X maximizing |P cap N(u)|.
+        VertexId pivot = graph::invalid_vertex;
+        std::uint64_t best = 0;
+        for (core::SetId side : {p, x}) {
+            for (sets::Element u : eng.elements(ctx, tid, side)) {
+                const std::uint64_t gain = eng.intersectCard(
+                    ctx, tid, p, sg.neighborhood(u));
+                if (pivot == graph::invalid_vertex || gain > best) {
+                    best = gain;
+                    pivot = u;
+                }
+            }
+        }
+
+        // Candidates: P setminus N(u).
+        const core::SetId cands =
+            eng.difference(ctx, tid, p, sg.neighborhood(pivot));
+        for (sets::Element v : eng.elements(ctx, tid, cands)) {
+            if (ctx.cutoffReached(tid))
+                break;
+            const core::SetId p_next =
+                eng.intersect(ctx, tid, p, sg.neighborhood(v));
+            const core::SetId x_next =
+                eng.intersect(ctx, tid, x, sg.neighborhood(v));
+            clique.push_back(v);
+            recurse(p_next, x_next);
+            clique.pop_back();
+            eng.remove(ctx, tid, p, v);  // P = P setminus {v}
+            eng.insert(ctx, tid, x, v);  // X = X cup {v}
+        }
+        eng.destroy(ctx, tid, cands);
+        eng.destroy(ctx, tid, p);
+        eng.destroy(ctx, tid, x);
+    }
+};
+
+} // namespace
+
+MaximalCliqueResult
+maximalCliques(SetGraph &sg, sim::SimContext &ctx,
+               const std::function<void(const std::vector<VertexId> &)>
+                   &on_clique)
+{
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+    const graph::DegeneracyResult deg =
+        graph::exactDegeneracyOrder(sg.graph());
+
+    MaximalCliqueResult result;
+    // Outer loop over the degeneracy order (Eppstein et al.): for the
+    // i-th vertex v, P = N(v) cap {later vertices}, X = N(v) cap
+    // {earlier vertices}. Later/earlier filtering runs on the host
+    // order array; the set operations run on the engine.
+    parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
+        const VertexId v = deg.order[i];
+        std::vector<sets::Element> later, earlier;
+        for (VertexId w : sg.graph().neighbors(v)) {
+            (deg.rank[w] > deg.rank[v] ? later : earlier).push_back(w);
+        }
+        // Dynamic auxiliary sets: DBs per the Section 6.2.4 guidance.
+        const core::SetId p = eng.create(
+            ctx, tid, std::move(later), sets::SetRepr::DenseBitvector);
+        const core::SetId x = eng.create(
+            ctx, tid, std::move(earlier),
+            sets::SetRepr::DenseBitvector);
+
+        BkTask task{sg, eng, ctx, tid, result, on_clique, {v}};
+        task.recurse(p, x);
+    });
+    return result;
+}
+
+} // namespace sisa::algorithms

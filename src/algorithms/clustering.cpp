@@ -1,0 +1,86 @@
+#include "algorithms/clustering.hpp"
+
+#include <numeric>
+
+namespace sisa::algorithms {
+
+namespace {
+
+/** Union-find over vertex ids for the cluster-count summary. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::uint32_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::uint32_t
+    find(std::uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(std::uint32_t a, std::uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[a] = b;
+    }
+
+  private:
+    std::vector<std::uint32_t> parent_;
+};
+
+} // namespace
+
+ClusteringResult
+jarvisPatrick(SetGraph &sg, sim::SimContext &ctx,
+              SimilarityMeasure measure, double tau)
+{
+    const VertexId n = sg.numVertices();
+    const graph::Graph &graph = sg.graph();
+
+    // Edge list (u < v) for the [in par] edge loop.
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(graph.numEdges());
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v : graph.neighbors(u)) {
+            if (u < v)
+                edges.emplace_back(u, v);
+        }
+    }
+
+    ClusteringResult result;
+    UnionFind clusters(n);
+    parallelFor(ctx, edges.size(), [&](sim::ThreadId tid,
+                                       std::uint64_t i) {
+        const auto [u, v] = edges[i];
+        const double similarity =
+            vertexSimilarity(sg, ctx, tid, u, v, measure);
+        if (similarity > tau) {
+            // C = C cup {e}.
+            ++result.clusterEdges;
+            clusters.unite(u, v);
+            ctx.countPattern(tid);
+        }
+    });
+
+    // Summarize: non-singleton components of C are the clusters.
+    std::vector<std::uint32_t> size(n, 0);
+    for (VertexId v = 0; v < n; ++v)
+        ++size[clusters.find(v)];
+    for (VertexId v = 0; v < n; ++v) {
+        if (clusters.find(v) == v && size[v] > 1)
+            ++result.clusterCount;
+    }
+    return result;
+}
+
+} // namespace sisa::algorithms

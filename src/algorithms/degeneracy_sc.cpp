@@ -1,0 +1,134 @@
+#include "algorithms/degeneracy_sc.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace sisa::algorithms {
+
+ScDegeneracyResult
+approxDegeneracySetCentric(SetGraph &sg, sim::SimContext &ctx, double eps)
+{
+    sisa_assert(eps > 0.0, "Algorithm 6 requires eps > 0");
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    ScDegeneracyResult result;
+    result.round.assign(n, 0);
+    result.order.reserve(n);
+    std::vector<bool> is_peeled(n, false);
+
+    // Working copies of the neighborhoods (the originals belong to
+    // the SetGraph and must survive the run).
+    std::vector<core::SetId> work(n);
+    for (VertexId v = 0; v < n; ++v)
+        work[v] = eng.clone(ctx, 0, sg.neighborhood(v));
+
+    // V: remaining vertices, a dense bitvector.
+    core::SetId remaining = eng.createFull(ctx, 0);
+
+    std::uint64_t left = n;
+    std::uint32_t round = 0;
+    while (left > 0) {
+        // Degree sum via O(1) cardinalities of the working sets.
+        std::uint64_t degree_sum = 0;
+        const std::vector<sets::Element> live =
+            eng.elements(ctx, 0, remaining);
+        for (sets::Element v : live)
+            degree_sum += eng.cardinality(ctx, 0, work[v]);
+        const double avg = static_cast<double>(degree_sum) /
+                           static_cast<double>(left);
+        const auto threshold =
+            static_cast<std::uint32_t>((1.0 + eps) * avg);
+        result.approxDegeneracy =
+            std::max(result.approxDegeneracy, threshold);
+
+        // X = { v in V : |N(v)| <= (1 + eps) * avg }.
+        std::vector<sets::Element> peeled;
+        for (sets::Element v : live) {
+            if (eng.cardinality(ctx, 0, work[v]) <= threshold)
+                peeled.push_back(v);
+        }
+        sisa_assert(!peeled.empty(), "a round must peel something");
+        const core::SetId x = eng.create(
+            ctx, 0, std::vector<sets::Element>(peeled),
+            sets::SetRepr::DenseBitvector);
+
+        // eta(v) = i for v in X [in par]; V setminus= X.
+        for (sets::Element v : peeled) {
+            result.round[v] = round;
+            result.order.push_back(v);
+            is_peeled[v] = true;
+        }
+        {
+            const core::SetId next =
+                eng.difference(ctx, 0, remaining, x);
+            eng.destroy(ctx, 0, remaining);
+            remaining = next;
+        }
+
+        // N(v) setminus= X for v in V [in par].
+        parallelFor(ctx, live.size(), [&](sim::ThreadId tid,
+                                          std::uint64_t i) {
+            const sets::Element v = live[i];
+            if (is_peeled[v])
+                return; // Peeled this round; no update needed.
+            const core::SetId next =
+                eng.difference(ctx, tid, work[v], x);
+            eng.destroy(ctx, tid, work[v]);
+            work[v] = next;
+        });
+
+        eng.destroy(ctx, 0, x);
+        left -= peeled.size();
+        ++round;
+    }
+
+    result.rounds = round;
+    eng.destroy(ctx, 0, remaining);
+    for (VertexId v = 0; v < n; ++v)
+        eng.destroy(ctx, 0, work[v]);
+    return result;
+}
+
+std::vector<VertexId>
+kCoreSetCentric(SetGraph &sg, sim::SimContext &ctx, std::uint32_t k)
+{
+    // Orient by the approximate order, then keep vertices whose
+    // residual degree (edges to later-or-equal-round vertices that
+    // survive peeling) reaches k, iterating in reverse peel order.
+    const ScDegeneracyResult deg = approxDegeneracySetCentric(sg, ctx);
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    // Standard peeling on top of the ordering: repeatedly drop
+    // vertices with fewer than k surviving neighbors.
+    std::vector<bool> alive(n, true);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint64_t i = 0; i < deg.order.size(); ++i) {
+            const VertexId v = deg.order[i];
+            if (!alive[v])
+                continue;
+            std::uint32_t survivors = 0;
+            for (sets::Element w :
+                 eng.elements(ctx, 0, sg.neighborhood(v))) {
+                survivors += alive[w];
+            }
+            if (survivors < k) {
+                alive[v] = false;
+                changed = true;
+            }
+        }
+    }
+
+    std::vector<VertexId> core;
+    for (VertexId v = 0; v < n; ++v) {
+        if (alive[v])
+            core.push_back(v);
+    }
+    return core;
+}
+
+} // namespace sisa::algorithms

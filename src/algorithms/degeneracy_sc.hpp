@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Set-centric approximate degeneracy ordering (Section 5.1.5,
+ * Algorithm 6) and the k-core derived from it. Each round removes the
+ * batch X of low-degree vertices with the SISA-accelerated set
+ * differences V setminus= X and N(v) setminus= X.
+ */
+
+#ifndef SISA_ALGORITHMS_DEGENERACY_SC_HPP
+#define SISA_ALGORITHMS_DEGENERACY_SC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/common.hpp"
+
+namespace sisa::algorithms {
+
+/** Result of the set-centric approximate degeneracy ordering. */
+struct ScDegeneracyResult
+{
+    /** eta(v): the round in which v was peeled. */
+    std::vector<std::uint32_t> round;
+    /** Vertices in peeling order. */
+    std::vector<VertexId> order;
+    /** Number of rounds (O(log n) for constant eps). */
+    std::uint32_t rounds = 0;
+    /** Max threshold used: a (2+eps)-approximation of 2c. */
+    std::uint32_t approxDegeneracy = 0;
+};
+
+/**
+ * Algorithm 6 over engine sets: V as a dense bitvector, per-round X
+ * as a dense bitvector, neighborhoods as working clones updated with
+ * set difference.
+ *
+ * @param eps Peeling slack (eps > 0).
+ */
+ScDegeneracyResult approxDegeneracySetCentric(SetGraph &sg,
+                                              sim::SimContext &ctx,
+                                              double eps = 0.1);
+
+/**
+ * k-core via the ordering: iterate vertices in peel order and drop
+ * those whose residual out-degree is below k (Section 5.1.5).
+ */
+std::vector<VertexId> kCoreSetCentric(SetGraph &sg, sim::SimContext &ctx,
+                                      std::uint32_t k);
+
+} // namespace sisa::algorithms
+
+#endif // SISA_ALGORITHMS_DEGENERACY_SC_HPP

@@ -1,0 +1,134 @@
+#include "algorithms/fsm.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "algorithms/subgraph_iso.hpp"
+#include "graph/graph.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::algorithms {
+
+namespace {
+
+/**
+ * Canonical string of a tiny labeled graph: the lexicographic minimum
+ * over all vertex permutations of (label sequence, adjacency bits).
+ * Patterns stay below ~6 vertices, so brute force is fine.
+ */
+std::string
+canonicalForm(const Graph &pattern)
+{
+    const VertexId n = pattern.numVertices();
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+
+    std::string best;
+    do {
+        std::string key;
+        key.reserve(n + n * n);
+        for (VertexId v = 0; v < n; ++v) {
+            key.push_back(static_cast<char>(
+                'a' + pattern.vertexLabel(perm[v]) % 26));
+        }
+        for (VertexId u = 0; u < n; ++u) {
+            for (VertexId v = u + 1; v < n; ++v) {
+                key.push_back(
+                    pattern.hasEdge(perm[u], perm[v]) ? '1' : '0');
+            }
+        }
+        if (best.empty() || key < best)
+            best = key;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+/** Extend @p base with a fresh vertex labeled @p label at @p anchor. */
+Graph
+extendPattern(const Graph &base, VertexId anchor, graph::Label label)
+{
+    const VertexId n = base.numVertices();
+    graph::GraphBuilder builder(n + 1);
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v : base.neighbors(u)) {
+            if (u < v)
+                builder.addEdge(u, v);
+        }
+    }
+    builder.addEdge(anchor, n);
+    Graph extended = builder.build();
+    std::vector<graph::Label> labels(n + 1);
+    for (VertexId v = 0; v < n; ++v)
+        labels[v] = base.vertexLabel(v);
+    labels[n] = label;
+    extended.setVertexLabels(std::move(labels));
+    return extended;
+}
+
+} // namespace
+
+FsmResult
+frequentSubgraphMining(SetGraph &sg, sim::SimContext &ctx, double sigma,
+                       std::uint32_t max_vertices)
+{
+    sisa_assert(sg.graph().hasVertexLabels(),
+                "FSM requires a vertex-labeled graph");
+    const VertexId n = sg.numVertices();
+    const auto threshold = static_cast<std::uint64_t>(
+        sigma * static_cast<double>(n));
+
+    FsmResult result;
+
+    // F1 = frequent vertex labels.
+    std::map<graph::Label, std::uint64_t> label_counts;
+    for (VertexId v = 0; v < n; ++v)
+        ++label_counts[sg.graph().vertexLabel(v)];
+    std::vector<graph::Label> frequent_labels;
+    result.bySize.emplace_back();
+    for (auto [label, count] : label_counts) {
+        if (count >= threshold) {
+            graph::GraphBuilder builder(1);
+            Graph single = builder.build();
+            single.setVertexLabels({label});
+            result.bySize.back().push_back({std::move(single), count});
+            frequent_labels.push_back(label);
+        }
+    }
+
+    // Levels 2..max_vertices: candidate_gen + SI counting.
+    for (std::uint32_t size = 2; size <= max_vertices; ++size) {
+        const auto &previous = result.bySize.back();
+        if (previous.empty())
+            break;
+
+        std::set<std::string> seen;
+        std::vector<Graph> candidates;
+        for (const FrequentPattern &fp : previous) {
+            const VertexId base_n = fp.pattern.numVertices();
+            for (VertexId anchor = 0; anchor < base_n; ++anchor) {
+                for (graph::Label label : frequent_labels) {
+                    Graph cand =
+                        extendPattern(fp.pattern, anchor, label);
+                    if (seen.insert(canonicalForm(cand)).second)
+                        candidates.push_back(std::move(cand));
+                }
+            }
+        }
+
+        result.bySize.emplace_back();
+        for (Graph &cand : candidates) {
+            const SubgraphIsoResult si =
+                subgraphIsomorphism(sg, ctx, cand);
+            if (si.matches >= threshold) {
+                result.bySize.back().push_back(
+                    {std::move(cand), si.matches});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace sisa::algorithms

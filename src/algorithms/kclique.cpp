@@ -1,0 +1,143 @@
+#include "algorithms/kclique.hpp"
+
+#include "support/logging.hpp"
+
+namespace sisa::algorithms {
+
+namespace {
+
+/** Shared recursion for counting and listing. */
+struct KcTask
+{
+    OrientedSetGraph &osg;
+    SetEngine &eng;
+    sim::SimContext &ctx;
+    sim::ThreadId tid;
+    std::uint32_t k;
+    core::SisaOp variant;
+    const CliqueCallback *onClique;
+    std::vector<VertexId> stack;
+
+    /**
+     * count(i, C_i): C_i holds candidates completing an i-clique with
+     * the vertices on `stack`. Owns and destroys @p c_i.
+     */
+    std::uint64_t
+    count(std::uint32_t i, core::SetId c_i)
+    {
+        SetGraph &sg = *osg.sets;
+        std::uint64_t found = 0;
+        if (i == k) {
+            if (onClique && *onClique) {
+                for (sets::Element v : eng.elements(ctx, tid, c_i)) {
+                    stack.push_back(v);
+                    (*onClique)(tid, stack);
+                    stack.pop_back();
+                    found += 1;
+                    if (!ctx.countPattern(tid))
+                        break;
+                }
+            } else {
+                found = eng.cardinality(ctx, tid, c_i);
+                for (std::uint64_t t = 0; t < found; ++t) {
+                    if (!ctx.countPattern(tid))
+                        break;
+                }
+            }
+            eng.destroy(ctx, tid, c_i);
+            return found;
+        }
+        for (sets::Element v : eng.elements(ctx, tid, c_i)) {
+            if (ctx.cutoffReached(tid))
+                break;
+            // C_{i+1} = N+(v) cap C_i.
+            const core::SetId c_next = eng.intersect(
+                ctx, tid, sg.neighborhood(v), c_i, variant);
+            stack.push_back(v);
+            found += count(i + 1, c_next);
+            stack.pop_back();
+        }
+        eng.destroy(ctx, tid, c_i);
+        return found;
+    }
+};
+
+std::uint64_t
+runKClique(OrientedSetGraph &osg, sim::SimContext &ctx, std::uint32_t k,
+           core::SisaOp variant, const CliqueCallback *on_clique)
+{
+    sisa_assert(k >= 2, "kCliqueCount requires k >= 2");
+    SetGraph &sg = *osg.sets;
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
+        const auto u = static_cast<VertexId>(i);
+        // C_2 = N+(u); count u's neighboring k-cliques.
+        const core::SetId c2 =
+            eng.clone(ctx, tid, sg.neighborhood(u));
+        KcTask task{osg, eng, ctx, tid, k, variant, on_clique, {u}};
+        partial[tid] += task.count(2, c2);
+    });
+
+    std::uint64_t total = 0;
+    for (std::uint64_t p : partial)
+        total += p;
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+kCliqueCount(OrientedSetGraph &osg, sim::SimContext &ctx, std::uint32_t k,
+             core::SisaOp variant)
+{
+    return runKClique(osg, ctx, k, variant, nullptr);
+}
+
+std::uint64_t
+kCliqueList(OrientedSetGraph &osg, sim::SimContext &ctx, std::uint32_t k,
+            const CliqueCallback &on_clique)
+{
+    return runKClique(osg, ctx, k, core::SisaOp::IntersectAuto,
+                      &on_clique);
+}
+
+std::uint64_t
+fourCliqueCount(OrientedSetGraph &osg, sim::SimContext &ctx)
+{
+    SetGraph &sg = *osg.sets;
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
+        const auto v1 = static_cast<VertexId>(i);
+        for (VertexId v2 : osg.oriented.neighbors(v1)) {
+            if (ctx.cutoffReached(tid))
+                break;
+            const core::SetId s1 = eng.intersect(
+                ctx, tid, sg.neighborhood(v1), sg.neighborhood(v2));
+            for (sets::Element v3 : eng.elements(ctx, tid, s1)) {
+                const std::uint64_t found = eng.intersectCard(
+                    ctx, tid, s1, sg.neighborhood(v3));
+                partial[tid] += found;
+                for (std::uint64_t t = 0; t < found; ++t) {
+                    if (!ctx.countPattern(tid))
+                        break;
+                }
+                if (ctx.cutoffReached(tid))
+                    break;
+            }
+            eng.destroy(ctx, tid, s1);
+        }
+    });
+
+    std::uint64_t total = 0;
+    for (std::uint64_t p : partial)
+        total += p;
+    return total;
+}
+
+} // namespace sisa::algorithms

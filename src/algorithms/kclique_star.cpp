@@ -1,0 +1,111 @@
+#include "algorithms/kclique_star.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "algorithms/kclique.hpp"
+
+namespace sisa::algorithms {
+
+KcsResult
+kCliqueStarsJabbour(OrientedSetGraph &osg, sim::SimContext &ctx,
+                    std::uint32_t k)
+{
+    SetEngine &eng = osg.sets->engine();
+    // Cliques are mined on the oriented graph, but star extensions
+    // must see *all* neighbors: build the undirected neighborhoods.
+    SetGraph undirected(*osg.original, eng);
+    KcsResult result;
+
+    // Deduplicate stars by their full member list (host-side map, as
+    // the paper's "remove duplicates from S" step).
+    std::map<std::vector<VertexId>, bool> seen;
+
+    kCliqueList(osg, ctx, k, [&](sim::ThreadId tid,
+                                 const std::vector<VertexId> &clique) {
+        // X = intersection of all member neighborhoods.
+        core::SetId x = eng.clone(
+            ctx, tid, undirected.neighborhood(clique[0]));
+        for (std::size_t i = 1; i < clique.size(); ++i) {
+            const core::SetId next = eng.intersect(
+                ctx, tid, x, undirected.neighborhood(clique[i]));
+            eng.destroy(ctx, tid, x);
+            x = next;
+        }
+        // G_s = X cup V_c (clique vertices arrive in recursion
+        // order; set creation wants them sorted).
+        std::vector<sets::Element> members(clique.begin(),
+                                           clique.end());
+        std::sort(members.begin(), members.end());
+        const core::SetId vc = eng.create(
+            ctx, tid, std::move(members), sets::SetRepr::SparseArray);
+        const core::SetId star = eng.setUnion(ctx, tid, x, vc);
+        const std::vector<sets::Element> star_members =
+            eng.elements(ctx, tid, star);
+        std::vector<VertexId> key(star_members.begin(),
+                                  star_members.end());
+        if (!seen.contains(key)) {
+            seen.emplace(std::move(key), true);
+            ++result.starCount;
+            result.memberTotal += star_members.size();
+        }
+        eng.destroy(ctx, tid, star);
+        eng.destroy(ctx, tid, vc);
+        eng.destroy(ctx, tid, x);
+    });
+    result.distinctStars = result.starCount;
+    result.distinctMemberTotal = result.memberTotal;
+    return result;
+}
+
+KcsResult
+kCliqueStarsViaCliques(OrientedSetGraph &osg, sim::SimContext &ctx,
+                       std::uint32_t k)
+{
+    SetGraph &sg = *osg.sets;
+    SetEngine &eng = sg.engine();
+    KcsResult result;
+
+    // S: map from a k-clique (key) to its k-clique-star set id.
+    std::map<std::vector<VertexId>, core::SetId> stars;
+
+    // First mine (k+1)-cliques; each contributes to k+1 star keys.
+    kCliqueList(osg, ctx, k + 1,
+                [&](sim::ThreadId tid,
+                    const std::vector<VertexId> &clique) {
+        for (std::size_t drop = 0; drop < clique.size(); ++drop) {
+            std::vector<VertexId> key;
+            key.reserve(clique.size() - 1);
+            for (std::size_t i = 0; i < clique.size(); ++i) {
+                if (i != drop)
+                    key.push_back(clique[i]);
+            }
+            std::sort(key.begin(), key.end());
+            auto [it, inserted] = stars.try_emplace(
+                std::move(key), isa::invalid_set);
+            if (inserted) {
+                it->second = eng.createEmpty(
+                    ctx, tid, sets::SetRepr::DenseBitvector);
+            }
+            // S[c setminus {v}] cup= c: one insert per member.
+            for (VertexId u : clique)
+                eng.insert(ctx, tid, it->second, u);
+        }
+    });
+
+    std::map<std::vector<sets::Element>, bool> distinct;
+    for (auto &[key, id] : stars) {
+        result.starCount += 1;
+        result.memberTotal += eng.cardinality(ctx, 0, id);
+        std::vector<sets::Element> members = eng.elements(ctx, 0, id);
+        if (!distinct.contains(members)) {
+            ++result.distinctStars;
+            result.distinctMemberTotal += members.size();
+            distinct.emplace(std::move(members), true);
+        }
+        eng.destroy(ctx, 0, id);
+    }
+    return result;
+}
+
+} // namespace sisa::algorithms

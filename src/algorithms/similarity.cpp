@@ -1,0 +1,81 @@
+#include "algorithms/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace sisa::algorithms {
+
+const char *
+measureName(SimilarityMeasure measure)
+{
+    switch (measure) {
+      case SimilarityMeasure::Jaccard: return "jac";
+      case SimilarityMeasure::Overlap: return "ovr";
+      case SimilarityMeasure::CommonNeighbors: return "cn";
+      case SimilarityMeasure::TotalNeighbors: return "tot";
+      case SimilarityMeasure::AdamicAdar: return "aa";
+      case SimilarityMeasure::ResourceAllocation: return "ra";
+      case SimilarityMeasure::PreferentialAttachment: return "pa";
+    }
+    return "???";
+}
+
+double
+vertexSimilarity(SetGraph &sg, sim::SimContext &ctx, sim::ThreadId tid,
+                 VertexId u, VertexId v, SimilarityMeasure measure)
+{
+    SetEngine &eng = sg.engine();
+    const core::SetId nu = sg.neighborhood(u);
+    const core::SetId nv = sg.neighborhood(v);
+
+    switch (measure) {
+      case SimilarityMeasure::Jaccard: {
+        const double inter =
+            static_cast<double>(eng.intersectCard(ctx, tid, nu, nv));
+        const double uni =
+            static_cast<double>(eng.cardinality(ctx, tid, nu) +
+                                eng.cardinality(ctx, tid, nv)) -
+            inter;
+        return uni == 0.0 ? 0.0 : inter / uni;
+      }
+      case SimilarityMeasure::Overlap: {
+        const double inter =
+            static_cast<double>(eng.intersectCard(ctx, tid, nu, nv));
+        const double smaller = static_cast<double>(
+            std::min(eng.cardinality(ctx, tid, nu),
+                     eng.cardinality(ctx, tid, nv)));
+        return smaller == 0.0 ? 0.0 : inter / smaller;
+      }
+      case SimilarityMeasure::CommonNeighbors:
+        return static_cast<double>(eng.intersectCard(ctx, tid, nu, nv));
+      case SimilarityMeasure::TotalNeighbors:
+        return static_cast<double>(eng.unionCard(ctx, tid, nu, nv));
+      case SimilarityMeasure::AdamicAdar:
+      case SimilarityMeasure::ResourceAllocation: {
+        // Materialize the common neighbors, then sum weights keyed by
+        // each common neighbor's O(1) cardinality.
+        const core::SetId common = eng.intersect(ctx, tid, nu, nv);
+        double sum = 0.0;
+        for (sets::Element w : eng.elements(ctx, tid, common)) {
+            const auto deg = static_cast<double>(
+                eng.cardinality(ctx, tid, sg.neighborhood(w)));
+            if (measure == SimilarityMeasure::AdamicAdar) {
+                if (deg > 1.0)
+                    sum += 1.0 / std::log(deg);
+            } else if (deg > 0.0) {
+                sum += 1.0 / deg;
+            }
+        }
+        eng.destroy(ctx, tid, common);
+        return sum;
+      }
+      case SimilarityMeasure::PreferentialAttachment:
+        return static_cast<double>(eng.cardinality(ctx, tid, nu)) *
+               static_cast<double>(eng.cardinality(ctx, tid, nv));
+    }
+    sisa_panic("unreachable similarity measure");
+}
+
+} // namespace sisa::algorithms

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Vertex-similarity measures (Section 5.2.1, Algorithm 9). All
+ * measures reduce to the cardinalities of neighborhood intersections
+ * and unions -- exactly the fused SISA instructions |A cap B| and
+ * |A cup B| -- plus O(1)-cardinality lookups for the weighted
+ * variants (Adamic-Adar, Resource Allocation).
+ */
+
+#ifndef SISA_ALGORITHMS_SIMILARITY_HPP
+#define SISA_ALGORITHMS_SIMILARITY_HPP
+
+#include <cstdint>
+
+#include "algorithms/common.hpp"
+
+namespace sisa::algorithms {
+
+/** The similarity measures of Algorithm 9 (plus Table 6's footnote). */
+enum class SimilarityMeasure
+{
+    Jaccard,              ///< |A cap B| / |A cup B|.
+    Overlap,              ///< |A cap B| / min(|A|, |B|).
+    CommonNeighbors,      ///< |A cap B|.
+    TotalNeighbors,       ///< |A cup B|.
+    AdamicAdar,           ///< sum 1/log|N(w)| over common neighbors.
+    ResourceAllocation,   ///< sum 1/|N(w)| over common neighbors.
+    PreferentialAttachment, ///< |A| * |B|.
+};
+
+/** Short mnemonic used in bench output ("jac", "ovr", ...). */
+const char *measureName(SimilarityMeasure measure);
+
+/**
+ * Similarity of two vertices' neighborhoods under @p measure, with
+ * every set operation issued on the engine.
+ */
+double vertexSimilarity(SetGraph &sg, sim::SimContext &ctx,
+                        sim::ThreadId tid, VertexId u, VertexId v,
+                        SimilarityMeasure measure);
+
+} // namespace sisa::algorithms
+
+#endif // SISA_ALGORITHMS_SIMILARITY_HPP

@@ -1,0 +1,306 @@
+#include "algorithms/subgraph_iso.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::algorithms {
+
+namespace {
+
+/** One thread's VF2 search state. */
+class Vf2State
+{
+  public:
+    Vf2State(SetGraph &sg, sim::SimContext &ctx, sim::ThreadId tid,
+             const Graph &pattern, SubgraphIsoResult &result,
+             const std::function<void(const std::vector<VertexId> &)>
+                 &on_match)
+        : sg_(sg), eng_(sg.engine()), ctx_(ctx), tid_(tid),
+          pattern_(pattern), result_(result), onMatch_(on_match),
+          p_n_(pattern.numVertices()),
+          core1_(sg.numVertices(), graph::invalid_vertex),
+          core2_(p_n_, graph::invalid_vertex), inT2_(p_n_, false),
+          labeled_(pattern.hasVertexLabels() &&
+                   sg.graph().hasVertexLabels())
+    {
+        m1_ = eng_.createEmpty(ctx_, tid_,
+                               sets::SetRepr::DenseBitvector);
+        t1_ = eng_.createEmpty(ctx_, tid_,
+                               sets::SetRepr::DenseBitvector);
+    }
+
+    ~Vf2State()
+    {
+        eng_.destroy(ctx_, tid_, m1_);
+        eng_.destroy(ctx_, tid_, t1_);
+    }
+
+    /** Try mapping pattern vertex 0 to @p root, then recurse. */
+    void
+    searchFrom(VertexId root)
+    {
+        if (feasible(root, 0))
+            extend(root, 0);
+    }
+
+  private:
+    /** Number of currently mapped pairs. */
+    std::uint32_t depth_ = 0;
+
+    void
+    extend(VertexId v1, VertexId v2)
+    {
+        // NewState(s, v1, v2): update M1/T1 (engine) and M2/T2 (host).
+        core1_[v1] = v2;
+        core2_[v2] = v1;
+        ++depth_;
+        eng_.insert(ctx_, tid_, m1_, v1);
+        eng_.remove(ctx_, tid_, t1_, v1);
+        // T1 cup= (N1(v1) setminus M1).
+        const core::SetId fresh = eng_.difference(
+            ctx_, tid_, sg_.neighborhood(v1), m1_);
+        const core::SetId t1_next =
+            eng_.setUnion(ctx_, tid_, t1_, fresh);
+        eng_.destroy(ctx_, tid_, fresh);
+        eng_.destroy(ctx_, tid_, t1_);
+        t1_ = t1_next;
+
+        const bool was_t2 = inT2_[v2];
+        inT2_[v2] = false;
+        std::vector<VertexId> t2_added;
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            if (core2_[w2] == graph::invalid_vertex && !inT2_[w2]) {
+                inT2_[w2] = true;
+                t2_added.push_back(w2);
+            }
+        }
+
+        if (depth_ == p_n_) {
+            // M(s) covers the pattern: output the mapping.
+            ++result_.matches;
+            if (onMatch_) {
+                std::vector<VertexId> mapping(core2_.begin(),
+                                              core2_.end());
+                onMatch_(mapping);
+            }
+            ctx_.countPattern(tid_);
+        } else {
+            // P(s): T1 x {min T2}, or all-unmapped when T2 is empty.
+            const VertexId next2 = nextPatternVertex();
+            const std::vector<sets::Element> candidates =
+                inT2_[next2] ? eng_.elements(ctx_, tid_, t1_)
+                             : unmappedTargets();
+            for (sets::Element cand : candidates) {
+                if (ctx_.cutoffReached(tid_))
+                    break;
+                if (core1_[cand] != graph::invalid_vertex)
+                    continue;
+                if (feasible(cand, next2))
+                    extend(cand, next2);
+            }
+        }
+
+        // Restore state (backtrack).
+        for (VertexId w2 : t2_added)
+            inT2_[w2] = false;
+        inT2_[v2] = was_t2;
+        --depth_;
+        eng_.remove(ctx_, tid_, m1_, v1);
+        rebuildT1();
+        core1_[v1] = graph::invalid_vertex;
+        core2_[v2] = graph::invalid_vertex;
+    }
+
+    /** The next unmapped pattern vertex (prefer the T2 frontier). */
+    VertexId
+    nextPatternVertex() const
+    {
+        for (VertexId v2 = 0; v2 < p_n_; ++v2) {
+            if (core2_[v2] == graph::invalid_vertex && inT2_[v2])
+                return v2;
+        }
+        for (VertexId v2 = 0; v2 < p_n_; ++v2) {
+            if (core2_[v2] == graph::invalid_vertex)
+                return v2;
+        }
+        sisa_panic("no unmapped pattern vertex left");
+    }
+
+    std::vector<sets::Element>
+    unmappedTargets() const
+    {
+        std::vector<sets::Element> out;
+        for (VertexId v = 0; v < sg_.numVertices(); ++v) {
+            if (core1_[v] == graph::invalid_vertex)
+                out.push_back(v);
+        }
+        return out;
+    }
+
+    /**
+     * T1 is easiest restored by recomputation from M1 (union of
+     * mapped neighborhoods minus M1); cheap because |M1| <= p_n_.
+     */
+    void
+    rebuildT1()
+    {
+        eng_.destroy(ctx_, tid_, t1_);
+        t1_ = eng_.createEmpty(ctx_, tid_,
+                               sets::SetRepr::DenseBitvector);
+        for (VertexId v2 = 0; v2 < p_n_; ++v2) {
+            const VertexId v1 = core2_[v2];
+            if (v1 == graph::invalid_vertex)
+                continue;
+            const core::SetId fresh = eng_.difference(
+                ctx_, tid_, sg_.neighborhood(v1), m1_);
+            const core::SetId next =
+                eng_.setUnion(ctx_, tid_, t1_, fresh);
+            eng_.destroy(ctx_, tid_, fresh);
+            eng_.destroy(ctx_, tid_, t1_);
+            t1_ = next;
+        }
+    }
+
+    bool
+    feasible(VertexId v1, VertexId v2)
+    {
+        // checkCore (Rcore, induced semantics): mapped pattern
+        // neighbors must map onto target neighbors of v1, and mapped
+        // target neighbors of v1 must be images of pattern neighbors.
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            const VertexId w1 = core2_[w2];
+            if (w1 != graph::invalid_vertex &&
+                !sg_.graph().hasEdge(v1, w1)) {
+                return false;
+            }
+        }
+        const core::SetId mapped_nbrs = eng_.intersect(
+            ctx_, tid_, sg_.neighborhood(v1), m1_);
+        bool core_ok = true;
+        for (sets::Element w1 : eng_.elements(ctx_, tid_, mapped_nbrs)) {
+            const VertexId w2 = core1_[w1];
+            if (!pattern_.hasEdge(v2, w2)) {
+                core_ok = false;
+                break;
+            }
+        }
+        if (core_ok && labeled_)
+            core_ok = verifyLabels(v1, v2, mapped_nbrs);
+        eng_.destroy(ctx_, tid_, mapped_nbrs);
+        if (!core_ok)
+            return false;
+
+        // checkTerm: |N1(v1) cap T1| >= |N2(v2) cap T2|.
+        const std::uint64_t t1_hits =
+            eng_.intersectCard(ctx_, tid_, sg_.neighborhood(v1), t1_);
+        std::uint64_t t2_hits = 0;
+        for (VertexId w2 : pattern_.neighbors(v2))
+            t2_hits += inT2_[w2];
+        if (t1_hits < t2_hits)
+            return false;
+
+        // checkNew: |N1(v1) \ (M1 cup T1)| >= |N2(v2) \ (M2 cup T2)|.
+        const core::SetId m1_t1 =
+            eng_.setUnion(ctx_, tid_, m1_, t1_);
+        const core::SetId new1 = eng_.difference(
+            ctx_, tid_, sg_.neighborhood(v1), m1_t1);
+        const std::uint64_t new1_count =
+            eng_.cardinality(ctx_, tid_, new1);
+        eng_.destroy(ctx_, tid_, new1);
+        eng_.destroy(ctx_, tid_, m1_t1);
+        std::uint64_t new2_count = 0;
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            if (core2_[w2] == graph::invalid_vertex && !inT2_[w2])
+                ++new2_count;
+        }
+        return new1_count >= new2_count;
+    }
+
+    /** Algorithm 7's verify_labels over N1(v1) cap M1(s). */
+    bool
+    verifyLabels(VertexId v1, VertexId v2, core::SetId mapped_nbrs)
+    {
+        if (pattern_.vertexLabel(v2) != sg_.graph().vertexLabel(v1))
+            return false;
+        if (!pattern_.hasEdgeLabels() || !sg_.graph().hasEdgeLabels())
+            return true;
+        for (sets::Element w1 :
+             eng_.elements(ctx_, tid_, mapped_nbrs)) {
+            const VertexId w2 = core1_[w1];
+            if (!pattern_.hasEdge(v2, w2))
+                continue;
+            if (sg_.graph().edgeLabel(v1, w1) !=
+                pattern_.edgeLabel(v2, w2)) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    SetGraph &sg_;
+    SetEngine &eng_;
+    sim::SimContext &ctx_;
+    sim::ThreadId tid_;
+    const Graph &pattern_;
+    SubgraphIsoResult &result_;
+    const std::function<void(const std::vector<VertexId> &)> &onMatch_;
+    VertexId p_n_;
+    std::vector<VertexId> core1_; ///< target -> pattern.
+    std::vector<VertexId> core2_; ///< pattern -> target.
+    std::vector<bool> inT2_;
+    bool labeled_;
+    core::SetId m1_;
+    core::SetId t1_;
+};
+
+} // namespace
+
+SubgraphIsoResult
+subgraphIsomorphism(SetGraph &sg, sim::SimContext &ctx,
+                    const Graph &pattern,
+                    const std::function<void(const std::vector<VertexId> &)>
+                        &on_match)
+{
+    sisa_assert(pattern.numVertices() >= 1, "empty pattern");
+    SubgraphIsoResult result;
+
+    parallelFor(ctx, sg.numVertices(), [&](sim::ThreadId tid,
+                                           std::uint64_t i) {
+        Vf2State state(sg, ctx, tid, pattern, result, on_match);
+        state.searchFrom(static_cast<VertexId>(i));
+    });
+    return result;
+}
+
+Graph
+starPattern(std::uint32_t leaves)
+{
+    return graph::star(leaves + 1);
+}
+
+Graph
+labeledStarPattern(std::uint32_t leaves, std::uint32_t num_labels)
+{
+    Graph pattern = graph::star(leaves + 1);
+    std::vector<graph::Label> labels(leaves + 1);
+    for (std::uint32_t v = 0; v <= leaves; ++v)
+        labels[v] = v % num_labels;
+    pattern.setVertexLabels(std::move(labels));
+    return pattern;
+}
+
+Graph
+cliquePattern(std::uint32_t k)
+{
+    return graph::complete(k);
+}
+
+Graph
+pathPattern(std::uint32_t k)
+{
+    return graph::path(k);
+}
+
+} // namespace sisa::algorithms

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Set-centric subgraph isomorphism (Section 5.1.6, Algorithm 7): the
+ * VF2 recursion with its feasibility rules expressed as SISA set
+ * operations on the target-graph side --
+ *
+ *   checkTerm:  |N1(v1) cap T1(s)|  >=  |N2(v2) cap T2(s)|
+ *   checkNew:   |N1(v1) \ (M1 cup T1)| >= |N2(v2) \ (M2 cup T2)|
+ *   labels:     iterate N1(v1) cap M1(s) and compare L(...) pairs
+ *
+ * -- where M1/T1 are dynamic auxiliary sets (dense bitvectors) and
+ * N1(v1) are SetGraph neighborhoods. The pattern graph G2 is tiny, so
+ * its side of each rule is evaluated host-side, as in VF2 itself.
+ */
+
+#ifndef SISA_ALGORITHMS_SUBGRAPH_ISO_HPP
+#define SISA_ALGORITHMS_SUBGRAPH_ISO_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "algorithms/common.hpp"
+
+namespace sisa::algorithms {
+
+/** Result of a subgraph-isomorphism run. */
+struct SubgraphIsoResult
+{
+    std::uint64_t matches = 0; ///< Embeddings found (with cutoffs).
+};
+
+/**
+ * Count embeddings of @p pattern in the SetGraph's graph (induced
+ * isomorphism, classic VF2 semantics). When both graphs carry vertex
+ * (and optionally edge) labels, the Algorithm 7 label verification is
+ * applied.
+ *
+ * @param on_match Optional callback with the pattern->target mapping.
+ */
+SubgraphIsoResult subgraphIsomorphism(
+    SetGraph &sg, sim::SimContext &ctx, const Graph &pattern,
+    const std::function<void(const std::vector<VertexId> &)> &on_match =
+        nullptr);
+
+/** A star pattern: vertex 0 joined to @p leaves leaf vertices. */
+Graph starPattern(std::uint32_t leaves);
+
+/** A labeled star (center label + rotating leaf labels). */
+Graph labeledStarPattern(std::uint32_t leaves, std::uint32_t num_labels);
+
+/** A k-clique pattern. */
+Graph cliquePattern(std::uint32_t k);
+
+/** A simple path pattern with @p k vertices. */
+Graph pathPattern(std::uint32_t k);
+
+} // namespace sisa::algorithms
+
+#endif // SISA_ALGORITHMS_SUBGRAPH_ISO_HPP

@@ -1,0 +1,59 @@
+#include "algorithms/triangle_count.hpp"
+
+namespace sisa::algorithms {
+
+std::uint64_t
+triangleCount(OrientedSetGraph &osg, sim::SimContext &ctx,
+              core::SisaOp variant)
+{
+    SetGraph &sg = *osg.sets;
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
+        const auto v = static_cast<VertexId>(i);
+        for (VertexId w : osg.oriented.neighbors(v)) {
+            // The variant knob only matters for SA-SA pairs; the
+            // engine handles DB operands itself.
+            const std::uint64_t found =
+                eng.intersectCard(ctx, tid, sg.neighborhood(v),
+                                  sg.neighborhood(w), variant);
+            partial[tid] += found;
+            for (std::uint64_t t = 0; t < found; ++t) {
+                if (!ctx.countPattern(tid))
+                    break;
+            }
+            if (ctx.cutoffReached(tid))
+                break;
+        }
+    });
+
+    std::uint64_t total = 0;
+    for (std::uint64_t p : partial)
+        total += p;
+    return total;
+}
+
+std::uint64_t
+triangleCountNodeIterator(SetGraph &sg, sim::SimContext &ctx)
+{
+    SetEngine &eng = sg.engine();
+    const VertexId n = sg.numVertices();
+
+    std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
+        const auto v = static_cast<VertexId>(i);
+        for (VertexId w : sg.graph().neighbors(v)) {
+            partial[tid] += eng.intersectCard(
+                ctx, tid, sg.neighborhood(v), sg.neighborhood(w));
+        }
+    });
+
+    std::uint64_t total = 0;
+    for (std::uint64_t p : partial)
+        total += p;
+    return total / 6;
+}
+
+} // namespace sisa::algorithms

@@ -1,0 +1,116 @@
+#include "baselines/bk_baseline.hpp"
+
+#include <algorithm>
+
+#include "graph/degeneracy.hpp"
+
+namespace sisa::baselines {
+
+namespace {
+
+struct BkBaselineTask
+{
+    CsrView &csr;
+    sim::SimContext &ctx;
+    sim::ThreadId tid;
+    BkBaselineResult &result;
+    std::uint64_t clique_size;
+
+    /** Filter @p source to members adjacent to @p v (binary search). */
+    std::vector<VertexId>
+    filterAdjacent(const std::vector<VertexId> &source, VertexId v)
+    {
+        std::vector<VertexId> out;
+        out.reserve(source.size());
+        for (VertexId w : source) {
+            if (csr.hasEdgeBinary(ctx, tid, v, w))
+                out.push_back(w);
+        }
+        return out;
+    }
+
+    void
+    recurse(std::vector<VertexId> &p, std::vector<VertexId> &x)
+    {
+        if (ctx.cutoffReached(tid))
+            return;
+        if (p.empty() && x.empty()) {
+            ++result.cliqueCount;
+            result.maxCliqueSize =
+                std::max(result.maxCliqueSize, clique_size);
+            ctx.countPattern(tid);
+            return;
+        }
+        if (p.empty())
+            return;
+
+        // Pivot u maximizing |P cap N(u)| -- per-element adjacency
+        // probes, the traditional way.
+        VertexId pivot = graph::invalid_vertex;
+        std::uint64_t best = 0;
+        for (const auto *side : {&p, &x}) {
+            for (VertexId u : *side) {
+                std::uint64_t gain = 0;
+                for (VertexId w : p)
+                    gain += csr.hasEdgeBinary(ctx, tid, u, w);
+                if (pivot == graph::invalid_vertex || gain > best) {
+                    best = gain;
+                    pivot = u;
+                }
+            }
+        }
+
+        std::vector<VertexId> candidates;
+        for (VertexId v : p) {
+            if (!csr.hasEdgeBinary(ctx, tid, pivot, v))
+                candidates.push_back(v);
+        }
+
+        for (VertexId v : candidates) {
+            if (ctx.cutoffReached(tid))
+                break;
+            std::vector<VertexId> p_next = filterAdjacent(p, v);
+            std::vector<VertexId> x_next = filterAdjacent(x, v);
+            ++clique_size;
+            recurse(p_next, x_next);
+            --clique_size;
+            // P = P \ {v}; X = X cup {v} on sorted vectors.
+            p.erase(std::find(p.begin(), p.end(), v));
+            x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+            csr.cpu().stream(ctx, tid, 0x7000000, p.size() + x.size(),
+                             sizeof(VertexId));
+        }
+    }
+};
+
+} // namespace
+
+BkBaselineResult
+maximalCliquesBaseline(CsrView &csr, sim::SimContext &ctx)
+{
+    const Graph &graph = csr.graph();
+    const VertexId n = graph.numVertices();
+    const graph::DegeneracyResult deg =
+        graph::exactDegeneracyOrder(graph);
+
+    BkBaselineResult result;
+    for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+        const sim::Range range =
+            sim::blockRange(n, ctx.numThreads(), tid);
+        for (std::uint64_t i = range.begin; i != range.end; ++i) {
+            if (ctx.cutoffReached(tid))
+                break;
+            const VertexId v = deg.order[i];
+            std::vector<VertexId> p, x;
+            for (VertexId w : csr.neighbors(ctx, tid, v)) {
+                (deg.rank[w] > deg.rank[v] ? p : x).push_back(w);
+            }
+            csr.streamNeighbors(ctx, tid, v);
+            BkBaselineTask task{csr, ctx, tid, result, 1};
+            task.recurse(p, x);
+        }
+    }
+    return result;
+}
+
+} // namespace sisa::baselines

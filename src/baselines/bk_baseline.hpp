@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Hand-tuned (non-set-centric) Bron-Kerbosch with pivoting and the
+ * Eppstein degeneracy outer loop. Candidate filtering follows the
+ * classic implementation style: P and X are plain sorted vectors and
+ * every adjacency test is a binary search over the CSR run -- the
+ * dependent-access pattern whose memory stalls motivate the paper
+ * (Figure 1 uses exactly this baseline).
+ */
+
+#ifndef SISA_BASELINES_BK_BASELINE_HPP
+#define SISA_BASELINES_BK_BASELINE_HPP
+
+#include <cstdint>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/** Result mirror of algorithms::MaximalCliqueResult. */
+struct BkBaselineResult
+{
+    std::uint64_t cliqueCount = 0;
+    std::uint64_t maxCliqueSize = 0;
+};
+
+/** List maximal cliques on the undirected graph behind @p csr. */
+BkBaselineResult maximalCliquesBaseline(CsrView &csr,
+                                        sim::SimContext &ctx);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_BK_BASELINE_HPP

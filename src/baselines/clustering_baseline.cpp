@@ -1,0 +1,61 @@
+#include "baselines/clustering_baseline.hpp"
+
+#include <algorithm>
+
+namespace sisa::baselines {
+
+std::uint64_t
+jarvisPatrickBaseline(CsrView &csr, sim::SimContext &ctx,
+                      ClusterCoefficient coefficient, double tau)
+{
+    const Graph &graph = csr.graph();
+    const VertexId n = graph.numVertices();
+
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(graph.numEdges());
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v : graph.neighbors(u)) {
+            if (u < v)
+                edges.emplace_back(u, v);
+        }
+    }
+
+    std::uint64_t cluster_edges = 0;
+    for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+        const sim::Range range =
+            sim::blockRange(edges.size(), ctx.numThreads(), tid);
+        for (std::uint64_t i = range.begin; i != range.end; ++i) {
+            if (ctx.cutoffReached(tid))
+                break;
+            const auto [u, v] = edges[i];
+            const auto common = static_cast<double>(
+                csr.mergeCountCommon(ctx, tid, u, v));
+            const auto du = static_cast<double>(graph.degree(u));
+            const auto dv = static_cast<double>(graph.degree(v));
+            double similarity = 0.0;
+            switch (coefficient) {
+              case ClusterCoefficient::Jaccard: {
+                const double uni = du + dv - common;
+                similarity = uni == 0.0 ? 0.0 : common / uni;
+                break;
+              }
+              case ClusterCoefficient::Overlap: {
+                const double smaller = std::min(du, dv);
+                similarity = smaller == 0.0 ? 0.0 : common / smaller;
+                break;
+              }
+              case ClusterCoefficient::TotalNeighbors:
+                similarity = du + dv - common;
+                break;
+            }
+            csr.cpu().compute(ctx, tid, 6);
+            if (similarity > tau) {
+                ++cluster_edges;
+                ctx.countPattern(tid);
+            }
+        }
+    }
+    return cluster_edges;
+}
+
+} // namespace sisa::baselines

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Hand-tuned Jarvis-Patrick clustering (the paper's "very tuned
+ * _non-set baseline" that can outperform the set-based variant on
+ * simple kernels): for every edge, common neighbors are counted by a
+ * merge scan directly over the two CSR runs -- no auxiliary set
+ * creation, no union instruction, just two streams.
+ */
+
+#ifndef SISA_BASELINES_CLUSTERING_BASELINE_HPP
+#define SISA_BASELINES_CLUSTERING_BASELINE_HPP
+
+#include <cstdint>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/** Which coefficient thresholds edge similarity. */
+enum class ClusterCoefficient { Jaccard, Overlap, TotalNeighbors };
+
+/** Count edges whose endpoint similarity exceeds @p tau. */
+std::uint64_t jarvisPatrickBaseline(CsrView &csr, sim::SimContext &ctx,
+                                    ClusterCoefficient coefficient,
+                                    double tau);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_CLUSTERING_BASELINE_HPP

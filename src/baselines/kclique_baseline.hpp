@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hand-tuned k-clique listing in the style of Danisch et al.'s kClist
+ * (the paper's kcc baseline): degeneracy orientation plus recursive
+ * candidate filtering, where each level filters the candidate list by
+ * per-element adjacency probes into the CSR (binary search), the
+ * traditional non-set data access pattern. Also provides the non-set
+ * k-clique-star variant built on top of it.
+ */
+
+#ifndef SISA_BASELINES_KCLIQUE_BASELINE_HPP
+#define SISA_BASELINES_KCLIQUE_BASELINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/**
+ * Count k-cliques on the degeneracy-oriented graph behind @p csr
+ * (arcs must already be oriented).
+ */
+std::uint64_t kCliqueCountBaseline(CsrView &csr, sim::SimContext &ctx,
+                                   std::uint32_t k);
+
+/** List k-cliques through @p on_clique. */
+std::uint64_t kCliqueListBaseline(
+    CsrView &csr, sim::SimContext &ctx, std::uint32_t k,
+    const std::function<void(sim::ThreadId,
+                             const std::vector<VertexId> &)> &on_clique);
+
+/**
+ * Non-set k-clique-star listing (enhanced Jabbour baseline): list
+ * k-cliques, then grow each star by probing the adjacency of every
+ * candidate against all clique members.
+ *
+ * @param undirected A CsrView over the *undirected* graph (star
+ *                   extension needs full neighborhoods).
+ * @return number of distinct stars found.
+ */
+std::uint64_t kCliqueStarBaseline(CsrView &oriented, CsrView &undirected,
+                                  sim::SimContext &ctx, std::uint32_t k);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_KCLIQUE_BASELINE_HPP

@@ -1,0 +1,247 @@
+#include "baselines/paradigms.hpp"
+
+#include <algorithm>
+
+namespace sisa::baselines {
+
+namespace {
+
+/** Expansion-style recursive extension of a partial clique match. */
+struct ExpansionTask
+{
+    CsrView &csr;
+    sim::SimContext &ctx;
+    sim::ThreadId tid;
+    std::uint32_t k;
+    std::vector<VertexId> match;
+
+    std::uint64_t
+    extend()
+    {
+        if (ctx.cutoffReached(tid))
+            return 0;
+        if (match.size() == k) {
+            ctx.countPattern(tid);
+            return 1;
+        }
+        std::uint64_t found = 0;
+        // Candidates: neighbors of the last matched vertex that are
+        // numerically larger than every matched vertex (symmetry
+        // breaking); each candidate is verified against *all* matched
+        // vertices with explicit adjacency probes.
+        const VertexId last = match.back();
+        csr.streamNeighbors(ctx, tid, last);
+        for (VertexId cand : csr.neighbors(ctx, tid, last)) {
+            if (cand <= match.back())
+                continue;
+            bool ok = true;
+            for (VertexId m : match) {
+                if (!csr.hasEdgeBinary(ctx, tid, cand, m)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                match.push_back(cand);
+                found += extend();
+                match.pop_back();
+            }
+            if (ctx.cutoffReached(tid))
+                break;
+        }
+        return found;
+    }
+};
+
+} // namespace
+
+std::uint64_t
+expansionKCliqueCount(CsrView &csr, sim::SimContext &ctx, std::uint32_t k)
+{
+    const VertexId n = csr.graph().numVertices();
+    std::uint64_t total = 0;
+    for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+        const sim::Range range =
+            sim::blockRange(n, ctx.numThreads(), tid);
+        for (std::uint64_t i = range.begin; i != range.end; ++i) {
+            if (ctx.cutoffReached(tid))
+                break;
+            ExpansionTask task{
+                csr, ctx, tid, k, {static_cast<VertexId>(i)}};
+            total += task.extend();
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+expansionMaximalCliques(CsrView &csr, sim::SimContext &ctx,
+                        std::uint32_t max_size)
+{
+    const VertexId n = csr.graph().numVertices();
+    std::uint64_t maximal = 0;
+
+    // Peregrine-style emulation: for each clique size s, list
+    // s-cliques by expansion and test each for maximality by trying
+    // every neighbor of the first member as an extension.
+    for (std::uint32_t s = 1; s <= max_size; ++s) {
+        for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+            const sim::Range range =
+                sim::blockRange(n, ctx.numThreads(), tid);
+            for (std::uint64_t i = range.begin; i != range.end; ++i) {
+                if (ctx.cutoffReached(tid))
+                    break;
+                // List s-cliques rooted at i.
+                struct Lister
+                {
+                    CsrView &csr;
+                    sim::SimContext &ctx;
+                    sim::ThreadId tid;
+                    std::uint32_t s;
+                    std::uint64_t &maximal;
+                    std::vector<VertexId> match;
+
+                    void
+                    run()
+                    {
+                        if (ctx.cutoffReached(tid))
+                            return;
+                        if (match.size() == s) {
+                            // Every candidate tested consumes budget;
+                            // only maximal ones are results.
+                            const bool is_max = isMaximal();
+                            ctx.countPattern(tid);
+                            if (is_max)
+                                ++maximal;
+                            return;
+                        }
+                        const VertexId last = match.back();
+                        csr.streamNeighbors(ctx, tid, last);
+                        for (VertexId cand :
+                             csr.neighbors(ctx, tid, last)) {
+                            if (cand <= last)
+                                continue;
+                            bool ok = true;
+                            for (VertexId m : match) {
+                                if (!csr.hasEdgeBinary(ctx, tid, cand,
+                                                       m)) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if (ok) {
+                                match.push_back(cand);
+                                run();
+                                match.pop_back();
+                            }
+                            if (ctx.cutoffReached(tid))
+                                break;
+                        }
+                    }
+
+                    bool
+                    isMaximal()
+                    {
+                        // A clique is maximal iff no neighbor of its
+                        // first member extends it.
+                        for (VertexId cand :
+                             csr.neighbors(ctx, tid, match[0])) {
+                            if (std::find(match.begin(), match.end(),
+                                          cand) != match.end()) {
+                                continue;
+                            }
+                            bool extends = true;
+                            for (VertexId m : match) {
+                                if (!csr.hasEdgeBinary(ctx, tid, cand,
+                                                       m)) {
+                                    extends = false;
+                                    break;
+                                }
+                            }
+                            if (extends)
+                                return false;
+                        }
+                        return true;
+                    }
+                };
+                Lister lister{csr,     ctx,
+                              tid,     s,
+                              maximal, {static_cast<VertexId>(i)}};
+                lister.run();
+            }
+        }
+    }
+    return maximal;
+}
+
+std::uint64_t
+joinKCliqueCount(CsrView &csr, sim::SimContext &ctx, std::uint32_t k)
+{
+    const Graph &graph = csr.graph();
+    const VertexId n = graph.numVertices();
+
+    // R_2 = E as ordered tuples (u < v), materialized as a relation.
+    std::vector<std::vector<VertexId>> relation;
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v : graph.neighbors(u)) {
+            if (u < v)
+                relation.push_back({u, v});
+        }
+    }
+    // Charge the initial shuffle/materialization streams.
+    const mem::Addr table_base = 0x4000000;
+    csr.cpu().stream(ctx, 0, table_base, relation.size() * 2,
+                     sizeof(VertexId));
+
+    for (std::uint32_t level = 2; level < k; ++level) {
+        std::vector<std::vector<VertexId>> next;
+        bool cutoff_hit = false;
+        for (sim::ThreadId tid = 0;
+             tid < ctx.numThreads() && !cutoff_hit; ++tid) {
+            const sim::Range range =
+                sim::blockRange(relation.size(), ctx.numThreads(), tid);
+            for (std::uint64_t i = range.begin; i != range.end; ++i) {
+                if (ctx.cutoffReached(tid)) {
+                    cutoff_hit = true;
+                    break;
+                }
+                const auto &tuple = relation[i];
+                // Stream the tuple in, join with the edge table on
+                // the last attribute, verify all-pairs adjacency.
+                csr.cpu().stream(ctx, tid,
+                                 table_base + i * 64,
+                                 tuple.size(), sizeof(VertexId));
+                const VertexId last = tuple.back();
+                csr.streamNeighbors(ctx, tid, last);
+                for (VertexId cand : graph.neighbors(last)) {
+                    if (cand <= last)
+                        continue;
+                    bool ok = true;
+                    for (VertexId m : tuple) {
+                        if (!csr.hasEdgeBinary(ctx, tid, cand, m)) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if (ok) {
+                        std::vector<VertexId> extended(tuple);
+                        extended.push_back(cand);
+                        // Materialize the output tuple.
+                        csr.cpu().stream(ctx, tid,
+                                         table_base + 0x2000000 +
+                                             next.size() * 64,
+                                         extended.size(),
+                                         sizeof(VertexId));
+                        next.push_back(std::move(extended));
+                        if (level + 1 == k)
+                            ctx.countPattern(tid);
+                    }
+                }
+            }
+        }
+        relation = std::move(next);
+    }
+    return relation.size();
+}
+
+} // namespace sisa::baselines

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The two comparison paradigms of Section 9.2 ("Comparison to Other
+ * Paradigms"). The paper compares against the *fundamental paradigms*
+ * underlying graph-mining frameworks and accelerators, not against
+ * the frameworks' code:
+ *
+ *  - Neighborhood expansion (Peregrine / GRAMER): grow partial
+ *    matches one vertex at a time by walking the neighbors of the
+ *    last matched vertex and filtering each extension with explicit
+ *    pairwise adjacency checks. Programmability-first: no degeneracy
+ *    orientation, no intersections, heavy per-candidate probing.
+ *
+ *  - Relational joins (RStream / TrieJax): k-cliques as repeated
+ *    self-joins of the edge table, with every intermediate relation
+ *    materialized to memory and re-streamed -- the out-of-core
+ *    dataflow that makes RStream orders of magnitude slower.
+ *
+ * Both run on the CPU + cache model like every other baseline.
+ */
+
+#ifndef SISA_BASELINES_PARADIGMS_HPP
+#define SISA_BASELINES_PARADIGMS_HPP
+
+#include <cstdint>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/**
+ * Neighborhood-expansion k-clique counting on the *undirected* graph
+ * with canonicality filtering (extensions must be numerically larger
+ * than all matched vertices, mirroring Peregrine's symmetry breaking).
+ */
+std::uint64_t expansionKCliqueCount(CsrView &csr, sim::SimContext &ctx,
+                                    std::uint32_t k);
+
+/**
+ * Neighborhood-expansion maximal cliques: the paper notes Peregrine
+ * has no native maximal-clique support and must iterate over clique
+ * sizes, checking maximality per found clique; that emulation is
+ * reproduced here (hence the >1000x gap on mc). Every candidate
+ * clique *tested* counts toward the pattern cutoff (the engine wades
+ * through non-maximal candidates, which is exactly its handicap).
+ */
+std::uint64_t expansionMaximalCliques(CsrView &csr, sim::SimContext &ctx,
+                                      std::uint32_t max_size);
+
+/**
+ * Join-based k-clique counting: R_2 = E; R_{i+1} joins R_i with the
+ * edge table, materializing each intermediate relation.
+ */
+std::uint64_t joinKCliqueCount(CsrView &csr, sim::SimContext &ctx,
+                               std::uint32_t k);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_PARADIGMS_HPP

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Hand-tuned triangle counting (the GAP Benchmark Suite kernel the
+ * paper compares against): degeneracy-oriented node iterator with
+ * merge intersections directly over the CSR arrays -- no set
+ * machinery, maximal streaming locality.
+ */
+
+#ifndef SISA_BASELINES_TC_BASELINE_HPP
+#define SISA_BASELINES_TC_BASELINE_HPP
+
+#include <cstdint>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/**
+ * Count triangles on the oriented graph (arcs must already follow a
+ * total order, e.g. Graph::orientByRank of a degeneracy order).
+ */
+std::uint64_t triangleCountBaseline(CsrView &csr, sim::SimContext &ctx);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_TC_BASELINE_HPP

@@ -1,0 +1,218 @@
+#include "baselines/vf2_baseline.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::baselines {
+
+namespace {
+
+class Vf2Baseline
+{
+    // Synthetic regions for the baseline's host-side state arrays
+    // (below the CsrView arena, so they never alias the CSR).
+    static constexpr mem::Addr t1_flags_base = 0x6000000;
+    static constexpr mem::Addr t1_list_base = 0x6800000;
+    static constexpr mem::Addr label_base = 0x6c00000;
+
+  public:
+    Vf2Baseline(CsrView &csr, sim::SimContext &ctx, sim::ThreadId tid,
+                const Graph &pattern, std::uint64_t &matches)
+        : csr_(csr), ctx_(ctx), tid_(tid), pattern_(pattern),
+          matches_(matches), p_n_(pattern.numVertices()),
+          core1_(csr.graph().numVertices(), graph::invalid_vertex),
+          core2_(p_n_, graph::invalid_vertex),
+          inT1_(csr.graph().numVertices(), false), inT2_(p_n_, false),
+          labeled_(pattern.hasVertexLabels() &&
+                   csr.graph().hasVertexLabels())
+    {
+    }
+
+    void
+    searchFrom(VertexId root)
+    {
+        if (feasible(root, 0))
+            extend(root, 0);
+    }
+
+  private:
+    void
+    extend(VertexId v1, VertexId v2)
+    {
+        core1_[v1] = v2;
+        core2_[v2] = v1;
+        ++depth_;
+        const bool was_t1 = inT1_[v1];
+        const bool was_t2 = inT2_[v2];
+        inT1_[v1] = false;
+        inT2_[v2] = false;
+
+        std::vector<VertexId> t1_added, t2_added;
+        for (VertexId w1 : csr_.neighbors(ctx_, tid_, v1)) {
+            csr_.cpu().load(ctx_, tid_, t1_flags_base + w1,
+                            sim::AccessKind::Dependent);
+            if (core1_[w1] == graph::invalid_vertex && !inT1_[w1]) {
+                inT1_[w1] = true;
+                t1_added.push_back(w1);
+                t1List_.push_back(w1);
+            }
+        }
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            if (core2_[w2] == graph::invalid_vertex && !inT2_[w2]) {
+                inT2_[w2] = true;
+                t2_added.push_back(w2);
+            }
+        }
+
+        if (depth_ == p_n_) {
+            ++matches_;
+            ctx_.countPattern(tid_);
+        } else {
+            const VertexId next2 = nextPatternVertex();
+            if (inT2_[next2]) {
+                // Candidates: the T1 frontier list (lazy deletion),
+                // as classic VF2 implementations maintain it.
+                const std::size_t frontier_size = t1List_.size();
+                for (std::size_t c = 0; c < frontier_size; ++c) {
+                    if (ctx_.cutoffReached(tid_))
+                        break;
+                    const VertexId cand = t1List_[c];
+                    csr_.cpu().load(ctx_, tid_, t1_list_base + 4 * c,
+                                    sim::AccessKind::Sequential);
+                    if (!inT1_[cand] ||
+                        core1_[cand] != graph::invalid_vertex) {
+                        continue;
+                    }
+                    if (feasible(cand, next2))
+                        extend(cand, next2);
+                }
+            } else {
+                for (VertexId cand = 0;
+                     cand < csr_.graph().numVertices(); ++cand) {
+                    if (ctx_.cutoffReached(tid_))
+                        break;
+                    if (core1_[cand] != graph::invalid_vertex)
+                        continue;
+                    if (feasible(cand, next2))
+                        extend(cand, next2);
+                }
+            }
+        }
+
+        for (VertexId w1 : t1_added) {
+            inT1_[w1] = false;
+            t1List_.pop_back(); // t1_added is a suffix of t1List_.
+        }
+        for (VertexId w2 : t2_added)
+            inT2_[w2] = false;
+        inT1_[v1] = was_t1;
+        inT2_[v2] = was_t2;
+        --depth_;
+        core1_[v1] = graph::invalid_vertex;
+        core2_[v2] = graph::invalid_vertex;
+    }
+
+    VertexId
+    nextPatternVertex() const
+    {
+        for (VertexId v2 = 0; v2 < p_n_; ++v2) {
+            if (core2_[v2] == graph::invalid_vertex && inT2_[v2])
+                return v2;
+        }
+        for (VertexId v2 = 0; v2 < p_n_; ++v2) {
+            if (core2_[v2] == graph::invalid_vertex)
+                return v2;
+        }
+        sisa_panic("no unmapped pattern vertex");
+    }
+
+    bool
+    feasible(VertexId v1, VertexId v2)
+    {
+        if (labeled_) {
+            csr_.cpu().load(ctx_, tid_, label_base + v1,
+                            sim::AccessKind::Dependent);
+            if (pattern_.vertexLabel(v2) !=
+                csr_.graph().vertexLabel(v1)) {
+                return false;
+            }
+        }
+        // Rcore both directions with per-element probes.
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            const VertexId w1 = core2_[w2];
+            if (w1 != graph::invalid_vertex &&
+                !csr_.hasEdgeBinary(ctx_, tid_, v1, w1)) {
+                return false;
+            }
+        }
+        std::uint64_t t1_hits = 0, new1 = 0;
+        for (VertexId w1 : csr_.neighbors(ctx_, tid_, v1)) {
+            csr_.cpu().load(ctx_, tid_, t1_flags_base + w1,
+                            sim::AccessKind::Dependent);
+            if (core1_[w1] != graph::invalid_vertex) {
+                if (!pattern_.hasEdge(v2, core1_[w1]))
+                    return false;
+                if (labeled_ && pattern_.hasEdgeLabels() &&
+                    csr_.graph().hasEdgeLabels() &&
+                    csr_.graph().edgeLabel(v1, w1) !=
+                        pattern_.edgeLabel(v2, core1_[w1])) {
+                    return false;
+                }
+            } else if (inT1_[w1]) {
+                ++t1_hits;
+            } else {
+                ++new1;
+            }
+        }
+        std::uint64_t t2_hits = 0, new2 = 0;
+        for (VertexId w2 : pattern_.neighbors(v2)) {
+            if (core2_[w2] != graph::invalid_vertex)
+                continue;
+            if (inT2_[w2]) {
+                ++t2_hits;
+            } else {
+                ++new2;
+            }
+        }
+        return t1_hits >= t2_hits && new1 >= new2;
+    }
+
+    CsrView &csr_;
+    sim::SimContext &ctx_;
+    sim::ThreadId tid_;
+    const Graph &pattern_;
+    std::uint64_t &matches_;
+    VertexId p_n_;
+    std::uint32_t depth_ = 0;
+    std::vector<VertexId> core1_;
+    std::vector<VertexId> core2_;
+    std::vector<bool> inT1_;
+    std::vector<bool> inT2_;
+    std::vector<VertexId> t1List_; ///< Frontier list, lazy deletion.
+    bool labeled_;
+};
+
+} // namespace
+
+std::uint64_t
+subgraphIsoBaseline(CsrView &csr, sim::SimContext &ctx,
+                    const Graph &pattern)
+{
+    const VertexId n = csr.graph().numVertices();
+    std::uint64_t matches = 0;
+    for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+        const sim::Range range =
+            sim::blockRange(n, ctx.numThreads(), tid);
+        for (std::uint64_t i = range.begin; i != range.end; ++i) {
+            if (ctx.cutoffReached(tid))
+                break;
+            Vf2Baseline state(csr, ctx, tid, pattern, matches);
+            state.searchFrom(static_cast<VertexId>(i));
+        }
+    }
+    return matches;
+}
+
+} // namespace sisa::baselines

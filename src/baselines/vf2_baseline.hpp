@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hand-tuned (non-set) parallel VF2 (the paper's si baseline): the
+ * standard implementation with host-side flag arrays for the mapped
+ * and frontier states and per-element adjacency probes -- the
+ * feasibility rules walk N1(v1) element by element with dependent
+ * loads instead of issuing fused set-intersection cardinalities.
+ */
+
+#ifndef SISA_BASELINES_VF2_BASELINE_HPP
+#define SISA_BASELINES_VF2_BASELINE_HPP
+
+#include <cstdint>
+
+#include "baselines/csr_view.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::baselines {
+
+/** Count embeddings of @p pattern (induced, classic VF2 semantics). */
+std::uint64_t subgraphIsoBaseline(CsrView &csr, sim::SimContext &ctx,
+                                  const Graph &pattern);
+
+} // namespace sisa::baselines
+
+#endif // SISA_BASELINES_VF2_BASELINE_HPP

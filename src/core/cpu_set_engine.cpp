@@ -1,0 +1,442 @@
+#include "core/cpu_set_engine.hpp"
+
+#include <algorithm>
+
+#include "sets/operations.hpp"
+#include "support/bits.hpp"
+
+namespace sisa::core {
+
+using sets::OpWork;
+
+namespace {
+
+/**
+ * Software set-materialization overhead: allocator work plus result
+ * header/metadata initialization (~80 cycles is a lean malloc+init
+ * path on a modern core).
+ */
+constexpr mem::Cycles alloc_cycles = 80;
+
+} // namespace
+
+CpuSetEngine::CpuSetEngine(Element universe, const sim::CpuParams &params,
+                           std::uint32_t num_threads,
+                           double gallop_threshold)
+    : store_(universe), cpu_(params, num_threads),
+      gallopThreshold_(gallop_threshold)
+{
+}
+
+bool
+CpuSetEngine::wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const
+{
+    const std::uint64_t small = std::min(size_a, size_b);
+    const std::uint64_t big = std::max(size_a, size_b);
+    if (small == 0)
+        return true;
+    // Software implementations typically switch to galloping on a
+    // size-ratio heuristic; 32x is a common default.
+    const double threshold =
+        gallopThreshold_ > 0.0 ? gallopThreshold_ : 32.0;
+    return static_cast<double>(big) >=
+           threshold * static_cast<double>(small);
+}
+
+void
+CpuSetEngine::chargeStream(sim::SimContext &ctx, sim::ThreadId tid,
+                           mem::Addr base, std::uint64_t count,
+                           std::uint32_t elem_bytes)
+{
+    cpu_.stream(ctx, tid, base, count, elem_bytes);
+}
+
+void
+CpuSetEngine::chargeProbes(sim::SimContext &ctx, sim::ThreadId tid,
+                           mem::Addr base, std::uint64_t region_elems,
+                           std::uint64_t probes, sim::AccessKind kind)
+{
+    // Model probe loads over a bisecting address pattern (upper
+    // levels of a search tree stay cached).
+    std::uint64_t span = std::max<std::uint64_t>(region_elems, 2);
+    std::uint64_t pos = span / 2;
+    for (std::uint64_t p = 0; p < probes; ++p) {
+        cpu_.load(ctx, tid, base + pos * sizeof(Element), kind);
+        span = std::max<std::uint64_t>(span / 2, 1);
+        pos = (pos + span) % std::max<std::uint64_t>(region_elems, 1);
+        cpu_.elementWork(ctx, tid, 1);
+    }
+}
+
+void
+CpuSetEngine::chargeDbScan(sim::SimContext &ctx, sim::ThreadId tid,
+                           mem::Addr base)
+{
+    const std::uint64_t words =
+        support::ceilDiv(store_.universe(), 64);
+    chargeStream(ctx, tid, base, words, 8);
+}
+
+SetId
+CpuSetEngine::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                        SetId b, SisaOp variant)
+{
+    ctx.chargeBusy(tid, alloc_cycles); // Result-set materialization.
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+    const mem::Addr loc_a = store_.metadata(a).location;
+    const mem::Addr loc_b = store_.metadata(b).location;
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    // adopt() may grow the store and invalidate references into it:
+    // capture all sizes needed for charging by value first.
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        result = store_.adopt(
+            sets::intersectDbDb(store_.db(a), store_.db(b), work));
+        chargeDbScan(ctx, tid, loc_a);
+        chargeDbScan(ctx, tid, loc_b);
+        cpu_.compute(ctx, tid, support::ceilDiv(store_.universe(), 64));
+    } else if (a_dense != b_dense) {
+        const std::uint64_t array_size = a_dense ? card_b : card_a;
+        const mem::Addr arr_loc = a_dense ? loc_b : loc_a;
+        const mem::Addr bit_loc = a_dense ? loc_a : loc_b;
+        result = store_.adopt(sets::intersectSaDb(
+            a_dense ? store_.sa(b) : store_.sa(a),
+            a_dense ? store_.db(a) : store_.db(b), work));
+        chargeStream(ctx, tid, arr_loc, array_size);
+        chargeProbes(ctx, tid, bit_loc, store_.universe() / 8,
+                     array_size, sim::AccessKind::Sequential);
+    } else {
+        bool gallop;
+        switch (variant) {
+          case SisaOp::IntersectMerge: gallop = false; break;
+          case SisaOp::IntersectGallop: gallop = true; break;
+          default: gallop = wouldGallop(card_a, card_b); break;
+        }
+        if (gallop) {
+            result = store_.adopt(sets::intersectGallop(
+                store_.sa(a), store_.sa(b), work));
+            const bool a_small = card_a <= card_b;
+            chargeStream(ctx, tid, a_small ? loc_a : loc_b,
+                         std::min(card_a, card_b));
+            chargeProbes(ctx, tid, a_small ? loc_b : loc_a,
+                         std::max(card_a, card_b), work.probes);
+        } else {
+            result = store_.adopt(sets::intersectMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargeStream(ctx, tid, loc_a, card_a);
+            chargeStream(ctx, tid, loc_b, card_b);
+        }
+    }
+    return result;
+}
+
+SetId
+CpuSetEngine::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                       SetId b, SisaOp variant)
+{
+    ctx.chargeBusy(tid, alloc_cycles);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+    const mem::Addr loc_a = store_.metadata(a).location;
+    const mem::Addr loc_b = store_.metadata(b).location;
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        result = store_.adopt(
+            sets::unionDbDb(store_.db(a), store_.db(b), work));
+        chargeDbScan(ctx, tid, loc_a);
+        chargeDbScan(ctx, tid, loc_b);
+        cpu_.compute(ctx, tid, support::ceilDiv(store_.universe(), 64));
+    } else if (a_dense != b_dense) {
+        const std::uint64_t array_size = a_dense ? card_b : card_a;
+        const mem::Addr arr_loc = a_dense ? loc_b : loc_a;
+        const mem::Addr bit_loc = a_dense ? loc_a : loc_b;
+        result = store_.adopt(sets::unionSaDb(
+            a_dense ? store_.sa(b) : store_.sa(a),
+            a_dense ? store_.db(a) : store_.db(b), work));
+        chargeDbScan(ctx, tid, bit_loc); // Copy the bitvector.
+        chargeStream(ctx, tid, arr_loc, array_size);
+        chargeProbes(ctx, tid, bit_loc, store_.universe() / 8,
+                     array_size, sim::AccessKind::Sequential);
+    } else {
+        const bool gallop = variant == SisaOp::UnionGallop ||
+                            (variant == SisaOp::UnionAuto &&
+                             wouldGallop(card_a, card_b));
+        if (gallop) {
+            result = store_.adopt(sets::unionGallop(
+                store_.sa(a), store_.sa(b), work));
+            chargeStream(ctx, tid, loc_a, card_a);
+            chargeStream(ctx, tid, loc_b, card_b);
+            chargeProbes(ctx, tid, card_a <= card_b ? loc_b : loc_a,
+                         std::max(card_a, card_b), work.probes);
+        } else {
+            result = store_.adopt(sets::unionMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargeStream(ctx, tid, loc_a, card_a);
+            chargeStream(ctx, tid, loc_b, card_b);
+        }
+        // The output is written back to memory.
+        chargeStream(ctx, tid, store_.metadata(result).location,
+                     work.outputElements);
+    }
+    return result;
+}
+
+SetId
+CpuSetEngine::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                         SetId b, SisaOp variant)
+{
+    ctx.chargeBusy(tid, alloc_cycles);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+    const mem::Addr loc_a = store_.metadata(a).location;
+    const mem::Addr loc_b = store_.metadata(b).location;
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        result = store_.adopt(
+            sets::differenceDbDb(store_.db(a), store_.db(b), work));
+        chargeDbScan(ctx, tid, loc_a);
+        chargeDbScan(ctx, tid, loc_b);
+        cpu_.compute(ctx, tid, support::ceilDiv(store_.universe(), 64));
+    } else if (!a_dense && b_dense) {
+        result = store_.adopt(
+            sets::differenceSaDb(store_.sa(a), store_.db(b), work));
+        chargeStream(ctx, tid, loc_a, card_a);
+        chargeProbes(ctx, tid, loc_b, store_.universe() / 8, card_a,
+                     sim::AccessKind::Sequential);
+    } else if (a_dense && !b_dense) {
+        result = store_.adopt(
+            sets::differenceDbSa(store_.db(a), store_.sa(b), work));
+        chargeDbScan(ctx, tid, loc_a); // Copy.
+        chargeStream(ctx, tid, loc_b, card_b);
+        chargeProbes(ctx, tid, loc_a, store_.universe() / 8, card_b,
+                     sim::AccessKind::Sequential);
+    } else {
+        const bool gallop = variant == SisaOp::DifferenceGallop ||
+                            (variant == SisaOp::DifferenceAuto &&
+                             wouldGallop(card_a, card_b));
+        if (gallop) {
+            result = store_.adopt(sets::differenceGallop(
+                store_.sa(a), store_.sa(b), work));
+            chargeStream(ctx, tid, loc_a, card_a);
+            chargeProbes(ctx, tid, loc_b, card_b, work.probes);
+        } else {
+            result = store_.adopt(sets::differenceMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargeStream(ctx, tid, loc_a, card_a);
+            chargeStream(ctx, tid, loc_b, card_b);
+        }
+    }
+    return result;
+}
+
+std::uint64_t
+CpuSetEngine::intersectCard(sim::SimContext &ctx, sim::ThreadId tid,
+                            SetId a, SetId b, SisaOp variant)
+{
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+    const mem::Addr loc_a = store_.metadata(a).location;
+    const mem::Addr loc_b = store_.metadata(b).location;
+
+    OpWork work;
+    std::uint64_t card;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+
+    if (a_dense && b_dense) {
+        card = sets::intersectCardDbDb(store_.db(a), store_.db(b), work);
+        chargeDbScan(ctx, tid, loc_a);
+        chargeDbScan(ctx, tid, loc_b);
+        cpu_.compute(ctx, tid, support::ceilDiv(store_.universe(), 64));
+    } else if (a_dense != b_dense) {
+        const auto &array = a_dense ? store_.sa(b) : store_.sa(a);
+        const auto &bits = a_dense ? store_.db(a) : store_.db(b);
+        card = sets::intersectCardSaDb(array, bits, work);
+        chargeStream(ctx, tid, a_dense ? loc_b : loc_a, array.size());
+        chargeProbes(ctx, tid, a_dense ? loc_a : loc_b,
+                     store_.universe() / 8, array.size(),
+                     sim::AccessKind::Sequential);
+    } else {
+        const auto &sa = store_.sa(a);
+        const auto &sb = store_.sa(b);
+        bool gallop;
+        switch (variant) {
+          case SisaOp::IntersectMerge: gallop = false; break;
+          case SisaOp::IntersectGallop: gallop = true; break;
+          default: gallop = wouldGallop(sa.size(), sb.size()); break;
+        }
+        if (gallop) {
+            card = sets::intersectCardGallop(sa, sb, work);
+            const bool a_small = sa.size() <= sb.size();
+            chargeStream(ctx, tid, a_small ? loc_a : loc_b,
+                         std::min(sa.size(), sb.size()));
+            chargeProbes(ctx, tid, a_small ? loc_b : loc_a,
+                         std::max(sa.size(), sb.size()), work.probes);
+        } else {
+            card = sets::intersectCardMerge(sa, sb, work);
+            chargeStream(ctx, tid, loc_a, sa.size());
+            chargeStream(ctx, tid, loc_b, sb.size());
+        }
+    }
+    return card;
+}
+
+std::uint64_t
+CpuSetEngine::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                        SetId b)
+{
+    const std::uint64_t inter =
+        intersectCard(ctx, tid, a, b, SisaOp::IntersectAuto);
+    cpu_.compute(ctx, tid, 2);
+    return store_.cardinality(a) + store_.cardinality(b) - inter;
+}
+
+std::uint64_t
+CpuSetEngine::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    cpu_.load(ctx, tid, store_.metadataAddr(a),
+              sim::AccessKind::Dependent);
+    return store_.cardinality(a);
+}
+
+bool
+CpuSetEngine::member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                     Element x)
+{
+    const mem::Addr loc = store_.metadata(a).location;
+    if (store_.isDense(a)) {
+        cpu_.load(ctx, tid, loc + x / 8, sim::AccessKind::Dependent);
+        return store_.db(a).test(x);
+    }
+    const auto &sa = store_.sa(a);
+    const std::uint64_t probes =
+        sa.size() == 0 ? 1 : support::ceilLog2(sa.size()) + 1;
+    chargeProbes(ctx, tid, loc, sa.size(), probes);
+    return sa.contains(x);
+}
+
+void
+CpuSetEngine::insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                     Element x)
+{
+    const mem::Addr loc = store_.metadata(a).location;
+    if (store_.isDense(a)) {
+        cpu_.load(ctx, tid, loc + x / 8, sim::AccessKind::Dependent);
+    } else {
+        // Find the slot, then shift the tail.
+        const std::uint64_t size = store_.cardinality(a);
+        const std::uint64_t probes =
+            size == 0 ? 1 : support::ceilLog2(size) + 1;
+        chargeProbes(ctx, tid, loc, size, probes);
+        chargeStream(ctx, tid, loc, size / 2 + 1);
+    }
+    store_.insert(a, x);
+}
+
+void
+CpuSetEngine::remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                     Element x)
+{
+    const mem::Addr loc = store_.metadata(a).location;
+    if (store_.isDense(a)) {
+        cpu_.load(ctx, tid, loc + x / 8, sim::AccessKind::Dependent);
+    } else {
+        const std::uint64_t size = store_.cardinality(a);
+        const std::uint64_t probes =
+            size == 0 ? 1 : support::ceilLog2(size) + 1;
+        chargeProbes(ctx, tid, loc, size, probes);
+        chargeStream(ctx, tid, loc, size / 2 + 1);
+    }
+    store_.remove(a, x);
+}
+
+SetId
+CpuSetEngine::create(sim::SimContext &ctx, sim::ThreadId tid,
+                     std::vector<Element> elems, SetRepr repr)
+{
+    ctx.chargeBusy(tid, alloc_cycles);
+    const std::uint64_t count = elems.size();
+    const SetId id = store_.createFromSorted(std::move(elems), repr);
+    const mem::Addr loc = store_.metadata(id).location;
+    if (repr == SetRepr::DenseBitvector) {
+        chargeDbScan(ctx, tid, loc); // Zeroing pass.
+        chargeProbes(ctx, tid, loc, store_.universe() / 8, count);
+    } else {
+        chargeStream(ctx, tid, loc, count);
+    }
+    return id;
+}
+
+SetId
+CpuSetEngine::createEmpty(sim::SimContext &ctx, sim::ThreadId tid,
+                          SetRepr repr)
+{
+    return create(ctx, tid, {}, repr);
+}
+
+SetId
+CpuSetEngine::createFull(sim::SimContext &ctx, sim::ThreadId tid)
+{
+    const SetId id = store_.createFull();
+    chargeDbScan(ctx, tid, store_.metadata(id).location);
+    return id;
+}
+
+SetId
+CpuSetEngine::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    ctx.chargeBusy(tid, alloc_cycles);
+    const SetId id = store_.clone(a);
+    const mem::Addr loc = store_.metadata(a).location;
+    if (store_.isDense(a)) {
+        chargeDbScan(ctx, tid, loc);
+        chargeDbScan(ctx, tid, store_.metadata(id).location);
+    } else {
+        chargeStream(ctx, tid, loc, store_.cardinality(a));
+        chargeStream(ctx, tid, store_.metadata(id).location,
+                     store_.cardinality(a));
+    }
+    return id;
+}
+
+void
+CpuSetEngine::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    cpu_.compute(ctx, tid, 1);
+    store_.destroy(a);
+}
+
+std::vector<Element>
+CpuSetEngine::elements(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    const mem::Addr loc = store_.metadata(a).location;
+    if (store_.isDense(a)) {
+        chargeDbScan(ctx, tid, loc);
+    } else {
+        chargeStream(ctx, tid, loc, store_.cardinality(a));
+    }
+    return store_.elementsOf(a);
+}
+
+} // namespace sisa::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The execution interface of the set-centric programming model. A
+ * SetEngine executes set operations functionally against a SetStore
+ * while charging modeled cycles; the two implementations mirror the
+ * paper's evaluation bars:
+ *
+ *  - SisaEngine   ("_sisa"):      offloads to the SCU and the PIM
+ *                                 backends (Section 8);
+ *  - CpuSetEngine ("_set-based"): runs the same set algorithms in
+ *                                 software on the out-of-order CPU +
+ *                                 cache-hierarchy model (Section 9.1).
+ *
+ * Set-centric algorithm formulations are written once against this
+ * interface and evaluated under either cost model.
+ */
+
+#ifndef SISA_CORE_SET_ENGINE_HPP
+#define SISA_CORE_SET_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sisa/isa.hpp"
+#include "sisa/set_store.hpp"
+
+namespace sisa::core {
+
+using isa::SetId;
+using isa::SetStore;
+using isa::SisaOp;
+using sets::Element;
+using sets::SetRepr;
+
+/** Abstract executor of set operations with cycle accounting. */
+class SetEngine
+{
+  public:
+    virtual ~SetEngine() = default;
+
+    /** The store holding all live sets (functional ground truth). */
+    virtual SetStore &store() = 0;
+    virtual const SetStore &store() const = 0;
+
+    /** Short name for reports ("sisa" / "set-based"). */
+    virtual const char *name() const = 0;
+
+    // --- Binary set operations -------------------------------------------
+
+    virtual SetId intersect(sim::SimContext &ctx, sim::ThreadId tid,
+                            SetId a, SetId b,
+                            SisaOp variant = SisaOp::IntersectAuto) = 0;
+
+    virtual SetId setUnion(sim::SimContext &ctx, sim::ThreadId tid,
+                           SetId a, SetId b,
+                           SisaOp variant = SisaOp::UnionAuto) = 0;
+
+    virtual SetId difference(sim::SimContext &ctx, sim::ThreadId tid,
+                             SetId a, SetId b,
+                             SisaOp variant = SisaOp::DifferenceAuto) = 0;
+
+    virtual std::uint64_t
+    intersectCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                  SetId b, SisaOp variant = SisaOp::IntersectAuto) = 0;
+
+    virtual std::uint64_t unionCard(sim::SimContext &ctx,
+                                    sim::ThreadId tid, SetId a,
+                                    SetId b) = 0;
+
+    // --- Element operations -----------------------------------------------
+
+    virtual std::uint64_t cardinality(sim::SimContext &ctx,
+                                      sim::ThreadId tid, SetId a) = 0;
+
+    virtual bool member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                        Element x) = 0;
+
+    virtual void insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                        Element x) = 0;
+
+    virtual void remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                        Element x) = 0;
+
+    // --- Lifecycle ----------------------------------------------------------
+
+    virtual SetId create(sim::SimContext &ctx, sim::ThreadId tid,
+                         std::vector<Element> elems, SetRepr repr) = 0;
+
+    virtual SetId createEmpty(sim::SimContext &ctx, sim::ThreadId tid,
+                              SetRepr repr) = 0;
+
+    virtual SetId createFull(sim::SimContext &ctx, sim::ThreadId tid) = 0;
+
+    virtual SetId clone(sim::SimContext &ctx, sim::ThreadId tid,
+                        SetId a) = 0;
+
+    virtual void destroy(sim::SimContext &ctx, sim::ThreadId tid,
+                         SetId a) = 0;
+
+    // --- Iteration -----------------------------------------------------------
+
+    /**
+     * Materialize the sorted elements of @p a on the host core,
+     * charging a streaming read of the set.
+     */
+    virtual std::vector<Element> elements(sim::SimContext &ctx,
+                                          sim::ThreadId tid, SetId a) = 0;
+};
+
+} // namespace sisa::core
+
+#endif // SISA_CORE_SET_ENGINE_HPP

@@ -1,0 +1,30 @@
+#include "core/set_graph.hpp"
+
+#include "support/logging.hpp"
+
+namespace sisa::core {
+
+SetGraph::SetGraph(const graph::Graph &graph, SetEngine &engine,
+                   const sets::ReprPolicy &policy)
+    : graph_(&graph), engine_(&engine)
+{
+    const VertexId n = graph.numVertices();
+    sisa_assert(engine.store().universe() >= n,
+                "engine universe smaller than the vertex count");
+
+    std::vector<std::uint32_t> degrees(n);
+    for (VertexId v = 0; v < n; ++v)
+        degrees[v] = graph.degree(v);
+    assignment_ = sets::chooseRepresentations(
+        degrees, engine.store().universe(), policy);
+
+    nbr_.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = graph.neighbors(v);
+        std::vector<sets::Element> elems(nbrs.begin(), nbrs.end());
+        nbr_.push_back(engine.store().createFromSorted(
+            std::move(elems), assignment_.repr[v]));
+    }
+}
+
+} // namespace sisa::core

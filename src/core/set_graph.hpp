@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The predefined SISA graph structure (Section 6.1): when a SISA
+ * program starts, every vertex neighborhood is materialized as a set
+ * in the engine's store -- small neighborhoods as sparse arrays and
+ * the largest ones as dense bitvectors, chosen by the representation
+ * policy (bias parameter t + storage budget). Works for undirected
+ * graphs (N(v)) and degeneracy-oriented graphs (N+(v)) alike.
+ */
+
+#ifndef SISA_CORE_SET_GRAPH_HPP
+#define SISA_CORE_SET_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/set_engine.hpp"
+#include "graph/graph.hpp"
+#include "sets/representation.hpp"
+
+namespace sisa::core {
+
+using graph::VertexId;
+
+/** Graph whose neighborhoods live as SISA sets. */
+class SetGraph
+{
+  public:
+    /**
+     * Build neighborhood sets for @p graph inside @p engine's store.
+     * Construction models the program-load phase and is not charged
+     * to the simulated run time.
+     *
+     * @param policy Representation selection (Section 6.1).
+     */
+    SetGraph(const graph::Graph &graph, SetEngine &engine,
+             const sets::ReprPolicy &policy = {});
+
+    const graph::Graph &graph() const { return *graph_; }
+    SetEngine &engine() { return *engine_; }
+
+    VertexId numVertices() const { return graph_->numVertices(); }
+    std::uint64_t numEdges() const { return graph_->numEdges(); }
+    std::uint32_t degree(VertexId v) const { return graph_->degree(v); }
+
+    /** The set id of N(v) (or N+(v) for an oriented graph). */
+    SetId neighborhood(VertexId v) const { return nbr_[v]; }
+
+    /** Representation chosen for N(v). */
+    sets::SetRepr representation(VertexId v) const
+    {
+        return assignment_.repr[v];
+    }
+
+    /** Outcome of the representation selection (storage accounting). */
+    const sets::ReprAssignment &assignment() const { return assignment_; }
+
+  private:
+    const graph::Graph *graph_;
+    SetEngine *engine_;
+    sets::ReprAssignment assignment_;
+    std::vector<SetId> nbr_;
+};
+
+} // namespace sisa::core
+
+#endif // SISA_CORE_SET_GRAPH_HPP

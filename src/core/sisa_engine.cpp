@@ -1,0 +1,121 @@
+#include "core/sisa_engine.hpp"
+
+#include "mem/pim.hpp"
+
+namespace sisa::core {
+
+SisaEngine::SisaEngine(Element universe, const isa::ScuConfig &config,
+                       std::uint32_t num_threads)
+    : store_(universe), scu_(store_, config, num_threads)
+{
+}
+
+SetId
+SisaEngine::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                      SetId b, SisaOp variant)
+{
+    return scu_.intersect(ctx, tid, a, b, variant);
+}
+
+SetId
+SisaEngine::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                     SetId b, SisaOp variant)
+{
+    return scu_.setUnion(ctx, tid, a, b, variant);
+}
+
+SetId
+SisaEngine::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                       SetId b, SisaOp variant)
+{
+    return scu_.difference(ctx, tid, a, b, variant);
+}
+
+std::uint64_t
+SisaEngine::intersectCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                          SetId b, SisaOp variant)
+{
+    return scu_.intersectCard(ctx, tid, a, b, variant);
+}
+
+std::uint64_t
+SisaEngine::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                      SetId b)
+{
+    return scu_.unionCard(ctx, tid, a, b);
+}
+
+std::uint64_t
+SisaEngine::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    return scu_.cardinality(ctx, tid, a);
+}
+
+bool
+SisaEngine::member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                   Element x)
+{
+    return scu_.member(ctx, tid, a, x);
+}
+
+void
+SisaEngine::insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                   Element x)
+{
+    scu_.insert(ctx, tid, a, x);
+}
+
+void
+SisaEngine::remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                   Element x)
+{
+    scu_.remove(ctx, tid, a, x);
+}
+
+SetId
+SisaEngine::create(sim::SimContext &ctx, sim::ThreadId tid,
+                   std::vector<Element> elems, SetRepr repr)
+{
+    return scu_.create(ctx, tid, std::move(elems), repr);
+}
+
+SetId
+SisaEngine::createEmpty(sim::SimContext &ctx, sim::ThreadId tid,
+                        SetRepr repr)
+{
+    return scu_.createEmpty(ctx, tid, repr);
+}
+
+SetId
+SisaEngine::createFull(sim::SimContext &ctx, sim::ThreadId tid)
+{
+    return scu_.createFull(ctx, tid);
+}
+
+SetId
+SisaEngine::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    return scu_.clone(ctx, tid, a);
+}
+
+void
+SisaEngine::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    scu_.destroy(ctx, tid, a);
+}
+
+std::vector<Element>
+SisaEngine::elements(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    // The host core streams the set out of the vault at b_M.
+    const std::uint64_t card = store_.cardinality(a);
+    ctx.chargeBusy(tid, mem::pnmStreamCycles(scu_.config().pim,
+                                             store_.isDense(a)
+                                                 ? store_.universe() /
+                                                       sets::word_bits
+                                                 : card,
+                                             sizeof(Element)));
+    return store_.elementsOf(a);
+}
+
+} // namespace sisa::core

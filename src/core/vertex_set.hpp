@@ -1,0 +1,170 @@
+/**
+ * @file
+ * RAII handle over a SISA set: the `VertexSet` abstraction of the thin
+ * software layer (Section 6.3.3 / Figure 3). A VertexSet owns (or
+ * borrows) a logical set id; owned sets issue a delete instruction on
+ * destruction. Operator methods map 1:1 onto SISA instructions, and
+ * `for (Vertex v : set.elements())` provides the iterator interface
+ * the paper sketches.
+ */
+
+#ifndef SISA_CORE_VERTEX_SET_HPP
+#define SISA_CORE_VERTEX_SET_HPP
+
+#include <utility>
+#include <vector>
+
+#include "core/set_engine.hpp"
+
+namespace sisa::core {
+
+/** Move-only owning/borrowing view of a SISA set. */
+class VertexSet
+{
+  public:
+    /** An empty, unbound handle. */
+    VertexSet() = default;
+
+    /** Take ownership of @p id (deleted on destruction). */
+    static VertexSet
+    adopt(SetEngine &engine, sim::SimContext &ctx, sim::ThreadId tid,
+          SetId id)
+    {
+        return VertexSet(engine, ctx, tid, id, /*owned=*/true);
+    }
+
+    /** Borrow @p id without owning it (e.g., a graph neighborhood). */
+    static VertexSet
+    borrow(SetEngine &engine, sim::SimContext &ctx, sim::ThreadId tid,
+           SetId id)
+    {
+        return VertexSet(engine, ctx, tid, id, /*owned=*/false);
+    }
+
+    VertexSet(const VertexSet &) = delete;
+    VertexSet &operator=(const VertexSet &) = delete;
+
+    VertexSet(VertexSet &&other) noexcept { *this = std::move(other); }
+
+    VertexSet &
+    operator=(VertexSet &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            engine_ = other.engine_;
+            ctx_ = other.ctx_;
+            tid_ = other.tid_;
+            id_ = other.id_;
+            owned_ = other.owned_;
+            other.owned_ = false;
+            other.id_ = isa::invalid_set;
+        }
+        return *this;
+    }
+
+    ~VertexSet() { release(); }
+
+    bool bound() const { return id_ != isa::invalid_set; }
+    SetId id() const { return id_; }
+
+    /** |A| -- a SISA cardinality instruction. */
+    std::uint64_t
+    size() const
+    {
+        return engine_->cardinality(*ctx_, tid_, id_);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** x in A. */
+    bool
+    contains(Element x) const
+    {
+        return engine_->member(*ctx_, tid_, id_, x);
+    }
+
+    /** A cup {x} in place. */
+    void add(Element x) { engine_->insert(*ctx_, tid_, id_, x); }
+
+    /** A setminus {x} in place. */
+    void discard(Element x) { engine_->remove(*ctx_, tid_, id_, x); }
+
+    /** A cap B -> new owned set. */
+    VertexSet
+    intersect(const VertexSet &other) const
+    {
+        return adopt(*engine_, *ctx_, tid_,
+                     engine_->intersect(*ctx_, tid_, id_, other.id_));
+    }
+
+    /** A cup B -> new owned set. */
+    VertexSet
+    unite(const VertexSet &other) const
+    {
+        return adopt(*engine_, *ctx_, tid_,
+                     engine_->setUnion(*ctx_, tid_, id_, other.id_));
+    }
+
+    /** A setminus B -> new owned set. */
+    VertexSet
+    subtract(const VertexSet &other) const
+    {
+        return adopt(*engine_, *ctx_, tid_,
+                     engine_->difference(*ctx_, tid_, id_, other.id_));
+    }
+
+    /** |A cap B| (fused; no intermediate set). */
+    std::uint64_t
+    intersectCount(const VertexSet &other) const
+    {
+        return engine_->intersectCard(*ctx_, tid_, id_, other.id_);
+    }
+
+    /** |A cup B| (fused). */
+    std::uint64_t
+    unionCount(const VertexSet &other) const
+    {
+        return engine_->unionCard(*ctx_, tid_, id_, other.id_);
+    }
+
+    /** Duplicate into a new owned set. */
+    VertexSet
+    clone() const
+    {
+        return adopt(*engine_, *ctx_, tid_,
+                     engine_->clone(*ctx_, tid_, id_));
+    }
+
+    /** Sorted member snapshot for range-for iteration. */
+    std::vector<Element>
+    elements() const
+    {
+        return engine_->elements(*ctx_, tid_, id_);
+    }
+
+  private:
+    VertexSet(SetEngine &engine, sim::SimContext &ctx, sim::ThreadId tid,
+              SetId id, bool owned)
+        : engine_(&engine), ctx_(&ctx), tid_(tid), id_(id), owned_(owned)
+    {
+    }
+
+    void
+    release()
+    {
+        if (owned_ && id_ != isa::invalid_set)
+            engine_->destroy(*ctx_, tid_, id_);
+        owned_ = false;
+        id_ = isa::invalid_set;
+    }
+
+    SetEngine *engine_ = nullptr;
+    sim::SimContext *ctx_ = nullptr;
+    sim::ThreadId tid_ = 0;
+    SetId id_ = isa::invalid_set;
+    bool owned_ = false;
+};
+
+} // namespace sisa::core
+
+#endif // SISA_CORE_VERTEX_SET_HPP

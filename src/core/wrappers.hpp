@@ -1,0 +1,117 @@
+/**
+ * @file
+ * C-style wrappers that map directly to SISA instructions (Figure 3,
+ * "SISA software (simple thin wrappers)"). These are the functions the
+ * paper lists as the vendor-facing syntax:
+ *
+ *   SetId  create(Vertex* vs, size_t count);
+ *   void   delete(SetId); SetId clone(SetId);
+ *   void   insert(SetId, Vertex, ...); void remove(SetId, Vertex, ...);
+ *   SetId  union(SetId, SetId, ...); SetId intersect(SetId, SetId, ...);
+ *   SetId  difference(SetId, SetId, ...);
+ *   size_t intersect_count(SetId, SetId, ...);
+ *   size_t cardinality(SetId, ...); bool is_member(SetId, Vertex, ...);
+ *
+ * Each wrapper forwards to the engine (SCU or CPU model), which is
+ * also where the instruction-variant parameters land.
+ */
+
+#ifndef SISA_CORE_WRAPPERS_HPP
+#define SISA_CORE_WRAPPERS_HPP
+
+#include <cstddef>
+
+#include "core/set_engine.hpp"
+
+namespace sisa::core {
+
+inline SetId
+sisa_create(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+            const Element *vs, std::size_t count,
+            SetRepr repr = SetRepr::SparseArray)
+{
+    return eng.create(ctx, tid, std::vector<Element>(vs, vs + count),
+                      repr);
+}
+
+inline void
+sisa_delete(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+            SetId id)
+{
+    eng.destroy(ctx, tid, id);
+}
+
+inline SetId
+sisa_clone(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+           SetId id)
+{
+    return eng.clone(ctx, tid, id);
+}
+
+inline void
+sisa_insert(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+            SetId id, Element v)
+{
+    eng.insert(ctx, tid, id, v);
+}
+
+inline void
+sisa_remove(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+            SetId id, Element v)
+{
+    eng.remove(ctx, tid, id, v);
+}
+
+inline SetId
+sisa_union(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+           SetId a, SetId b, SisaOp variant = SisaOp::UnionAuto)
+{
+    return eng.setUnion(ctx, tid, a, b, variant);
+}
+
+inline SetId
+sisa_intersect(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+               SetId a, SetId b, SisaOp variant = SisaOp::IntersectAuto)
+{
+    return eng.intersect(ctx, tid, a, b, variant);
+}
+
+inline SetId
+sisa_difference(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+                SetId a, SetId b,
+                SisaOp variant = SisaOp::DifferenceAuto)
+{
+    return eng.difference(ctx, tid, a, b, variant);
+}
+
+inline std::size_t
+sisa_intersect_count(SetEngine &eng, sim::SimContext &ctx,
+                     sim::ThreadId tid, SetId a, SetId b)
+{
+    return eng.intersectCard(ctx, tid, a, b);
+}
+
+inline std::size_t
+sisa_union_count(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+                 SetId a, SetId b)
+{
+    return eng.unionCard(ctx, tid, a, b);
+}
+
+inline std::size_t
+sisa_cardinality(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+                 SetId id)
+{
+    return eng.cardinality(ctx, tid, id);
+}
+
+inline bool
+sisa_is_member(SetEngine &eng, sim::SimContext &ctx, sim::ThreadId tid,
+               SetId id, Element v)
+{
+    return eng.member(ctx, tid, id, v);
+}
+
+} // namespace sisa::core
+
+#endif // SISA_CORE_WRAPPERS_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic analogues of the Table 7 evaluation datasets. The
+ * evaluation machine is offline, so each Network Repository graph is
+ * re-created with the same (n, m) (large graphs are scaled down; see
+ * `scaleNote`) and, crucially, the same degree-distribution regime the
+ * paper's analysis keys on (Section 9.2 and Figure 7a):
+ *
+ *  - HeavyTail: bio-/bn-/econ- style graphs whose largest hubs connect
+ *    to 15-50% of all vertices and that contain dense clusters /
+ *    cliques (generated as Chung-Lu + hubs + planted cliques).
+ *  - DenseUniform: the tiny, extremely dense interaction/dimacs graphs
+ *    (ant colonies, c500-9), generated as dense Erdos-Renyi.
+ *  - Moderate: interaction graphs with mild skew.
+ *  - LightTail: social / scientific-computing graphs without large
+ *    cliques or very dense clusters (soc-orkut, sc-pwtk analogues),
+ *    where the paper observes muted SISA-PUM benefits.
+ */
+
+#ifndef SISA_GRAPH_DATASET_REGISTRY_HPP
+#define SISA_GRAPH_DATASET_REGISTRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sisa::graph {
+
+/** Degree-distribution regime of a synthesized dataset. */
+enum class TailProfile { HeavyTail, DenseUniform, Moderate, LightTail };
+
+/** Description of one registry dataset. */
+struct DatasetSpec
+{
+    std::string name;        ///< Paper dataset name (e.g. "bio-SC-GT").
+    std::string family;      ///< bio / bn / int / econ / soc / sc / ...
+    VertexId paperVertices;  ///< n reported in Table 7.
+    std::uint64_t paperEdges;///< m reported in Table 7.
+    VertexId vertices;       ///< n we synthesize (== paper for small).
+    std::uint64_t edges;     ///< m we synthesize.
+    TailProfile profile;     ///< Structural regime (see above).
+    bool large;              ///< Belongs to the Fig. 8 "large" suite.
+    std::string scaleNote;   ///< Non-empty when scaled down.
+};
+
+/** The 20 small/medium graphs used in the Figure 6 main result. */
+const std::vector<DatasetSpec> &fig6Suite();
+
+/** The four graphs of the Figure 1 motivation study. */
+const std::vector<DatasetSpec> &fig1Suite();
+
+/** The large graphs of Figure 8 (scaled; see scaleNote). */
+const std::vector<DatasetSpec> &largeSuite();
+
+/** All registry entries. */
+std::vector<DatasetSpec> allDatasets();
+
+/** Find a spec by name (fatal when unknown). */
+const DatasetSpec &findDataset(const std::string &name);
+
+/**
+ * Synthesize the graph for @p spec. Deterministic: the seed is derived
+ * from the dataset name, so every run and every binary sees the same
+ * graph.
+ */
+Graph makeDataset(const DatasetSpec &spec);
+
+/** Convenience overload by dataset name. */
+Graph makeDataset(const std::string &name);
+
+} // namespace sisa::graph
+
+#endif // SISA_GRAPH_DATASET_REGISTRY_HPP

@@ -1,0 +1,324 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace sisa::graph {
+
+namespace {
+
+using support::Xoshiro256;
+
+/** Walker alias table for O(1) weighted vertex sampling. */
+class AliasTable
+{
+  public:
+    explicit AliasTable(const std::vector<double> &weights)
+        : prob_(weights.size()), alias_(weights.size())
+    {
+        const std::size_t n = weights.size();
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        sisa_assert(total > 0.0, "alias table needs positive total weight");
+
+        std::vector<double> scaled(n);
+        for (std::size_t i = 0; i < n; ++i)
+            scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+        std::vector<std::uint32_t> small, large;
+        for (std::size_t i = 0; i < n; ++i) {
+            (scaled[i] < 1.0 ? small : large)
+                .push_back(static_cast<std::uint32_t>(i));
+        }
+        while (!small.empty() && !large.empty()) {
+            const std::uint32_t s = small.back();
+            const std::uint32_t l = large.back();
+            small.pop_back();
+            prob_[s] = scaled[s];
+            alias_[s] = l;
+            scaled[l] = scaled[l] + scaled[s] - 1.0;
+            if (scaled[l] < 1.0) {
+                large.pop_back();
+                small.push_back(l);
+            }
+        }
+        for (std::uint32_t s : small) {
+            prob_[s] = 1.0;
+            alias_[s] = s;
+        }
+        for (std::uint32_t l : large) {
+            prob_[l] = 1.0;
+            alias_[l] = l;
+        }
+    }
+
+    std::uint32_t
+    sample(Xoshiro256 &rng) const
+    {
+        const auto slot = static_cast<std::uint32_t>(
+            rng.nextBounded(prob_.size()));
+        return rng.nextDouble() < prob_[slot] ? slot : alias_[slot];
+    }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace
+
+Graph
+erdosRenyi(VertexId n, std::uint64_t m, std::uint64_t seed)
+{
+    sisa_assert(n >= 2, "erdosRenyi needs n >= 2");
+    const std::uint64_t max_edges =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    if (m > max_edges)
+        sisa_fatal("erdosRenyi: m=", m, " exceeds n(n-1)/2=", max_edges);
+
+    Xoshiro256 rng(seed);
+    GraphBuilder builder(n);
+    // Oversample to survive duplicate collapses, then trim in build();
+    // for the sparse graphs we target the overshoot is tiny.
+    std::uint64_t added = 0;
+    std::uint64_t attempts = 0;
+    const std::uint64_t attempt_limit = 40 * m + 1000;
+    std::vector<std::pair<VertexId, VertexId>> seen;
+    while (added < m && attempts < attempt_limit) {
+        ++attempts;
+        auto u = static_cast<VertexId>(rng.nextBounded(n));
+        auto v = static_cast<VertexId>(rng.nextBounded(n));
+        if (u == v)
+            continue;
+        if (u > v)
+            std::swap(u, v);
+        seen.emplace_back(u, v);
+        ++added;
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    // Top up after dedup so the edge count is exact where possible.
+    while (seen.size() < m && attempts < attempt_limit) {
+        ++attempts;
+        auto u = static_cast<VertexId>(rng.nextBounded(n));
+        auto v = static_cast<VertexId>(rng.nextBounded(n));
+        if (u == v)
+            continue;
+        if (u > v)
+            std::swap(u, v);
+        auto it = std::lower_bound(seen.begin(), seen.end(),
+                                   std::make_pair(u, v));
+        if (it == seen.end() || *it != std::make_pair(u, v))
+            seen.insert(it, {u, v});
+    }
+    for (auto [u, v] : seen)
+        builder.addEdge(u, v);
+    return builder.build();
+}
+
+Graph
+complete(VertexId n)
+{
+    GraphBuilder builder(n);
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v = u + 1; v < n; ++v)
+            builder.addEdge(u, v);
+    }
+    return builder.build();
+}
+
+Graph
+star(VertexId n)
+{
+    sisa_assert(n >= 2, "star needs n >= 2");
+    GraphBuilder builder(n);
+    for (VertexId v = 1; v < n; ++v)
+        builder.addEdge(0, v);
+    return builder.build();
+}
+
+Graph
+path(VertexId n)
+{
+    GraphBuilder builder(n);
+    for (VertexId v = 0; v + 1 < n; ++v)
+        builder.addEdge(v, v + 1);
+    return builder.build();
+}
+
+Graph
+cycle(VertexId n)
+{
+    sisa_assert(n >= 3, "cycle needs n >= 3");
+    GraphBuilder builder(n);
+    for (VertexId v = 0; v < n; ++v)
+        builder.addEdge(v, (v + 1) % n);
+    return builder.build();
+}
+
+Graph
+rmat(const RmatParams &params, std::uint64_t seed)
+{
+    const VertexId n = VertexId{1} << params.scale;
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(params.edgeFactor) * n;
+    const double d = 1.0 - params.a - params.b - params.c;
+    sisa_assert(d > 0.0, "RMAT probabilities must sum below 1");
+
+    Xoshiro256 rng(seed);
+    GraphBuilder builder(n);
+    for (std::uint64_t e = 0; e < m; ++e) {
+        VertexId u = 0, v = 0;
+        for (std::uint32_t bit = 0; bit < params.scale; ++bit) {
+            const double r = rng.nextDouble();
+            std::uint32_t quadrant;
+            if (r < params.a) {
+                quadrant = 0;
+            } else if (r < params.a + params.b) {
+                quadrant = 1;
+            } else if (r < params.a + params.b + params.c) {
+                quadrant = 2;
+            } else {
+                quadrant = 3;
+            }
+            u = (u << 1) | (quadrant >> 1);
+            v = (v << 1) | (quadrant & 1);
+        }
+        if (u != v)
+            builder.addEdge(u, v);
+    }
+    return builder.build();
+}
+
+Graph
+chungLu(const ChungLuParams &params, std::uint64_t seed)
+{
+    const VertexId n = params.n;
+    sisa_assert(n >= 2, "chungLu needs n >= 2");
+    sisa_assert(params.exponent > 1.0, "chungLu needs exponent > 1");
+
+    // Power-law weights: w_i = (i+1)^{-1/(gamma-1)}, the standard
+    // Chung-Lu construction for a degree exponent of gamma.
+    std::vector<double> weights(n);
+    const double beta = 1.0 / (params.exponent - 1.0);
+    for (VertexId i = 0; i < n; ++i)
+        weights[i] = std::pow(static_cast<double>(i + 1), -beta);
+
+    if (params.hubs > 0) {
+        // Boost the first `hubs` weights so their expected degree is
+        // about hubDegreeFraction * n: expected degree of i is
+        // 2m * w_i / W, so set w_i = f*n/(2m) * W_rest approximately.
+        double base_total = 0.0;
+        for (double w : weights)
+            base_total += w;
+        const double target =
+            params.hubDegreeFraction * static_cast<double>(n);
+        const double hub_weight =
+            target * base_total /
+            std::max<double>(1.0, 2.0 * static_cast<double>(params.m) -
+                                      target *
+                                      static_cast<double>(params.hubs));
+        for (VertexId i = 0; i < params.hubs && i < n; ++i)
+            weights[i] = std::max(weights[i], hub_weight);
+    }
+
+    if (params.maxDegreeFraction > 0.0) {
+        // Clamp weights so no expected degree exceeds the cap:
+        // E[deg(i)] = 2m * w_i / W. Two passes converge well enough.
+        for (int pass = 0; pass < 2; ++pass) {
+            double total = 0.0;
+            for (double w : weights)
+                total += w;
+            const double cap = params.maxDegreeFraction *
+                               static_cast<double>(n) * total /
+                               (2.0 * static_cast<double>(params.m));
+            for (double &w : weights)
+                w = std::min(w, cap);
+        }
+    }
+
+    AliasTable alias(weights);
+    Xoshiro256 rng(seed);
+    GraphBuilder builder(n);
+    // Draw endpoint pairs until m *unique* edges exist (duplicates
+    // concentrate on hub pairs, so heavy-tailed targets need the
+    // uniqueness bookkeeping to land near m).
+    std::unordered_set<std::uint64_t> unique;
+    unique.reserve(params.m * 2);
+    const std::uint64_t attempt_limit = 30 * params.m + 1000;
+    std::uint64_t attempts = 0;
+    while (unique.size() < params.m && attempts < attempt_limit) {
+        ++attempts;
+        VertexId u = alias.sample(rng);
+        VertexId v = alias.sample(rng);
+        if (u == v)
+            continue;
+        if (u > v)
+            std::swap(u, v);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(u) << 32) | v;
+        if (unique.insert(key).second)
+            builder.addEdge(u, v);
+    }
+    return builder.build();
+}
+
+Graph
+plantCliques(const Graph &base, const PlantedCliqueParams &params,
+             std::uint64_t seed)
+{
+    sisa_assert(params.minSize >= 2 && params.maxSize >= params.minSize,
+                "invalid planted-clique size range");
+    const VertexId n = base.numVertices();
+    Xoshiro256 rng(seed);
+
+    GraphBuilder builder(n);
+    for (VertexId u = 0; u < n; ++u) {
+        for (VertexId v : base.neighbors(u)) {
+            if (u < v)
+                builder.addEdge(u, v);
+        }
+    }
+    const std::uint32_t span = params.maxSize - params.minSize + 1;
+    for (std::uint32_t g = 0; g < params.count; ++g) {
+        const std::uint32_t size =
+            params.minSize + static_cast<std::uint32_t>(
+                                 rng.nextBounded(span));
+        std::vector<VertexId> members;
+        members.reserve(size);
+        while (members.size() < size) {
+            const auto v = static_cast<VertexId>(rng.nextBounded(n));
+            if (std::find(members.begin(), members.end(), v) ==
+                members.end()) {
+                members.push_back(v);
+            }
+        }
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t j = i + 1; j < members.size(); ++j) {
+                if (params.density >= 1.0 ||
+                    rng.nextDouble() < params.density) {
+                    builder.addEdge(members[i], members[j]);
+                }
+            }
+        }
+    }
+    return builder.build();
+}
+
+std::vector<Label>
+randomVertexLabels(VertexId n, std::uint32_t num_labels, std::uint64_t seed)
+{
+    sisa_assert(num_labels >= 1, "need at least one label");
+    Xoshiro256 rng(seed);
+    std::vector<Label> labels(n);
+    for (VertexId v = 0; v < n; ++v)
+        labels[v] = static_cast<Label>(rng.nextBounded(num_labels));
+    return labels;
+}
+
+} // namespace sisa::graph

@@ -1,0 +1,65 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace sisa::graph {
+
+Graph
+readEdgeList(std::istream &in)
+{
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    VertexId max_vertex = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t u, v;
+        if (!(ls >> u >> v))
+            sisa_fatal("malformed edge-list line: '", line, "'");
+        edges.emplace_back(static_cast<VertexId>(u),
+                           static_cast<VertexId>(v));
+        max_vertex = std::max({max_vertex, static_cast<VertexId>(u),
+                               static_cast<VertexId>(v)});
+    }
+    GraphBuilder builder(edges.empty() ? 0 : max_vertex + 1);
+    for (auto [u, v] : edges)
+        builder.addEdge(u, v);
+    return builder.build();
+}
+
+Graph
+readEdgeListFile(const std::string &file_path)
+{
+    std::ifstream in(file_path);
+    if (!in)
+        sisa_fatal("cannot open graph file '", file_path, "'");
+    return readEdgeList(in);
+}
+
+void
+writeEdgeList(const Graph &graph, std::ostream &out)
+{
+    for (VertexId u = 0; u < graph.numVertices(); ++u) {
+        for (VertexId v : graph.neighbors(u)) {
+            if (graph.directed() || u < v)
+                out << u << ' ' << v << '\n';
+        }
+    }
+}
+
+void
+writeEdgeListFile(const Graph &graph, const std::string &file_path)
+{
+    std::ofstream out(file_path);
+    if (!out)
+        sisa_fatal("cannot write graph file '", file_path, "'");
+    writeEdgeList(graph, out);
+}
+
+} // namespace sisa::graph

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Plain-text edge-list I/O. The format is the de-facto standard of
+ * graph repositories: one "u v" pair per line, '#' or '%' comments,
+ * 0- or 1-based ids auto-detected from an optional header.
+ */
+
+#ifndef SISA_GRAPH_IO_HPP
+#define SISA_GRAPH_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sisa::graph {
+
+/** Read an undirected edge list from @p in. Vertex count is inferred. */
+Graph readEdgeList(std::istream &in);
+
+/** Read an undirected edge list from the file at @p file_path. */
+Graph readEdgeListFile(const std::string &file_path);
+
+/** Write "u v" lines (each undirected edge once, u < v). */
+void writeEdgeList(const Graph &graph, std::ostream &out);
+
+/** Write an edge list to the file at @p file_path. */
+void writeEdgeListFile(const Graph &graph, const std::string &file_path);
+
+} // namespace sisa::graph
+
+#endif // SISA_GRAPH_IO_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic address space for the memory-trace models. The cache
+ * hierarchy is driven with synthetic virtual addresses rather than
+ * host pointers so simulations are bit-reproducible across runs
+ * (host ASLR would otherwise change cache-set mappings). Each logical
+ * array (CSR offsets, adjacency, auxiliary buffers, ...) is allocated
+ * a page-aligned region.
+ */
+
+#ifndef SISA_MEM_ADDRESS_SPACE_HPP
+#define SISA_MEM_ADDRESS_SPACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sisa::mem {
+
+/** Synthetic virtual address. */
+using Addr = std::uint64_t;
+
+/** A named, page-aligned synthetic allocation. */
+struct Region
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    /** Address of element @p index with @p elem_bytes-wide elements. */
+    Addr
+    elem(std::uint64_t index, std::uint32_t elem_bytes) const
+    {
+        return base + index * elem_bytes;
+    }
+};
+
+/** Bump allocator over a synthetic virtual address space. */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+
+    /** Allocate @p bytes (page aligned) under @p name. */
+    Region allocate(const std::string &name, std::uint64_t bytes);
+
+    /** Total bytes allocated so far. */
+    std::uint64_t allocated() const { return next_ - base_; }
+
+  private:
+    static constexpr Addr base_ = 0x10000000ULL;
+    static constexpr std::uint64_t page_ = 4096;
+    Addr next_ = base_;
+    std::vector<Region> regions_;
+};
+
+} // namespace sisa::mem
+
+#endif // SISA_MEM_ADDRESS_SPACE_HPP

@@ -1,0 +1,107 @@
+#include "mem/cache.hpp"
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::mem {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    sisa_assert(support::isPowerOfTwo(config.lineBytes),
+                "cache line size must be a power of two");
+    const std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    sisa_assert(lines % config.associativity == 0,
+                "cache size / line size must be divisible by assoc");
+    numSets_ = static_cast<std::uint32_t>(lines / config.associativity);
+    sisa_assert(numSets_ >= 1, "cache must have at least one set");
+    lines_.resize(lines);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / config_.lineBytes) % numSets_;
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr / config_.lineBytes / numSets_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++tick_;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * config_.associativity];
+
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * config_.associativity];
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               std::shared_ptr<Cache> shared_l3)
+    : config_(config), l1_(config.l1), l2_(config.l2),
+      l3_(shared_l3 ? std::move(shared_l3)
+                    : std::make_shared<Cache>(config.l3)),
+      dtlb_(config.dtlb)
+{
+}
+
+Cycles
+CacheHierarchy::loadLatency(Addr addr)
+{
+    Cycles latency = dtlb_.access(addr) ? 0 : config_.tlbMissPenalty;
+    latency += config_.l1.hitLatency;
+    if (l1_.access(addr))
+        return latency;
+    latency += config_.l2.hitLatency;
+    if (l2_.access(addr))
+        return latency;
+    latency += config_.l3.hitLatency;
+    if (l3_->access(addr))
+        return latency;
+    ++dramAccesses_;
+    return latency + config_.dramLatency;
+}
+
+} // namespace sisa::mem

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Set-associative cache hierarchy with LRU replacement, plus a TLB,
+ * modeling the out-of-order CPU platform the paper evaluates non-SISA
+ * code on (Section 9.1: 32KB L1I/D, 256KB L2, shared 8MB L3, 64-entry
+ * D-TLB, 512-entry S-TLB). The hierarchy is driven by synthetic
+ * addresses (see address_space.hpp) and returns access latencies in
+ * cycles; the CPU core model (src/sim) layers MLP overlap and
+ * bandwidth contention on top.
+ */
+
+#ifndef SISA_MEM_CACHE_HPP
+#define SISA_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/pim.hpp"
+
+namespace sisa::mem {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t associativity = 8;
+    std::uint32_t lineBytes = 64;
+    Cycles hitLatency = 4;
+};
+
+/** One set-associative LRU cache (or TLB when lineBytes = pageBytes). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Look up @p addr; inserts on miss. @return true on hit. */
+    bool access(Addr addr);
+
+    /** Probe without modifying state. */
+    bool contains(Addr addr) const;
+
+    /** Drop all contents. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ x associativity, row-major.
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Configuration of the full per-core hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1{32 * 1024, 8, 64, 4};
+    CacheConfig l2{256 * 1024, 8, 64, 12};
+    CacheConfig l3{8 * 1024 * 1024, 16, 64, 38}; ///< Shared across cores.
+    CacheConfig dtlb{64 * 4096, 4, 4096, 0};     ///< 64 x 4KB pages.
+    Cycles tlbMissPenalty = 30;
+    Cycles dramLatency = 100; ///< l_M.
+};
+
+/**
+ * Private L1 + L2 per core with a shared L3 and a private D-TLB.
+ * access() returns the latency of one load in cycles.
+ */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param config Geometry; the L3 is shared via @p shared_l3 when
+     *               non-null (all cores must pass the same object).
+     */
+    CacheHierarchy(const HierarchyConfig &config,
+                   std::shared_ptr<Cache> shared_l3 = nullptr);
+
+    /** Latency of a single load of @p addr (line granularity). */
+    Cycles loadLatency(Addr addr);
+
+    /** True iff the line holding @p addr hits in L1 (no state change). */
+    bool inL1(Addr addr) const { return l1_.contains(addr); }
+
+    std::uint64_t dramAccesses() const { return dramAccesses_; }
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return *l3_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1_;
+    Cache l2_;
+    std::shared_ptr<Cache> l3_;
+    Cache dtlb_;
+    std::uint64_t dramAccesses_ = 0;
+};
+
+} // namespace sisa::mem
+
+#endif // SISA_MEM_CACHE_HPP

@@ -1,0 +1,54 @@
+#include "mem/pim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bits.hpp"
+
+namespace sisa::mem {
+
+Cycles
+pumBulkCycles(const PimParams &params, std::uint64_t n_bits)
+{
+    const std::uint64_t bits_per_step =
+        params.rowBits * params.parallelRows;
+    const std::uint64_t steps =
+        std::max<std::uint64_t>(1, support::ceilDiv(n_bits, bits_per_step));
+    return params.dramLatency + params.inSituLatency * steps;
+}
+
+Cycles
+pnmStreamCycles(const PimParams &params, std::uint64_t max_elems,
+                std::uint32_t elem_bytes)
+{
+    const double bandwidth = std::min(params.memBandwidth,
+                                      params.interconnectBandwidth);
+    const double bytes =
+        static_cast<double>(max_elems) * static_cast<double>(elem_bytes);
+    return params.dramLatency +
+           static_cast<Cycles>(std::ceil(bytes / bandwidth));
+}
+
+Cycles
+pnmRandomCycles(const PimParams &params, std::uint64_t probes)
+{
+    return params.dramLatency * probes;
+}
+
+Cycles
+pnmIndependentRandomCycles(const PimParams &params, std::uint64_t probes)
+{
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(params.dramLatency * probes) /
+                  params.pnmRandomMlp));
+}
+
+std::uint64_t
+predictedGallopProbes(std::uint64_t min_size, std::uint64_t max_size)
+{
+    if (min_size == 0 || max_size == 0)
+        return 0;
+    return min_size * (support::ceilLog2(max_size) + 1);
+}
+
+} // namespace sisa::mem

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Processing-in-memory timing models (Sections 8.1, 8.3, 9.1).
+ *
+ * SISA-PUM is modeled after Ambit: bulk bitwise AND/OR/NOT computed
+ * in-situ over DRAM rows (via RowClone copies to the designated
+ * compute rows), with run time l_M + l_I * ceil(n / (q * R)) -- the
+ * formula the paper's simulation uses, where q rows per bank process
+ * in parallel and R is the row size in bits.
+ *
+ * SISA-PNM is modeled after Tesseract-style logic-layer cores in 3D
+ * DRAM: streaming work is bounded by min(b_M, b_L) bandwidth and
+ * random accesses pay the DRAM latency l_M each (Section 8.3's
+ * performance models, reproduced verbatim).
+ */
+
+#ifndef SISA_MEM_PIM_HPP
+#define SISA_MEM_PIM_HPP
+
+#include <cstdint>
+
+namespace sisa::mem {
+
+/** Cycle count type: all timing is in CPU-clock cycles. */
+using Cycles = std::uint64_t;
+
+/**
+ * Parameters of the PIM platform (Table 2 symbols; defaults follow
+ * Section 9.1: Tesseract-style PNM, Ambit-style PUM, 8KB rows).
+ */
+struct PimParams
+{
+    /** R: DRAM row size in bits (8 KB rows, Section 9.1). */
+    std::uint64_t rowBits = 8ull * 1024 * 8;
+    /** q: rows processable in parallel (subarray-level parallelism). */
+    std::uint32_t parallelRows = 64;
+    /**
+     * l_M: DRAM access latency in cycles *as seen by the PIM units*.
+     * Logic-layer cores reach their local vault through TSVs without
+     * the off-chip SerDes hop a host access pays, so the in-stack
+     * latency is well below the host's ~100 cycles (Tesseract/HMC
+     * characterizations put it near half).
+     */
+    Cycles dramLatency = 60;
+    /** l_I: latency of one in-situ bulk bitwise step in cycles. */
+    Cycles inSituLatency = 250;
+    /** b_M: per-vault DRAM bandwidth in bytes/cycle (16 GB/s @2GHz). */
+    double memBandwidth = 8.0;
+    /** b_L: inter-core/vault interconnect bandwidth in bytes/cycle. */
+    double interconnectBandwidth = 8.0;
+    /** Total vault count (16 cubes x 32 vaults, Section 9.1). */
+    std::uint32_t vaults = 512;
+    /**
+     * Overlap factor for *independent* random accesses on a PNM core
+     * (bit probes of a bitvector): simple list prefetching hides part
+     * of l_M, Tesseract-style. Dependent accesses (binary-search
+     * probes) cannot overlap and always pay the full latency.
+     */
+    double pnmRandomMlp = 4.0;
+    /** Fixed SCU decode/dispatch delay per SISA instruction. */
+    Cycles scuDelay = 4;
+    /** Latency of an SMB (SCU metadata cache) hit. */
+    Cycles smbHitLatency = 1;
+};
+
+/**
+ * SISA-PUM: cycles for one bulk bitwise operation over @p n_bits wide
+ * bitvectors: l_M + l_I * ceil(n / (q * R)).
+ */
+Cycles pumBulkCycles(const PimParams &params, std::uint64_t n_bits);
+
+/**
+ * SISA-PNM streaming model (Section 8.3): l_M + W * max(|A|, |B|) /
+ * min(b_M, b_L). @p max_elems is max(|A|, |B|); @p elem_bytes is the
+ * word size W in bytes.
+ */
+Cycles pnmStreamCycles(const PimParams &params, std::uint64_t max_elems,
+                       std::uint32_t elem_bytes);
+
+/**
+ * SISA-PNM random-access model (Section 8.3): count the performed
+ * random accesses and multiply by the memory access latency.
+ */
+Cycles pnmRandomCycles(const PimParams &params, std::uint64_t probes);
+
+/**
+ * Random accesses that are *independent* of one another (e.g. bit
+ * probes for each element of a sparse array): the PNM core overlaps
+ * them by pnmRandomMlp.
+ */
+Cycles pnmIndependentRandomCycles(const PimParams &params,
+                                  std::uint64_t probes);
+
+/**
+ * Predicted galloping probe count, min * ceil(log2(max)), used by the
+ * SCU to choose between merge and galloping *before* executing.
+ */
+std::uint64_t predictedGallopProbes(std::uint64_t min_size,
+                                    std::uint64_t max_size);
+
+} // namespace sisa::mem
+
+#endif // SISA_MEM_PIM_HPP

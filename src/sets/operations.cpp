@@ -1,0 +1,345 @@
+#include "sets/operations.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::sets {
+
+namespace {
+
+/**
+ * Binary search for @p target in [lo, hi) of @p elems, counting each
+ * probe as one random access in @p work. Returns the lower bound.
+ */
+std::uint64_t
+probedLowerBound(std::span<const Element> elems, std::uint64_t lo,
+                 std::uint64_t hi, Element target, OpWork &work)
+{
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        ++work.probes;
+        if (elems[mid] < target) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+} // namespace
+
+SortedArraySet
+intersectMerge(const SortedArraySet &a, const SortedArraySet &b,
+               OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+intersectGallop(const SortedArraySet &a, const SortedArraySet &b,
+                OpWork &work)
+{
+    const SortedArraySet &smaller = a.size() <= b.size() ? a : b;
+    const SortedArraySet &larger = a.size() <= b.size() ? b : a;
+
+    std::vector<Element> out;
+    out.reserve(smaller.size());
+    std::uint64_t lo = 0;
+    for (Element e : smaller) {
+        ++work.streamedElements;
+        lo = probedLowerBound(larger.elements(), lo, larger.size(), e,
+                              work);
+        if (lo < larger.size() && larger[lo] == e) {
+            out.push_back(e);
+            ++lo;
+        }
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+intersectSaDb(const SortedArraySet &a, const DenseBitset &b, OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(std::min<std::uint64_t>(a.size(), b.size()));
+    for (Element e : a) {
+        ++work.streamedElements;
+        ++work.probes;
+        if (b.test(e))
+            out.push_back(e);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+DenseBitset
+intersectDbDb(const DenseBitset &a, const DenseBitset &b, OpWork &work)
+{
+    DenseBitset out = a;
+    out.andWith(b);
+    work.bitvectorWords += a.numWords();
+    work.outputElements += out.size();
+    return out;
+}
+
+std::uint64_t
+intersectCardMerge(const SortedArraySet &a, const SortedArraySet &b,
+                   OpWork &work)
+{
+    std::uint64_t count = 0;
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+intersectCardGallop(const SortedArraySet &a, const SortedArraySet &b,
+                    OpWork &work)
+{
+    const SortedArraySet &smaller = a.size() <= b.size() ? a : b;
+    const SortedArraySet &larger = a.size() <= b.size() ? b : a;
+
+    std::uint64_t count = 0;
+    std::uint64_t lo = 0;
+    for (Element e : smaller) {
+        ++work.streamedElements;
+        lo = probedLowerBound(larger.elements(), lo, larger.size(), e,
+                              work);
+        if (lo < larger.size() && larger[lo] == e) {
+            ++count;
+            ++lo;
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+intersectCardSaDb(const SortedArraySet &a, const DenseBitset &b,
+                  OpWork &work)
+{
+    std::uint64_t count = 0;
+    for (Element e : a) {
+        ++work.streamedElements;
+        ++work.probes;
+        count += b.test(e);
+    }
+    return count;
+}
+
+std::uint64_t
+intersectCardDbDb(const DenseBitset &a, const DenseBitset &b, OpWork &work)
+{
+    sisa_assert(a.universe() == b.universe(), "universe mismatch");
+    std::uint64_t count = 0;
+    const auto wa = a.words();
+    const auto wb = b.words();
+    for (std::size_t i = 0; i < wa.size(); ++i)
+        count += support::popcount(wa[i] & wb[i]);
+    work.bitvectorWords += wa.size();
+    return count;
+}
+
+SortedArraySet
+unionMerge(const SortedArraySet &a, const SortedArraySet &b, OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size() + b.size());
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            out.push_back(a[i++]);
+        } else if (b[j] < a[i]) {
+            out.push_back(b[j++]);
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i) {
+        ++work.streamedElements;
+        out.push_back(a[i]);
+    }
+    for (; j < b.size(); ++j) {
+        ++work.streamedElements;
+        out.push_back(b[j]);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+unionGallop(const SortedArraySet &a, const SortedArraySet &b, OpWork &work)
+{
+    const SortedArraySet &smaller = a.size() <= b.size() ? a : b;
+    const SortedArraySet &larger = a.size() <= b.size() ? b : a;
+
+    std::vector<Element> out;
+    out.reserve(smaller.size() + larger.size());
+    std::uint64_t copied = 0; // Position within `larger`.
+    for (Element e : smaller) {
+        ++work.streamedElements;
+        const std::uint64_t pos = probedLowerBound(
+            larger.elements(), copied, larger.size(), e, work);
+        for (; copied < pos; ++copied) {
+            ++work.streamedElements;
+            out.push_back(larger[copied]);
+        }
+        if (copied < larger.size() && larger[copied] == e)
+            ++copied; // Element present in both; emit once.
+        out.push_back(e);
+    }
+    for (; copied < larger.size(); ++copied) {
+        ++work.streamedElements;
+        out.push_back(larger[copied]);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+DenseBitset
+unionSaDb(const SortedArraySet &a, const DenseBitset &b, OpWork &work)
+{
+    DenseBitset out = b;
+    for (Element e : a) {
+        ++work.streamedElements;
+        ++work.probes;
+        out.set(e);
+    }
+    work.bitvectorWords += b.numWords(); // The copy of B.
+    work.outputElements += out.size();
+    return out;
+}
+
+DenseBitset
+unionDbDb(const DenseBitset &a, const DenseBitset &b, OpWork &work)
+{
+    DenseBitset out = a;
+    out.orWith(b);
+    work.bitvectorWords += a.numWords();
+    work.outputElements += out.size();
+    return out;
+}
+
+SortedArraySet
+differenceMerge(const SortedArraySet &a, const SortedArraySet &b,
+                OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size());
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            out.push_back(a[i++]);
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i) {
+        ++work.streamedElements;
+        out.push_back(a[i]);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+differenceGallop(const SortedArraySet &a, const SortedArraySet &b,
+                 OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size());
+    for (Element e : a) {
+        ++work.streamedElements;
+        const std::uint64_t pos =
+            probedLowerBound(b.elements(), 0, b.size(), e, work);
+        if (pos >= b.size() || b[pos] != e)
+            out.push_back(e);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+differenceSaDb(const SortedArraySet &a, const DenseBitset &b, OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size());
+    for (Element e : a) {
+        ++work.streamedElements;
+        ++work.probes;
+        if (!b.test(e))
+            out.push_back(e);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+DenseBitset
+differenceDbSa(const DenseBitset &a, const SortedArraySet &b, OpWork &work)
+{
+    DenseBitset out = a;
+    for (Element e : b) {
+        ++work.streamedElements;
+        ++work.probes;
+        out.clear(e);
+    }
+    work.bitvectorWords += a.numWords(); // The copy of A.
+    work.outputElements += out.size();
+    return out;
+}
+
+DenseBitset
+differenceDbDb(const DenseBitset &a, const DenseBitset &b, OpWork &work)
+{
+    DenseBitset out = a;
+    out.andNotWith(b);
+    work.bitvectorWords += a.numWords();
+    work.outputElements += out.size();
+    return out;
+}
+
+std::uint64_t
+unionCardMerge(const SortedArraySet &a, const SortedArraySet &b,
+               OpWork &work)
+{
+    return a.size() + b.size() - intersectCardMerge(a, b, work);
+}
+
+} // namespace sisa::sets

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The set algorithms behind every SISA instruction variant of Table 5
+ * (Section 6.2): merge and galloping intersection / union /
+ * difference over sorted sparse arrays, SA-vs-DB probing, and bulk
+ * bitwise DB-vs-DB operations, plus the fused cardinality-only
+ * variants that avoid materializing intermediate results
+ * (Section 6.2.3). Every routine reports an OpWork record with the
+ * exact amount of streaming and random-access work it performed; the
+ * SCU performance models (Section 8.3) and the Table 6 complexity
+ * validation consume these counters.
+ */
+
+#ifndef SISA_SETS_OPERATIONS_HPP
+#define SISA_SETS_OPERATIONS_HPP
+
+#include <cstdint>
+
+#include "sets/dense_bitset.hpp"
+#include "sets/sorted_array.hpp"
+
+namespace sisa::sets {
+
+/**
+ * Work performed by one set operation, split by access pattern. The
+ * split mirrors the "Main form of data transfer" column of Table 5:
+ * streamed elements map to sequential-bandwidth cost, probes map to
+ * random-access latency cost, and words map to in-situ row operations.
+ */
+struct OpWork
+{
+    std::uint64_t streamedElements = 0; ///< Elements read sequentially.
+    std::uint64_t probes = 0;           ///< Random accesses (search/bit).
+    std::uint64_t bitvectorWords = 0;   ///< 64-bit words processed.
+    std::uint64_t outputElements = 0;   ///< Elements written out.
+
+    OpWork &
+    operator+=(const OpWork &other)
+    {
+        streamedElements += other.streamedElements;
+        probes += other.probes;
+        bitvectorWords += other.bitvectorWords;
+        outputElements += other.outputElements;
+        return *this;
+    }
+};
+
+// --- Intersection (Section 6.2.1) ---------------------------------------
+
+/** Merge intersection of sorted SAs; O(|A| + |B|). Table 5 op 0x0. */
+SortedArraySet intersectMerge(const SortedArraySet &a,
+                              const SortedArraySet &b, OpWork &work);
+
+/**
+ * Galloping intersection: scan the smaller set, binary-search the
+ * larger; O(min log max). Table 5 op 0x1.
+ */
+SortedArraySet intersectGallop(const SortedArraySet &a,
+                               const SortedArraySet &b, OpWork &work);
+
+/** SA-vs-DB intersection: probe each array element; O(|A|). Op 0x3. */
+SortedArraySet intersectSaDb(const SortedArraySet &a, const DenseBitset &b,
+                             OpWork &work);
+
+/** DB-vs-DB intersection: bulk bitwise AND; O(n / q R). Op 0x4. */
+DenseBitset intersectDbDb(const DenseBitset &a, const DenseBitset &b,
+                          OpWork &work);
+
+// --- Fused cardinalities (Section 6.2.3) --------------------------------
+
+/** |A cap B| by merging without materializing the result. */
+std::uint64_t intersectCardMerge(const SortedArraySet &a,
+                                 const SortedArraySet &b, OpWork &work);
+
+/** |A cap B| by galloping without materializing the result. */
+std::uint64_t intersectCardGallop(const SortedArraySet &a,
+                                  const SortedArraySet &b, OpWork &work);
+
+/** |A cap B| for SA vs DB. */
+std::uint64_t intersectCardSaDb(const SortedArraySet &a,
+                                const DenseBitset &b, OpWork &work);
+
+/** |A cap B| for DB vs DB (popcount of the AND). */
+std::uint64_t intersectCardDbDb(const DenseBitset &a, const DenseBitset &b,
+                                OpWork &work);
+
+// --- Union (Section 6.2.2) ----------------------------------------------
+
+/** Merge union of sorted SAs; O(|A| + |B|). */
+SortedArraySet unionMerge(const SortedArraySet &a, const SortedArraySet &b,
+                          OpWork &work);
+
+/**
+ * Galloping union: stream the smaller set, locating insertion points
+ * in the larger by binary search; O(|B| + |A| log |B|) with |A| the
+ * smaller set.
+ */
+SortedArraySet unionGallop(const SortedArraySet &a, const SortedArraySet &b,
+                           OpWork &work);
+
+/** SA-vs-DB union: copy the DB and set each array element's bit. */
+DenseBitset unionSaDb(const SortedArraySet &a, const DenseBitset &b,
+                      OpWork &work);
+
+/** DB-vs-DB union: bulk bitwise OR. */
+DenseBitset unionDbDb(const DenseBitset &a, const DenseBitset &b,
+                      OpWork &work);
+
+// --- Difference (Section 6.2.2; A \ B = A AND NOT B on DBs) -------------
+
+/** Merge difference A \ B of sorted SAs; O(|A| + |B|). */
+SortedArraySet differenceMerge(const SortedArraySet &a,
+                               const SortedArraySet &b, OpWork &work);
+
+/** Galloping difference: probe each a in A against B; O(|A| log |B|). */
+SortedArraySet differenceGallop(const SortedArraySet &a,
+                                const SortedArraySet &b, OpWork &work);
+
+/** SA \ DB: probe each array element's bit. */
+SortedArraySet differenceSaDb(const SortedArraySet &a, const DenseBitset &b,
+                              OpWork &work);
+
+/** DB \ SA: copy the DB and clear each array element's bit. */
+DenseBitset differenceDbSa(const DenseBitset &a, const SortedArraySet &b,
+                           OpWork &work);
+
+/** DB \ DB: bulk bitwise AND-NOT (Section 8.1's A cap B' rule). */
+DenseBitset differenceDbDb(const DenseBitset &a, const DenseBitset &b,
+                           OpWork &work);
+
+// --- Cardinality of union (used by Jaccard-style measures) --------------
+
+/** |A cup B| via |A| + |B| - |A cap B| with the merge algorithm. */
+std::uint64_t unionCardMerge(const SortedArraySet &a,
+                             const SortedArraySet &b, OpWork &work);
+
+} // namespace sisa::sets
+
+#endif // SISA_SETS_OPERATIONS_HPP

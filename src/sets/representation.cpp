@@ -1,0 +1,71 @@
+#include "sets/representation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace sisa::sets {
+
+ReprAssignment
+chooseRepresentations(const std::vector<std::uint32_t> &degrees,
+                      Element universe, const ReprPolicy &policy)
+{
+    sisa_assert(policy.t >= 0.0 && policy.t <= 1.0,
+                "bias parameter t must lie in [0, 1]");
+    const std::size_t n = degrees.size();
+
+    ReprAssignment out;
+    out.repr.assign(n, SetRepr::SparseArray);
+    for (std::uint32_t d : degrees)
+        out.saOnlyBits += static_cast<std::uint64_t>(d) * word_bits;
+    out.chosenBits = out.saOnlyBits;
+
+    // Candidates ordered by descending degree: the budget goes to the
+    // largest neighborhoods first, where a DB replaces the most SA
+    // storage and PUM processing pays off most.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return degrees[a] > degrees[b];
+                     });
+
+    std::size_t candidate_count = 0;
+    if (policy.mode == BiasMode::TopFraction) {
+        candidate_count = static_cast<std::size_t>(
+            policy.t * static_cast<double>(n) + 0.5);
+    } else {
+        const auto threshold = static_cast<std::uint64_t>(
+            policy.t * static_cast<double>(universe));
+        for (std::uint32_t v : order) {
+            if (degrees[v] >= threshold) {
+                ++candidate_count;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const bool budgeted = policy.storageBudget >= 0.0;
+    const auto budget_bits = static_cast<std::uint64_t>(
+        budgeted ? (1.0 + policy.storageBudget) *
+                       static_cast<double>(out.saOnlyBits)
+                 : 0);
+
+    for (std::size_t i = 0; i < candidate_count; ++i) {
+        const std::uint32_t v = order[i];
+        const std::uint64_t sa_bits =
+            static_cast<std::uint64_t>(degrees[v]) * word_bits;
+        const std::uint64_t next_bits =
+            out.chosenBits - sa_bits + universe;
+        if (budgeted && next_bits > budget_bits && next_bits > out.chosenBits)
+            break; // Budget exhausted; remaining sets stay SAs (6.1).
+        out.repr[v] = SetRepr::DenseBitvector;
+        out.chosenBits = next_bits;
+        ++out.denseCount;
+    }
+    return out;
+}
+
+} // namespace sisa::sets

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set-representation selection (Section 6.1). SISA stores the largest
+ * neighborhoods as dense bitvectors (processed in-situ by SISA-PUM)
+ * and the rest as sparse arrays (processed by SISA-PNM), subject to a
+ * user-controlled bias parameter t and a storage budget: a DB costs n
+ * bits while an SA costs W * |N(v)| bits, and the extra storage on top
+ * of the SA-only (CSR-like) layout must stay within the budget
+ * (10% by default, matching Section 9.1).
+ */
+
+#ifndef SISA_SETS_REPRESENTATION_HPP
+#define SISA_SETS_REPRESENTATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sets/sorted_array.hpp"
+
+namespace sisa::sets {
+
+/** How a set is laid out in memory (Figure 4). */
+enum class SetRepr : std::uint8_t
+{
+    SparseArray,    ///< SA: W bits per element, sorted.
+    DenseBitvector, ///< DB: n bits, one per universe element.
+};
+
+/** The two interpretations of the paper's `t` parameter. */
+enum class BiasMode : std::uint8_t
+{
+    /**
+     * Store N(v) as a DB iff |N(v)| >= t * n (the Section 6.1
+     * definition).
+     */
+    DegreeThreshold,
+    /**
+     * Store the largest t-fraction of neighborhoods as DBs (the
+     * Section 9.1 evaluation reading: "t = 0.4, i.e., 40% of
+     * neighborhoods are stored as DBs").
+     */
+    TopFraction,
+};
+
+/** Policy knobs for representation selection. */
+struct ReprPolicy
+{
+    double t = 0.4;              ///< Bias toward DBs (Section 9.1).
+    BiasMode mode = BiasMode::TopFraction;
+    /**
+     * Extra storage allowed on top of the SA-only layout, as a
+     * fraction of that layout's size (0.10 = Section 9.1's 10%).
+     * Negative disables the budget check.
+     */
+    double storageBudget = 0.10;
+};
+
+/** Outcome of representation selection over all neighborhoods. */
+struct ReprAssignment
+{
+    std::vector<SetRepr> repr;       ///< Per-vertex choice.
+    std::uint64_t saOnlyBits = 0;    ///< Baseline layout size.
+    std::uint64_t chosenBits = 0;    ///< Size of the chosen layout.
+    std::uint32_t denseCount = 0;    ///< Number of DB neighborhoods.
+};
+
+/**
+ * Choose a representation per neighborhood given the degree sequence.
+ * DB candidates are taken from the largest degrees first so the
+ * storage budget is spent where the paper says it pays off most.
+ *
+ * @param degrees  Degree d(v) per vertex.
+ * @param universe The vertex count n (DB size in bits).
+ * @param policy   Bias and budget.
+ */
+ReprAssignment chooseRepresentations(
+    const std::vector<std::uint32_t> &degrees, Element universe,
+    const ReprPolicy &policy);
+
+} // namespace sisa::sets
+
+#endif // SISA_SETS_REPRESENTATION_HPP

@@ -1,0 +1,49 @@
+#include "sets/sorted_array.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace sisa::sets {
+
+SortedArraySet::SortedArraySet(std::vector<Element> elems)
+    : elems_(std::move(elems))
+{
+    sisa_assert(std::is_sorted(elems_.begin(), elems_.end()),
+                "SortedArraySet requires sorted input");
+    sisa_assert(std::adjacent_find(elems_.begin(), elems_.end()) ==
+                    elems_.end(),
+                "SortedArraySet requires unique elements");
+}
+
+SortedArraySet
+SortedArraySet::fromUnsorted(std::vector<Element> elems)
+{
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    return SortedArraySet(std::move(elems));
+}
+
+bool
+SortedArraySet::contains(Element e) const
+{
+    return std::binary_search(elems_.begin(), elems_.end(), e);
+}
+
+void
+SortedArraySet::add(Element e)
+{
+    auto it = std::lower_bound(elems_.begin(), elems_.end(), e);
+    if (it == elems_.end() || *it != e)
+        elems_.insert(it, e);
+}
+
+void
+SortedArraySet::remove(Element e)
+{
+    auto it = std::lower_bound(elems_.begin(), elems_.end(), e);
+    if (it != elems_.end() && *it == e)
+        elems_.erase(it);
+}
+
+} // namespace sisa::sets

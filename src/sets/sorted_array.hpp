@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sparse-array (SA) set representation (Section 6.1 / Figure 4): a
+ * sorted array of element ids, storing W bits per element. This is the
+ * representation SISA uses for small neighborhoods and processes with
+ * near-memory PIM (SISA-PNM) via streaming (merge) or random-access
+ * (galloping) set algorithms.
+ */
+
+#ifndef SISA_SETS_SORTED_ARRAY_HPP
+#define SISA_SETS_SORTED_ARRAY_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sisa::sets {
+
+/** Set elements are vertex (or edge) ids. */
+using Element = std::uint32_t;
+
+/** Memory word size W in bits (Section 6.1 uses 32-bit ids). */
+inline constexpr std::uint32_t word_bits = 32;
+
+/** A sorted, duplicate-free array of element ids. */
+class SortedArraySet
+{
+  public:
+    SortedArraySet() = default;
+
+    /** Adopt @p elems, which must already be sorted and unique. */
+    explicit SortedArraySet(std::vector<Element> elems);
+
+    /** Sort + deduplicate @p elems, then adopt them. */
+    static SortedArraySet fromUnsorted(std::vector<Element> elems);
+
+    std::uint64_t size() const { return elems_.size(); }
+    bool empty() const { return elems_.empty(); }
+
+    /** O(log |A|) membership test (binary search). */
+    bool contains(Element e) const;
+
+    /** Insert @p e keeping order; no-op if present. O(|A|) moves. */
+    void add(Element e);
+
+    /** Remove @p e if present. O(|A|) moves. */
+    void remove(Element e);
+
+    /** Element at sorted position @p i. */
+    Element operator[](std::uint64_t i) const { return elems_[i]; }
+
+    std::span<const Element> elements() const { return elems_; }
+
+    auto begin() const { return elems_.begin(); }
+    auto end() const { return elems_.end(); }
+
+    /** Storage footprint in bits: W * |A| (Section 6.1). */
+    std::uint64_t storageBits() const { return size() * word_bits; }
+
+    friend bool operator==(const SortedArraySet &,
+                           const SortedArraySet &) = default;
+
+  private:
+    std::vector<Element> elems_;
+};
+
+} // namespace sisa::sets
+
+#endif // SISA_SETS_SORTED_ARRAY_HPP

@@ -1,0 +1,131 @@
+#include "sim/context.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace sisa::sim {
+
+Range
+blockRange(std::uint64_t total, std::uint32_t num_threads, ThreadId tid)
+{
+    sisa_assert(num_threads > 0 && tid < num_threads, "bad partition");
+    const std::uint64_t chunk = total / num_threads;
+    const std::uint64_t extra = total % num_threads;
+    const std::uint64_t begin =
+        tid * chunk + std::min<std::uint64_t>(tid, extra);
+    const std::uint64_t size = chunk + (tid < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+SimContext::SimContext(std::uint32_t num_threads)
+    : numThreads_(num_threads), busy_(num_threads, 0),
+      stall_(num_threads, 0), patterns_(num_threads, 0)
+{
+    sisa_assert(num_threads >= 1, "need at least one simulated thread");
+}
+
+void
+SimContext::chargeBusy(ThreadId tid, Cycles cycles)
+{
+    busy_[tid] += cycles;
+}
+
+void
+SimContext::chargeStall(ThreadId tid, Cycles cycles)
+{
+    stall_[tid] += cycles;
+}
+
+Cycles
+SimContext::threadCycles(ThreadId tid) const
+{
+    return busy_[tid] + stall_[tid];
+}
+
+Cycles
+SimContext::makespan() const
+{
+    Cycles max_cycles = 0;
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        max_cycles = std::max(max_cycles, threadCycles(t));
+    return max_cycles;
+}
+
+double
+SimContext::stalledFraction(ThreadId tid) const
+{
+    const Cycles span = makespan();
+    if (span == 0)
+        return 0.0;
+    const Cycles idle = span - threadCycles(tid);
+    return static_cast<double>(stall_[tid] + idle) /
+           static_cast<double>(span);
+}
+
+void
+SimContext::enableSetSizeTrace(std::uint64_t bin_width)
+{
+    traceEnabled_ = true;
+    traces_.clear();
+    traces_.reserve(numThreads_);
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        traces_.emplace_back(bin_width);
+}
+
+void
+SimContext::recordSetSize(ThreadId tid, std::uint64_t size)
+{
+    if (traceEnabled_)
+        traces_[tid].add(size);
+}
+
+const support::Histogram &
+SimContext::setSizeTrace(ThreadId tid) const
+{
+    sisa_assert(traceEnabled_, "set-size tracing is not enabled");
+    return traces_[tid];
+}
+
+void
+SimContext::setPatternCutoff(std::uint64_t per_thread)
+{
+    patternCutoff_ = per_thread;
+}
+
+bool
+SimContext::countPattern(ThreadId tid)
+{
+    ++patterns_[tid];
+    return patternCutoff_ == 0 || patterns_[tid] < patternCutoff_;
+}
+
+bool
+SimContext::cutoffReached(ThreadId tid) const
+{
+    return patternCutoff_ != 0 && patterns_[tid] >= patternCutoff_;
+}
+
+std::uint64_t
+SimContext::totalPatterns() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t p : patterns_)
+        total += p;
+    return total;
+}
+
+void
+SimContext::bumpCounter(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+SimContext::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+} // namespace sisa::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic cycle-accounting simulation context. This replaces the
+ * paper's Sniper+Pin toolchain (see DESIGN.md, Substitution 1): the
+ * algorithms execute functionally on the host while charging modeled
+ * cycles to logical simulated threads. Per-thread busy and stall
+ * cycles support the load-balancing study (Figure 9a), set-size
+ * traces support Figure 9b, and per-thread pattern cutoffs implement
+ * the paper's technique for taming long simulations of NP-hard
+ * mining problems (Section 9.1, "Tackling Long Simulation Runtimes").
+ */
+
+#ifndef SISA_SIM_CONTEXT_HPP
+#define SISA_SIM_CONTEXT_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/pim.hpp"
+#include "support/stats.hpp"
+
+namespace sisa::sim {
+
+using mem::Cycles;
+
+/** Identifier of a simulated (logical) thread. */
+using ThreadId = std::uint32_t;
+
+/** Half-open iteration range assigned to one simulated thread. */
+struct Range
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t size() const { return end - begin; }
+    bool empty() const { return begin >= end; }
+};
+
+/** Contiguous block partition of [0, total) over @p num_threads. */
+Range blockRange(std::uint64_t total, std::uint32_t num_threads,
+                 ThreadId tid);
+
+/** Cycle and work accounting for one simulated execution. */
+class SimContext
+{
+  public:
+    explicit SimContext(std::uint32_t num_threads);
+
+    std::uint32_t numThreads() const { return numThreads_; }
+
+    /** Charge compute (non-stalled) cycles to thread @p tid. */
+    void chargeBusy(ThreadId tid, Cycles cycles);
+
+    /** Charge memory-stall cycles to thread @p tid. */
+    void chargeStall(ThreadId tid, Cycles cycles);
+
+    /** Total cycles consumed by @p tid (busy + stall). */
+    Cycles threadCycles(ThreadId tid) const;
+
+    Cycles threadBusy(ThreadId tid) const { return busy_[tid]; }
+    Cycles threadStall(ThreadId tid) const { return stall_[tid]; }
+
+    /** Simulated run time: the slowest thread (barrier semantics). */
+    Cycles makespan() const;
+
+    /**
+     * Fraction of the run during which @p tid was not doing useful
+     * work: memory stalls plus end-of-run idling (load imbalance).
+     */
+    double stalledFraction(ThreadId tid) const;
+
+    // --- Set-size tracing (Figure 9b) -----------------------------------
+
+    /** Start recording processed-set sizes with @p bin_width bins. */
+    void enableSetSizeTrace(std::uint64_t bin_width = 5);
+
+    bool setSizeTraceEnabled() const { return traceEnabled_; }
+
+    /** Record that @p tid processed a set of @p size elements. */
+    void recordSetSize(ThreadId tid, std::uint64_t size);
+
+    /** Per-thread histogram of processed set sizes. */
+    const support::Histogram &setSizeTrace(ThreadId tid) const;
+
+    // --- Pattern cutoffs (Section 9.1) -----------------------------------
+
+    /**
+     * Stop each thread after it reports @p per_thread patterns
+     * (0 disables the cutoff and simulates the full execution).
+     */
+    void setPatternCutoff(std::uint64_t per_thread);
+
+    /**
+     * Report one found pattern (clique, match, ...) on @p tid.
+     * @return true while the thread is within its cutoff.
+     */
+    bool countPattern(ThreadId tid);
+
+    /** Whether @p tid exhausted its pattern budget. */
+    bool cutoffReached(ThreadId tid) const;
+
+    std::uint64_t patterns(ThreadId tid) const { return patterns_[tid]; }
+    std::uint64_t totalPatterns() const;
+
+    // --- Named counters ---------------------------------------------------
+
+    /** Accumulate a named statistic (e.g. "sisa.pum_ops"). */
+    void bumpCounter(const std::string &name, std::uint64_t delta = 1);
+
+    std::uint64_t counter(const std::string &name) const;
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::uint32_t numThreads_;
+    std::vector<Cycles> busy_;
+    std::vector<Cycles> stall_;
+    std::vector<std::uint64_t> patterns_;
+    std::uint64_t patternCutoff_ = 0;
+    bool traceEnabled_ = false;
+    std::vector<support::Histogram> traces_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace sisa::sim
+
+#endif // SISA_SIM_CONTEXT_HPP

@@ -1,0 +1,94 @@
+#include "sim/cpu_model.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace sisa::sim {
+
+CpuModel::CpuModel(const CpuParams &params, std::uint32_t num_threads)
+    : params_(params),
+      sharedL3_(std::make_shared<mem::Cache>(params.hierarchy.l3))
+{
+    perThread_.reserve(num_threads);
+    for (std::uint32_t t = 0; t < num_threads; ++t)
+        perThread_.emplace_back(params_.hierarchy, sharedL3_);
+}
+
+double
+CpuModel::contentionFactor(const SimContext &ctx) const
+{
+    if (params_.scalableBandwidth)
+        return 1.0;
+    return 1.0 +
+           params_.contentionPerThread *
+               static_cast<double>(ctx.numThreads() - 1);
+}
+
+void
+CpuModel::compute(SimContext &ctx, ThreadId tid, std::uint64_t ops)
+{
+    const auto cycles = static_cast<mem::Cycles>(
+        std::ceil(static_cast<double>(ops) / params_.ipc));
+    ctx.chargeBusy(tid, cycles);
+}
+
+mem::Cycles
+CpuModel::load(SimContext &ctx, ThreadId tid, mem::Addr addr,
+               AccessKind kind)
+{
+    sisa_assert(tid < perThread_.size(), "thread id out of range");
+    mem::CacheHierarchy &hier = perThread_[tid];
+
+    const bool was_l1_hit = hier.inL1(addr);
+    const mem::Cycles latency = hier.loadLatency(addr);
+
+    const mem::Cycles l1_lat = params_.hierarchy.l1.hitLatency;
+    if (was_l1_hit || latency <= l1_lat) {
+        ctx.chargeBusy(tid, l1_lat);
+        return l1_lat;
+    }
+
+    // Beyond-L1 cycles are stalls; streamed misses overlap via MLP,
+    // and on a fixed-bandwidth uncore (Figure 1 config) they queue
+    // behind the other threads' traffic.
+    auto beyond = static_cast<double>(latency - l1_lat);
+    beyond *= contentionFactor(ctx);
+    if (kind == AccessKind::Sequential)
+        beyond /= params_.streamMlp;
+    const auto stall = static_cast<mem::Cycles>(std::ceil(beyond));
+    ctx.chargeBusy(tid, l1_lat);
+    ctx.chargeStall(tid, stall);
+    return l1_lat + stall;
+}
+
+void
+CpuModel::elementWork(SimContext &ctx, ThreadId tid, std::uint64_t count)
+{
+    ctx.chargeBusy(tid,
+                   static_cast<mem::Cycles>(std::ceil(
+                       params_.elementCycles *
+                       static_cast<double>(count))));
+}
+
+void
+CpuModel::stream(SimContext &ctx, ThreadId tid, mem::Addr base,
+                 std::uint64_t count, std::uint32_t elem_bytes)
+{
+    if (count == 0)
+        return;
+    const std::uint32_t line = params_.hierarchy.l1.lineBytes;
+    const mem::Addr first_line = base / line;
+    const mem::Addr last_line = (base + count * elem_bytes - 1) / line;
+    for (mem::Addr l = first_line; l <= last_line; ++l)
+        load(ctx, tid, l * line, AccessKind::Sequential);
+    elementWork(ctx, tid, count);
+}
+
+std::uint64_t
+CpuModel::dramAccesses(ThreadId tid) const
+{
+    return perThread_[tid].dramAccesses();
+}
+
+} // namespace sisa::sim

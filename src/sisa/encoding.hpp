@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RISC-V-compliant binary encoding of SISA instructions (Section
+ * 6.3.5, Figure 5). SISA uses the RISC-V custom opcode space: bits
+ * [6..0] carry the custom opcode 0x16, bits [31..25] (funct7) carry
+ * the SISA operation identifier (up to 128 operations), rs1/rs2/rd
+ * name the registers holding input/output set ids, and the xd/xs1/xs2
+ * bits flag which register operands the instruction uses.
+ */
+
+#ifndef SISA_SISA_ENCODING_HPP
+#define SISA_SISA_ENCODING_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "sisa/isa.hpp"
+
+namespace sisa::isa {
+
+/** The custom instruction opcode in bits [6..0] (Section 6.3.5). */
+inline constexpr std::uint32_t sisa_opcode = 0x16;
+
+/** Encode @p inst into its 32-bit RISC-V representation. */
+std::uint32_t encode(const SisaInst &inst);
+
+/**
+ * Decode a 32-bit word. Returns std::nullopt when the word is not a
+ * SISA instruction (wrong opcode) or carries an undefined funct7.
+ */
+std::optional<SisaInst> decode(std::uint32_t word);
+
+/** True iff the word carries the SISA custom opcode. */
+constexpr bool
+isSisaWord(std::uint32_t word)
+{
+    return (word & 0x7f) == sisa_opcode;
+}
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_ENCODING_HPP

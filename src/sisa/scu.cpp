@@ -1,0 +1,532 @@
+#include "sisa/scu.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/logging.hpp"
+
+namespace sisa::isa {
+
+using sets::OpWork;
+
+Scu::Scu(SetStore &store, const ScuConfig &config,
+         std::uint32_t num_threads)
+    : store_(store), config_(config)
+{
+    if (config_.smbEnabled) {
+        // The SMB is a small associative scratchpad over SM entries;
+        // model it as a 4-way cache with 16-byte lines (one entry).
+        mem::CacheConfig smb_cfg;
+        smb_cfg.sizeBytes = config_.smbBytes;
+        smb_cfg.associativity = 4;
+        smb_cfg.lineBytes = 16;
+        smb_cfg.hitLatency = config_.pim.smbHitLatency;
+        const std::uint32_t count = config_.smbShared ? 1 : num_threads;
+        for (std::uint32_t i = 0; i < count; ++i)
+            smbs_.push_back(std::make_unique<mem::Cache>(smb_cfg));
+    }
+}
+
+void
+Scu::chargeMetadata(sim::SimContext &ctx, sim::ThreadId tid, SetId id)
+{
+    if (!config_.smbEnabled) {
+        // SM lives in memory: every lookup is a DRAM access.
+        ctx.chargeBusy(tid, config_.pim.dramLatency);
+        ctx.bumpCounter("scu.sm_dram_lookups");
+        return;
+    }
+    mem::Cache &smb = config_.smbShared ? *smbs_[0] : *smbs_[tid];
+    const bool hit = smb.access(store_.metadataAddr(id));
+    mem::Cycles latency = config_.pim.smbHitLatency;
+    if (config_.smbShared)
+        latency += config_.smbSharedExtraLatency;
+    if (!hit)
+        latency += config_.pim.dramLatency;
+    ctx.chargeBusy(tid, latency);
+    ctx.bumpCounter(hit ? "scu.smb_hits" : "scu.smb_misses");
+}
+
+void
+Scu::chargePum(sim::SimContext &ctx, sim::ThreadId tid,
+               std::uint64_t n_bits, std::uint32_t row_ops)
+{
+    const mem::Cycles base = mem::pumBulkCycles(config_.pim, n_bits);
+    const mem::Cycles per_op = base - config_.pim.dramLatency;
+    ctx.chargeBusy(tid, config_.pim.dramLatency + per_op * row_ops);
+    ctx.bumpCounter("scu.pum_ops");
+    lastBackend_ = Backend::Pum;
+}
+
+void
+Scu::chargePnmStream(sim::SimContext &ctx, sim::ThreadId tid,
+                     std::uint64_t max_elems)
+{
+    ctx.chargeBusy(tid, mem::pnmStreamCycles(config_.pim, max_elems,
+                                             sizeof(Element)));
+    ctx.bumpCounter("scu.pnm_stream_ops");
+    lastBackend_ = Backend::PnmStream;
+}
+
+void
+Scu::chargePnmRandom(sim::SimContext &ctx, sim::ThreadId tid,
+                     std::uint64_t probes)
+{
+    ctx.chargeBusy(tid, mem::pnmRandomCycles(config_.pim, probes));
+    ctx.bumpCounter("scu.pnm_random_ops");
+    lastBackend_ = Backend::PnmRandom;
+}
+
+void
+Scu::chargeMixedProbe(sim::SimContext &ctx, sim::ThreadId tid,
+                      std::uint64_t array_size)
+{
+    // SA-vs-DB operations: either probe one bit per array element
+    // (independent accesses, overlapped on the PNM core) or stream
+    // the whole bitvector past the array. The SCU picks the cheaper
+    // plan -- for small universes streaming the few bitvector words
+    // beats paying memory latency per probe.
+    const std::uint64_t db_words =
+        support::ceilDiv(store_.universe(), sets::word_bits);
+    const mem::Cycles probe_cost = mem::pnmIndependentRandomCycles(
+        config_.pim, array_size);
+    const mem::Cycles stream_cost = mem::pnmStreamCycles(
+        config_.pim, std::max<std::uint64_t>(array_size, db_words),
+        sizeof(Element));
+    if (stream_cost < probe_cost) {
+        ctx.chargeBusy(tid, stream_cost);
+        ctx.bumpCounter("scu.pnm_stream_ops");
+        lastBackend_ = Backend::PnmStream;
+    } else {
+        ctx.chargeBusy(tid, probe_cost);
+        ctx.bumpCounter("scu.pnm_random_ops");
+        lastBackend_ = Backend::PnmRandom;
+    }
+}
+
+void
+Scu::recordWork(sim::SimContext &ctx, const OpWork &work)
+{
+    ctx.bumpCounter("setops.streamed", work.streamedElements);
+    ctx.bumpCounter("setops.probes", work.probes);
+    ctx.bumpCounter("setops.words", work.bitvectorWords);
+    ctx.bumpCounter("setops.output", work.outputElements);
+}
+
+bool
+Scu::wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const
+{
+    const std::uint64_t small = std::min(size_a, size_b);
+    const std::uint64_t big = std::max(size_a, size_b);
+    if (small == 0)
+        return true; // Degenerate: galloping touches nothing.
+    if (config_.gallopThreshold > 0.0) {
+        return static_cast<double>(big) >=
+               config_.gallopThreshold * static_cast<double>(small);
+    }
+    // Section 8.3: predict both variants, pick the cheaper one.
+    const mem::Cycles merge_cost =
+        mem::pnmStreamCycles(config_.pim, big, sizeof(Element));
+    const mem::Cycles gallop_cost = mem::pnmRandomCycles(
+        config_.pim, mem::predictedGallopProbes(small, big));
+    return gallop_cost < merge_cost;
+}
+
+SetId
+Scu::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
+               SisaOp variant)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    chargeMetadata(ctx, tid, b);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    // NOTE: adopt() may grow the store and invalidate references into
+    // it, so capture every size needed for charging by value first.
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        // Two bitvectors are always processed with SISA-PUM (Sec. 3c).
+        result = store_.adopt(
+            sets::intersectDbDb(store_.db(a), store_.db(b), work));
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
+    } else if (a_dense != b_dense) {
+        result = store_.adopt(sets::intersectSaDb(
+            a_dense ? store_.sa(b) : store_.sa(a),
+            a_dense ? store_.db(a) : store_.db(b), work));
+        chargeMixedProbe(ctx, tid, a_dense ? card_b : card_a);
+    } else {
+        bool gallop;
+        switch (variant) {
+          case SisaOp::IntersectMerge: gallop = false; break;
+          case SisaOp::IntersectGallop: gallop = true; break;
+          default: gallop = wouldGallop(card_a, card_b); break;
+        }
+        if (gallop) {
+            result = store_.adopt(sets::intersectGallop(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmRandom(ctx, tid, work.probes);
+        } else {
+            result = store_.adopt(sets::intersectMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmStream(ctx, tid, std::max(card_a, card_b));
+        }
+    }
+    recordWork(ctx, work);
+    traceOp(variant, result, a, b);
+    return result;
+}
+
+SetId
+Scu::intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
+                   const std::vector<SetId> &operands)
+{
+    sisa_assert(!operands.empty(), "intersectMany needs operands");
+    // One decode + one metadata round for the whole operand list.
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    for (SetId id : operands)
+        chargeMetadata(ctx, tid, id);
+
+    // Process dense operands first: the PUM pass ANDs all of them in
+    // one in-situ sweep (one row op per additional operand).
+    std::vector<SetId> dense, sparse;
+    for (SetId id : operands)
+        (store_.isDense(id) ? dense : sparse).push_back(id);
+    // Fold sparse operands smallest-first so intermediate results
+    // shrink as fast as possible.
+    std::sort(sparse.begin(), sparse.end(),
+              [&](SetId x, SetId y) {
+                  return store_.cardinality(x) < store_.cardinality(y);
+              });
+
+    OpWork work;
+    SetId acc = invalid_set;
+    if (!dense.empty()) {
+        DenseBitset bits = store_.db(dense[0]);
+        for (std::size_t i = 1; i < dense.size(); ++i)
+            bits.andWith(store_.db(dense[i]));
+        chargePum(ctx, tid, store_.universe(),
+                  static_cast<std::uint32_t>(
+                      std::max<std::size_t>(dense.size() - 1, 1)));
+        acc = store_.adopt(std::move(bits));
+    }
+    for (SetId id : sparse) {
+        if (acc == invalid_set) {
+            // Seed the accumulator with a copy of the smallest SA.
+            const auto span = store_.sa(id).elements();
+            acc = store_.adopt(SortedArraySet(
+                std::vector<Element>(span.begin(), span.end())));
+            chargePnmStream(ctx, tid, store_.cardinality(id));
+            continue;
+        }
+        const std::uint64_t card_acc = store_.cardinality(acc);
+        const std::uint64_t card_id = store_.cardinality(id);
+        SetId next;
+        if (store_.isDense(acc)) {
+            next = store_.adopt(sets::intersectSaDb(
+                store_.sa(id), store_.db(acc), work));
+            chargeMixedProbe(ctx, tid, card_id);
+        } else {
+            next = store_.adopt(sets::intersectMerge(
+                store_.sa(acc), store_.sa(id), work));
+            chargePnmStream(ctx, tid, std::max(card_acc, card_id));
+        }
+        store_.destroy(acc);
+        acc = next;
+        if (store_.cardinality(acc) == 0)
+            break; // Empty intersection: later operands are moot.
+    }
+    recordWork(ctx, work);
+    traceOp(SisaOp::IntersectMany, acc,
+            operands.size() > 0 ? operands[0] : invalid_set,
+            operands.size() > 1 ? operands[1] : invalid_set);
+    return acc;
+}
+
+SetId
+Scu::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
+              SisaOp variant)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    chargeMetadata(ctx, tid, b);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        result = store_.adopt(
+            sets::unionDbDb(store_.db(a), store_.db(b), work));
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
+    } else if (a_dense != b_dense) {
+        const std::uint64_t array_size = a_dense ? card_b : card_a;
+        result = store_.adopt(sets::unionSaDb(
+            a_dense ? store_.sa(b) : store_.sa(a),
+            a_dense ? store_.db(a) : store_.db(b), work));
+        // RowClone the DB copy, then set the SA's bits.
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
+        chargeMixedProbe(ctx, tid, array_size);
+    } else {
+        bool gallop;
+        switch (variant) {
+          case SisaOp::UnionMerge: gallop = false; break;
+          case SisaOp::UnionGallop: gallop = true; break;
+          default: gallop = wouldGallop(card_a, card_b); break;
+        }
+        if (gallop) {
+            result = store_.adopt(sets::unionGallop(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmRandom(
+                ctx, tid,
+                work.probes +
+                    std::min(card_a, card_b)); // Probe + insert.
+            // The copied larger run still streams through the vault.
+            chargePnmStream(ctx, tid, std::max(card_a, card_b));
+        } else {
+            result = store_.adopt(sets::unionMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmStream(ctx, tid, card_a + card_b);
+        }
+    }
+    recordWork(ctx, work);
+    traceOp(variant, result, a, b);
+    return result;
+}
+
+SetId
+Scu::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
+                SisaOp variant)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    chargeMetadata(ctx, tid, b);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+
+    OpWork work;
+    SetId result;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    if (a_dense && b_dense) {
+        // A \ B = A AND (NOT B): one in-situ NOT plus one AND (8.1).
+        result = store_.adopt(
+            sets::differenceDbDb(store_.db(a), store_.db(b), work));
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/2);
+    } else if (!a_dense && b_dense) {
+        result = store_.adopt(
+            sets::differenceSaDb(store_.sa(a), store_.db(b), work));
+        chargeMixedProbe(ctx, tid, card_a);
+    } else if (a_dense && !b_dense) {
+        result = store_.adopt(
+            sets::differenceDbSa(store_.db(a), store_.sa(b), work));
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // Copy.
+        chargeMixedProbe(ctx, tid, card_b);
+    } else {
+        bool gallop;
+        switch (variant) {
+          case SisaOp::DifferenceMerge: gallop = false; break;
+          case SisaOp::DifferenceGallop: gallop = true; break;
+          default: gallop = wouldGallop(card_a, card_b); break;
+        }
+        if (gallop) {
+            result = store_.adopt(sets::differenceGallop(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmRandom(ctx, tid, work.probes);
+        } else {
+            result = store_.adopt(sets::differenceMerge(
+                store_.sa(a), store_.sa(b), work));
+            chargePnmStream(ctx, tid, std::max(card_a, card_b));
+        }
+    }
+    recordWork(ctx, work);
+    traceOp(variant, result, a, b);
+    return result;
+}
+
+std::uint64_t
+Scu::intersectCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                   SetId b, SisaOp variant)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    chargeMetadata(ctx, tid, b);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+
+    OpWork work;
+    std::uint64_t card;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+
+    if (a_dense && b_dense) {
+        card = sets::intersectCardDbDb(store_.db(a), store_.db(b), work);
+        // In-situ AND, then the logic layer streams the result row for
+        // the population count.
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
+        chargePnmStream(ctx, tid, store_.universe() / sets::word_bits);
+    } else if (a_dense != b_dense) {
+        const auto &array = a_dense ? store_.sa(b) : store_.sa(a);
+        const auto &bits = a_dense ? store_.db(a) : store_.db(b);
+        card = sets::intersectCardSaDb(array, bits, work);
+        chargeMixedProbe(ctx, tid, array.size());
+    } else {
+        const auto &sa = store_.sa(a);
+        const auto &sb = store_.sa(b);
+        bool gallop;
+        switch (variant) {
+          case SisaOp::IntersectMerge: gallop = false; break;
+          case SisaOp::IntersectGallop: gallop = true; break;
+          default: gallop = wouldGallop(sa.size(), sb.size()); break;
+        }
+        if (gallop) {
+            card = sets::intersectCardGallop(sa, sb, work);
+            chargePnmRandom(ctx, tid, work.probes);
+        } else {
+            card = sets::intersectCardMerge(sa, sb, work);
+            chargePnmStream(ctx, tid, std::max(sa.size(), sb.size()));
+        }
+    }
+    recordWork(ctx, work);
+    traceOp(SisaOp::IntersectCard, 0, a, b);
+    return card;
+}
+
+std::uint64_t
+Scu::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b)
+{
+    // |A cup B| = |A| + |B| - |A cap B|: cardinalities are O(1)
+    // metadata, so only the intersection cardinality costs cycles.
+    const std::uint64_t inter = intersectCard(ctx, tid, a, b);
+    return store_.cardinality(a) + store_.cardinality(b) - inter;
+}
+
+std::uint64_t
+Scu::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    traceOp(SisaOp::Cardinality, 0, a);
+    return store_.cardinality(a);
+}
+
+bool
+Scu::member(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    if (store_.isDense(a)) {
+        chargePnmRandom(ctx, tid, 1); // Single bit probe.
+        return store_.db(a).test(x);
+    }
+    const auto &sa = store_.sa(a);
+    const std::uint64_t probes =
+        sa.size() == 0 ? 1 : support::ceilLog2(sa.size()) + 1;
+    chargePnmRandom(ctx, tid, probes);
+    return sa.contains(x);
+}
+
+void
+Scu::insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    if (store_.isDense(a)) {
+        chargePnmRandom(ctx, tid, 1); // Table 5 op 0x5: one bit set.
+    } else {
+        // Sorted insert shifts the array tail through the vault.
+        chargePnmStream(ctx, tid, store_.cardinality(a) + 1);
+    }
+    traceOp(SisaOp::InsertElement, a, a);
+    store_.insert(a, x);
+}
+
+void
+Scu::remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    if (store_.isDense(a)) {
+        chargePnmRandom(ctx, tid, 1); // Table 5 op 0x6: one bit clear.
+    } else {
+        chargePnmStream(ctx, tid, store_.cardinality(a));
+    }
+    traceOp(SisaOp::RemoveElement, a, a);
+    store_.remove(a, x);
+}
+
+SetId
+Scu::create(sim::SimContext &ctx, sim::ThreadId tid,
+            std::vector<Element> elems, SetRepr repr)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    const std::uint64_t count = elems.size();
+    const SetId id = store_.createFromSorted(std::move(elems), repr);
+    if (repr == SetRepr::DenseBitvector) {
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // Zero.
+        if (count)
+            chargePnmRandom(ctx, tid, count);
+    } else {
+        chargePnmStream(ctx, tid, count);
+    }
+    chargeMetadata(ctx, tid, id); // SM entry installation.
+    traceOp(SisaOp::CreateSet, id, invalid_set);
+    return id;
+}
+
+SetId
+Scu::createEmpty(sim::SimContext &ctx, sim::ThreadId tid, SetRepr repr)
+{
+    return create(ctx, tid, {}, repr);
+}
+
+SetId
+Scu::createFull(sim::SimContext &ctx, sim::ThreadId tid)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    const SetId id = store_.createFull();
+    chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
+    chargeMetadata(ctx, tid, id);
+    return id;
+}
+
+SetId
+Scu::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    const SetId id = store_.clone(a);
+    if (store_.isDense(a)) {
+        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // RowClone.
+    } else {
+        chargePnmStream(ctx, tid, store_.cardinality(a));
+    }
+    chargeMetadata(ctx, tid, id);
+    traceOp(SisaOp::CloneSet, id, a);
+    return id;
+}
+
+void
+Scu::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
+{
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    traceOp(SisaOp::DeleteSet, 0, a);
+    store_.destroy(a);
+}
+
+} // namespace sisa::isa

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The SISA Controller Unit (Sections 3c, 8.2, 8.4). The SCU receives
+ * SISA instructions from the host core, consults the Set Metadata
+ * (through the SMB cache), and schedules each instruction on the most
+ * beneficial accelerator:
+ *
+ *  - two dense bitvectors -> SISA-PUM (Ambit-style in-situ bulk
+ *    bitwise AND/OR/NOT over DRAM rows);
+ *  - anything else        -> SISA-PNM (logic-layer cores), where the
+ *    Section 8.3 performance models decide between the merge
+ *    (streaming) and galloping (random access) set algorithms.
+ *
+ * Every instruction is executed functionally against the SetStore and
+ * charged modeled cycles into the SimContext. Counters record the
+ * dispatch decisions and the OpWork totals used by the Table 6
+ * complexity validation.
+ */
+
+#ifndef SISA_SISA_SCU_HPP
+#define SISA_SISA_SCU_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/pim.hpp"
+#include "sets/operations.hpp"
+#include "sim/context.hpp"
+#include "sisa/isa.hpp"
+#include "sisa/set_store.hpp"
+#include "sisa/trace.hpp"
+
+namespace sisa::isa {
+
+/** SCU configuration (Sections 8.2, 8.4, 9.1). */
+struct ScuConfig
+{
+    mem::PimParams pim{};
+    /** SMB (SCU metadata cache) enabled; 32KB by default (9.1). */
+    bool smbEnabled = true;
+    /** One SMB shared by all threads vs. a private SMB per thread. */
+    bool smbShared = false;
+    /** Extra access latency of a shared SMB (Section 9.2). */
+    mem::Cycles smbSharedExtraLatency = 2;
+    std::uint64_t smbBytes = 32 * 1024;
+    /**
+     * Galloping selection rule: 0 uses the Section 8.3 performance
+     * models; a value g > 0 uses the ratio heuristic instead (gallop
+     * iff max >= g * min), the knob swept in Figure 7b.
+     */
+    double gallopThreshold = 0.0;
+};
+
+/** Which backend executed an instruction (for counters/tests). */
+enum class Backend : std::uint8_t { Pum, PnmStream, PnmRandom, None };
+
+/** The controller; all SISA instructions funnel through execute(). */
+class Scu
+{
+  public:
+    Scu(SetStore &store, const ScuConfig &config,
+        std::uint32_t num_threads);
+
+    SetStore &store() { return store_; }
+    const ScuConfig &config() const { return config_; }
+
+    // --- Typed instruction issue (the C-style wrapper targets) ----------
+
+    /** A cap B -> new set. @p variant may force merge or galloping. */
+    SetId intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                    SetId b, SisaOp variant = SisaOp::IntersectAuto);
+
+    /**
+     * A_1 cap ... cap A_l -> new set, as ONE CISC-style instruction
+     * (the Section 11 extension). The SCU sorts dense operands onto
+     * the PUM path (a single multi-row AND pass) and folds sparse
+     * operands in ascending-cardinality order on the PNM cores, with
+     * one decode/metadata round instead of l - 1.
+     */
+    SetId intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
+                        const std::vector<SetId> &operands);
+
+    /** A cup B -> new set. */
+    SetId setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                   SetId b, SisaOp variant = SisaOp::UnionAuto);
+
+    /** A setminus B -> new set. */
+    SetId difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                     SetId b, SisaOp variant = SisaOp::DifferenceAuto);
+
+    /** |A cap B| without materializing the intersection. */
+    std::uint64_t intersectCard(sim::SimContext &ctx, sim::ThreadId tid,
+                                SetId a, SetId b,
+                                SisaOp variant = SisaOp::IntersectAuto);
+
+    /** |A cup B| without materializing the union. */
+    std::uint64_t unionCard(sim::SimContext &ctx, sim::ThreadId tid,
+                            SetId a, SetId b);
+
+    /** |A| (O(1): a metadata lookup). */
+    std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
+                              SetId a);
+
+    /** x in A. */
+    bool member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                Element x);
+
+    /** A cup {x} in place (Table 5 op 0x5). */
+    void insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                Element x);
+
+    /** A setminus {x} in place (Table 5 op 0x6). */
+    void remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
+                Element x);
+
+    /** Create a set from sorted elements. */
+    SetId create(sim::SimContext &ctx, sim::ThreadId tid,
+                 std::vector<Element> elems, SetRepr repr);
+
+    /** Create an empty set / the full universe set. */
+    SetId createEmpty(sim::SimContext &ctx, sim::ThreadId tid,
+                      SetRepr repr);
+    SetId createFull(sim::SimContext &ctx, sim::ThreadId tid);
+
+    /** Clone (RowClone for DBs, stream copy for SAs). */
+    SetId clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a);
+
+    /** Destroy a set. */
+    void destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a);
+
+    /** Last dispatch decision (introspection for tests/benches). */
+    Backend lastBackend() const { return lastBackend_; }
+
+    /**
+     * Attach an instruction trace: every subsequently issued set
+     * operation is recorded in encoded form. Pass nullptr to detach.
+     */
+    void setTrace(InstructionTrace *trace) { trace_ = trace; }
+
+    /** Would the SCU pick galloping for sizes (|A|, |B|)? */
+    bool wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const;
+
+  private:
+    /** Charge the SMB/SM lookup for @p id's metadata. */
+    void chargeMetadata(sim::SimContext &ctx, sim::ThreadId tid, SetId id);
+
+    /** Charge a PUM bulk op over @p n_bits, @p row_ops rows deep. */
+    void chargePum(sim::SimContext &ctx, sim::ThreadId tid,
+                   std::uint64_t n_bits, std::uint32_t row_ops);
+
+    void chargePnmStream(sim::SimContext &ctx, sim::ThreadId tid,
+                         std::uint64_t max_elems);
+
+    void chargePnmRandom(sim::SimContext &ctx, sim::ThreadId tid,
+                         std::uint64_t probes);
+
+    /**
+     * Charge a mixed SA-vs-DB operation over @p array_size elements:
+     * the SCU picks bit-probing (independent random accesses) or
+     * bitvector streaming, whichever the Section 8.3 models predict
+     * to be cheaper.
+     */
+    void chargeMixedProbe(sim::SimContext &ctx, sim::ThreadId tid,
+                          std::uint64_t array_size);
+
+    void recordWork(sim::SimContext &ctx, const sets::OpWork &work);
+
+    /** Record @p op into the attached trace, if any. */
+    void
+    traceOp(SisaOp op, SetId rd, SetId rs1,
+            SetId rs2 = invalid_set)
+    {
+        if (trace_)
+            trace_->record(op, rd, rs1, rs2);
+    }
+
+    SetStore &store_;
+    ScuConfig config_;
+    std::vector<std::unique_ptr<mem::Cache>> smbs_;
+    Backend lastBackend_ = Backend::None;
+    InstructionTrace *trace_ = nullptr;
+};
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_SCU_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SISA instruction tracing. When attached to an SCU, every issued set
+ * operation is recorded in its RISC-V encoded form (Figure 5), as the
+ * stream a compiled SISA binary would feed the SCU through the RoCC
+ * interface (Section 8.5). Logical set ids are mapped onto the 32
+ * architectural registers round-robin, mirroring a simple register
+ * allocator. The trace can be disassembled back into mnemonics and
+ * provides per-opcode histograms for instruction-mix studies.
+ */
+
+#ifndef SISA_SISA_TRACE_HPP
+#define SISA_SISA_TRACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sisa/encoding.hpp"
+#include "sisa/isa.hpp"
+
+namespace sisa::isa {
+
+/** Records the encoded instruction stream issued to the SCU. */
+class InstructionTrace
+{
+  public:
+    InstructionTrace() = default;
+
+    /** Record one instruction; set ids are folded into registers. */
+    void
+    record(SisaOp op, SetId rd, SetId rs1, SetId rs2)
+    {
+        SisaInst inst;
+        inst.op = op;
+        inst.rd = regOf(rd);
+        inst.rs1 = regOf(rs1);
+        inst.rs2 = regOf(rs2);
+        inst.xd = producesSet(op) || producesScalar(op);
+        inst.xs1 = rs1 != invalid_set;
+        inst.xs2 = rs2 != invalid_set;
+        words_.push_back(encode(inst));
+        ++mix_[static_cast<std::size_t>(op)];
+    }
+
+    /** The raw 32-bit instruction stream. */
+    const std::vector<std::uint32_t> &words() const { return words_; }
+
+    std::uint64_t size() const { return words_.size(); }
+
+    /** Instructions recorded for @p op. */
+    std::uint64_t
+    count(SisaOp op) const
+    {
+        return mix_[static_cast<std::size_t>(op)];
+    }
+
+    /** Human-readable disassembly, one mnemonic per line. */
+    std::string
+    disassemble() const
+    {
+        std::string out;
+        for (std::uint32_t word : words_) {
+            const auto inst = decode(word);
+            if (!inst) {
+                out += "<invalid>\n";
+                continue;
+            }
+            out += sisaOpName(inst->op);
+            out += " r";
+            out += std::to_string(inst->rd);
+            out += ", r";
+            out += std::to_string(inst->rs1);
+            out += ", r";
+            out += std::to_string(inst->rs2);
+            out += '\n';
+        }
+        return out;
+    }
+
+    void
+    clear()
+    {
+        words_.clear();
+        mix_.fill(0);
+    }
+
+  private:
+    /** Fold a logical set id onto the 32 architectural registers. */
+    static std::uint8_t
+    regOf(SetId id)
+    {
+        return id == invalid_set ? 0 : static_cast<std::uint8_t>(
+                                           id % 32);
+    }
+
+    std::vector<std::uint32_t> words_;
+    std::array<std::uint64_t, num_sisa_ops> mix_{};
+};
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_TRACE_HPP

@@ -1,0 +1,24 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+
+namespace sisa::support {
+
+void
+logMessage(LogLevel level, const char *where, const std::string &what)
+{
+    const char *tag = nullptr;
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn:   tag = "warn"; break;
+      case LogLevel::Fatal:  tag = "fatal"; break;
+      case LogLevel::Panic:  tag = "panic"; break;
+    }
+    if (level == LogLevel::Inform || level == LogLevel::Warn) {
+        std::fprintf(stderr, "[%s] %s\n", tag, what.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] %s (%s)\n", tag, what.c_str(), where);
+    }
+}
+
+} // namespace sisa::support

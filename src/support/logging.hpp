@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Diagnostic helpers in the gem5 tradition: panic() for internal
+ * invariant violations (simulator bugs), fatal() for user errors that
+ * make continuing impossible, warn()/inform() for status reporting.
+ */
+
+#ifndef SISA_SUPPORT_LOGGING_HPP
+#define SISA_SUPPORT_LOGGING_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sisa::support {
+
+/** Severity of a diagnostic message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a diagnostic message to stderr.
+ *
+ * @param level Message severity; Fatal exits, Panic aborts.
+ * @param where "file:line" location string.
+ * @param what  Message body.
+ */
+[[gnu::cold]] void logMessage(LogLevel level, const char *where,
+                              const std::string &what);
+
+/** Format a sequence of streamable arguments into one string. */
+template <typename... Args>
+std::string
+formatConcat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace sisa::support
+
+#define SISA_STRINGIFY_DETAIL(x) #x
+#define SISA_STRINGIFY(x) SISA_STRINGIFY_DETAIL(x)
+#define SISA_WHERE __FILE__ ":" SISA_STRINGIFY(__LINE__)
+
+/** Unrecoverable internal error: an invariant of the library is broken. */
+#define sisa_panic(...)                                                      \
+    do {                                                                     \
+        ::sisa::support::logMessage(                                         \
+            ::sisa::support::LogLevel::Panic, SISA_WHERE,                    \
+            ::sisa::support::formatConcat(__VA_ARGS__));                     \
+        ::std::abort();                                                      \
+    } while (0)
+
+/** Unrecoverable user error: bad configuration or invalid arguments. */
+#define sisa_fatal(...)                                                      \
+    do {                                                                     \
+        ::sisa::support::logMessage(                                         \
+            ::sisa::support::LogLevel::Fatal, SISA_WHERE,                    \
+            ::sisa::support::formatConcat(__VA_ARGS__));                     \
+        ::std::exit(1);                                                      \
+    } while (0)
+
+/** Non-fatal notice that behaviour may be surprising. */
+#define sisa_warn(...)                                                       \
+    ::sisa::support::logMessage(                                             \
+        ::sisa::support::LogLevel::Warn, SISA_WHERE,                         \
+        ::sisa::support::formatConcat(__VA_ARGS__))
+
+/** Status message with no connotation of incorrect behaviour. */
+#define sisa_inform(...)                                                     \
+    ::sisa::support::logMessage(                                             \
+        ::sisa::support::LogLevel::Inform, SISA_WHERE,                       \
+        ::sisa::support::formatConcat(__VA_ARGS__))
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define sisa_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            sisa_panic("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+        }                                                                    \
+    } while (0)
+
+#endif // SISA_SUPPORT_LOGGING_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic
+ * component of the library (graph generators, sampling in link
+ * prediction, ...) draws from these generators with explicit seeds so
+ * simulations are bit-reproducible across runs and machines.
+ */
+
+#ifndef SISA_SUPPORT_RNG_HPP
+#define SISA_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace sisa::support {
+
+/** SplitMix64: used to expand a single seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256**: the library's workhorse generator. Small state, high
+ * quality, and trivially seedable from SplitMix64.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : state_)
+            word = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless method, debiased by rejection.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sisa::support
+
+#endif // SISA_SUPPORT_RNG_HPP

@@ -1,0 +1,101 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace sisa::support {
+
+void
+Accumulator::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = max_ = sample;
+    } else {
+        if (sample < min_) min_ = sample;
+        if (sample > max_) max_ = sample;
+    }
+    sum_ += sample;
+    ++count_;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+arithmeticMean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+geometricMean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : samples) {
+        sisa_assert(s > 0.0, "geometric mean requires positive samples");
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+double
+speedupOfAverages(const std::vector<double> &baseline,
+                  const std::vector<double> &improved)
+{
+    const double base_mean = arithmeticMean(baseline);
+    const double impr_mean = arithmeticMean(improved);
+    if (impr_mean == 0.0)
+        return 0.0;
+    return base_mean / impr_mean;
+}
+
+double
+averageOfSpeedups(const std::vector<double> &baseline,
+                  const std::vector<double> &improved)
+{
+    sisa_assert(baseline.size() == improved.size(),
+                "avg-of-speedups needs paired samples");
+    std::vector<double> ratios;
+    ratios.reserve(baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        if (improved[i] > 0.0 && baseline[i] > 0.0)
+            ratios.push_back(baseline[i] / improved[i]);
+    }
+    return geometricMean(ratios);
+}
+
+Histogram::Histogram(std::uint64_t bin_width) : binWidth_(bin_width)
+{
+    sisa_assert(bin_width >= 1, "histogram bin width must be >= 1");
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    bins_[value / binWidth_ * binWidth_] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::frequency(std::uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    auto it = bins_.find(value / binWidth_ * binWidth_);
+    if (it == bins_.end())
+        return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+} // namespace sisa::support

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Statistics helpers used by the benchmark harness. The SISA paper
+ * (Section 9.1, "Performance Measures & Summaries") reports both
+ * "speedup-of-avgs" (ratio of average runtimes) and "avg-of-speedups"
+ * (geometric mean of per-datapoint speedups); both are implemented
+ * here, together with plain accumulators and histogram utilities.
+ */
+
+#ifndef SISA_SUPPORT_STATS_HPP
+#define SISA_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sisa::support {
+
+/** Streaming accumulator for min/max/mean over doubles. */
+class Accumulator
+{
+  public:
+    void add(double sample);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of @p samples; 0 when empty. */
+double arithmeticMean(const std::vector<double> &samples);
+
+/** Geometric mean of @p samples (all positive); 0 when empty. */
+double geometricMean(const std::vector<double> &samples);
+
+/**
+ * "speedup-of-avgs" (Section 9.1): mean(baseline) / mean(improved).
+ * Returns 0 if either vector is empty or the improved mean is zero.
+ */
+double speedupOfAverages(const std::vector<double> &baseline,
+                         const std::vector<double> &improved);
+
+/**
+ * "avg-of-speedups" (Section 9.1): geometric mean of the pointwise
+ * ratios baseline[i] / improved[i]. Pairs where improved[i] == 0 are
+ * skipped. Requires equally sized vectors.
+ */
+double averageOfSpeedups(const std::vector<double> &baseline,
+                         const std::vector<double> &improved);
+
+/**
+ * Fixed-bin histogram over non-negative integer samples, used for the
+ * set-size traces behind Figure 9b and the degree distributions of
+ * Figure 7a.
+ */
+class Histogram
+{
+  public:
+    /** @param bin_width Width of each bin (>= 1). */
+    explicit Histogram(std::uint64_t bin_width = 1);
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Bin start -> total weight, ordered by bin. */
+    const std::map<std::uint64_t, std::uint64_t> &bins() const
+    {
+        return bins_;
+    }
+
+    std::uint64_t totalWeight() const { return total_; }
+
+    /** Normalized frequency of the bin containing @p value. */
+    double frequency(std::uint64_t value) const;
+
+  private:
+    std::uint64_t binWidth_;
+    std::map<std::uint64_t, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace sisa::support
+
+#endif // SISA_SUPPORT_STATS_HPP

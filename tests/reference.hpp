@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Brute-force reference implementations used to validate every
+ * set-centric algorithm and baseline. These are deliberately naive
+ * (clarity over speed) and are only run on small graphs.
+ */
+
+#ifndef SISA_TESTS_REFERENCE_HPP
+#define SISA_TESTS_REFERENCE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sisa::tests {
+
+using graph::Graph;
+using graph::VertexId;
+
+/** O(n^3) triangle count. */
+inline std::uint64_t
+refTriangleCount(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    std::uint64_t count = 0;
+    for (VertexId a = 0; a < n; ++a) {
+        for (VertexId b = a + 1; b < n; ++b) {
+            if (!g.hasEdge(a, b))
+                continue;
+            for (VertexId c = b + 1; c < n; ++c) {
+                if (g.hasEdge(a, c) && g.hasEdge(b, c))
+                    ++count;
+            }
+        }
+    }
+    return count;
+}
+
+/** Recursive k-clique enumeration (combinations + pairwise checks). */
+inline std::uint64_t
+refKCliqueCount(const Graph &g, std::uint32_t k,
+                std::vector<VertexId> *current = nullptr,
+                VertexId start = 0)
+{
+    std::vector<VertexId> local;
+    if (!current)
+        current = &local;
+    if (current->size() == k)
+        return 1;
+    std::uint64_t count = 0;
+    for (VertexId v = start; v < g.numVertices(); ++v) {
+        bool ok = true;
+        for (VertexId m : *current) {
+            if (!g.hasEdge(m, v)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            current->push_back(v);
+            count += refKCliqueCount(g, k, current, v + 1);
+            current->pop_back();
+        }
+    }
+    return count;
+}
+
+/** All maximal cliques (naive BK without pivoting). */
+inline void
+refMaximalCliques(const Graph &g, std::vector<VertexId> r,
+                  std::vector<VertexId> p, std::vector<VertexId> x,
+                  std::vector<std::vector<VertexId>> &out)
+{
+    if (p.empty() && x.empty()) {
+        std::sort(r.begin(), r.end());
+        out.push_back(r);
+        return;
+    }
+    const std::vector<VertexId> p_copy = p;
+    for (VertexId v : p_copy) {
+        std::vector<VertexId> r2 = r;
+        r2.push_back(v);
+        std::vector<VertexId> p2, x2;
+        for (VertexId w : p) {
+            if (g.hasEdge(v, w))
+                p2.push_back(w);
+        }
+        for (VertexId w : x) {
+            if (g.hasEdge(v, w))
+                x2.push_back(w);
+        }
+        refMaximalCliques(g, r2, p2, x2, out);
+        p.erase(std::find(p.begin(), p.end(), v));
+        x.push_back(v);
+    }
+}
+
+inline std::vector<std::vector<VertexId>>
+refMaximalCliques(const Graph &g)
+{
+    std::vector<VertexId> p(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        p[v] = v;
+    std::vector<std::vector<VertexId>> out;
+    refMaximalCliques(g, {}, p, {}, out);
+    return out;
+}
+
+/** Reference BFS depths (invalid_vertex parent when unreachable). */
+inline std::vector<std::int64_t>
+refBfsDepths(const Graph &g, VertexId root)
+{
+    std::vector<std::int64_t> depth(g.numVertices(), -1);
+    depth[root] = 0;
+    std::vector<VertexId> frontier{root};
+    while (!frontier.empty()) {
+        std::vector<VertexId> next;
+        for (VertexId u : frontier) {
+            for (VertexId w : g.neighbors(u)) {
+                if (depth[w] < 0) {
+                    depth[w] = depth[u] + 1;
+                    next.push_back(w);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return depth;
+}
+
+/** |N(u) cap N(v)| by std::set intersection. */
+inline std::uint64_t
+refCommonNeighbors(const Graph &g, VertexId u, VertexId v)
+{
+    const auto nu = g.neighbors(u);
+    const auto nv = g.neighbors(v);
+    std::set<VertexId> su(nu.begin(), nu.end());
+    std::uint64_t count = 0;
+    for (VertexId w : nv)
+        count += su.count(w);
+    return count;
+}
+
+/** Count embeddings of a star with @p leaves leaves (ordered center). */
+inline std::uint64_t
+refStarEmbeddings(const Graph &g, std::uint32_t leaves)
+{
+    // Induced star: center adjacent to each leaf, leaves pairwise
+    // non-adjacent; embeddings count ordered leaf tuples.
+    std::uint64_t count = 0;
+    const VertexId n = g.numVertices();
+    std::vector<VertexId> chosen;
+    auto recurse = [&](auto &&self, VertexId center) -> void {
+        if (chosen.size() == leaves) {
+            ++count;
+            return;
+        }
+        for (VertexId leaf : g.neighbors(center)) {
+            bool ok = true;
+            for (VertexId c : chosen) {
+                if (c == leaf || g.hasEdge(c, leaf)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                chosen.push_back(leaf);
+                self(self, center);
+                chosen.pop_back();
+            }
+        }
+    };
+    for (VertexId center = 0; center < n; ++center) {
+        chosen.clear();
+        recurse(recurse, center);
+    }
+    return count;
+}
+
+} // namespace sisa::tests
+
+#endif // SISA_TESTS_REFERENCE_HPP

@@ -1,0 +1,272 @@
+/** @file Unit tests for the programming model (engines, SetGraph). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cpu_set_engine.hpp"
+#include "core/set_graph.hpp"
+#include "core/sisa_engine.hpp"
+#include "core/vertex_set.hpp"
+#include "core/wrappers.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace sisa;
+using core::CpuSetEngine;
+using core::SetEngine;
+using core::SisaEngine;
+using sets::Element;
+using sets::SetRepr;
+
+std::unique_ptr<SetEngine>
+makeEngine(const std::string &kind, Element universe,
+           std::uint32_t threads = 2)
+{
+    if (kind == "sisa") {
+        return std::make_unique<SisaEngine>(universe, isa::ScuConfig{},
+                                            threads);
+    }
+    return std::make_unique<CpuSetEngine>(universe, sim::CpuParams{},
+                                          threads);
+}
+
+class EngineTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    EngineTest() : engine_(makeEngine(GetParam(), 512)), ctx_(2) {}
+
+    std::unique_ptr<SetEngine> engine_;
+    sim::SimContext ctx_;
+};
+
+TEST_P(EngineTest, FunctionalIntersect)
+{
+    auto &eng = *engine_;
+    const auto a = eng.create(ctx_, 0, {1, 2, 3, 4},
+                              SetRepr::SparseArray);
+    const auto b = eng.create(ctx_, 0, {2, 4, 6},
+                              SetRepr::DenseBitvector);
+    const auto r = eng.intersect(ctx_, 0, a, b);
+    EXPECT_EQ(eng.store().elementsOf(r), (std::vector<Element>{2, 4}));
+    EXPECT_EQ(eng.intersectCard(ctx_, 0, a, b), 2u);
+}
+
+TEST_P(EngineTest, FunctionalUnionAndDifference)
+{
+    auto &eng = *engine_;
+    const auto a = eng.create(ctx_, 0, {1, 5}, SetRepr::SparseArray);
+    const auto b = eng.create(ctx_, 0, {5, 9}, SetRepr::SparseArray);
+    EXPECT_EQ(eng.store().elementsOf(eng.setUnion(ctx_, 0, a, b)),
+              (std::vector<Element>{1, 5, 9}));
+    EXPECT_EQ(eng.store().elementsOf(eng.difference(ctx_, 0, a, b)),
+              (std::vector<Element>{1}));
+    EXPECT_EQ(eng.unionCard(ctx_, 0, a, b), 3u);
+}
+
+TEST_P(EngineTest, ElementOpsAndLifecycle)
+{
+    auto &eng = *engine_;
+    const auto a = eng.createEmpty(ctx_, 0, SetRepr::DenseBitvector);
+    eng.insert(ctx_, 0, a, 42);
+    eng.insert(ctx_, 0, a, 7);
+    EXPECT_TRUE(eng.member(ctx_, 0, a, 42));
+    EXPECT_EQ(eng.cardinality(ctx_, 0, a), 2u);
+    eng.remove(ctx_, 0, a, 42);
+    EXPECT_FALSE(eng.member(ctx_, 0, a, 42));
+
+    const auto b = eng.clone(ctx_, 0, a);
+    eng.insert(ctx_, 0, b, 100);
+    EXPECT_EQ(eng.cardinality(ctx_, 0, a), 1u);
+    EXPECT_EQ(eng.cardinality(ctx_, 0, b), 2u);
+    eng.destroy(ctx_, 0, b);
+    EXPECT_FALSE(eng.store().live(b));
+}
+
+TEST_P(EngineTest, CreateFullCoversUniverse)
+{
+    auto &eng = *engine_;
+    const auto full = eng.createFull(ctx_, 0);
+    EXPECT_EQ(eng.cardinality(ctx_, 0, full), 512u);
+    EXPECT_TRUE(eng.member(ctx_, 0, full, 511));
+}
+
+TEST_P(EngineTest, ChargesCycles)
+{
+    auto &eng = *engine_;
+    const auto a = eng.create(ctx_, 0, {1, 2, 3},
+                              SetRepr::SparseArray);
+    const auto b = eng.create(ctx_, 0, {2, 3, 4},
+                              SetRepr::SparseArray);
+    const auto before = ctx_.threadCycles(0);
+    eng.intersect(ctx_, 0, a, b);
+    EXPECT_GT(ctx_.threadCycles(0), before);
+    // Work on thread 1 must not bill thread 0.
+    const auto t0 = ctx_.threadCycles(0);
+    eng.intersectCard(ctx_, 1, a, b);
+    EXPECT_EQ(ctx_.threadCycles(0), t0);
+    EXPECT_GT(ctx_.threadCycles(1), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineTest,
+                         ::testing::Values("sisa", "set-based"));
+
+TEST(EngineEquivalence, SameResultsDifferentCosts)
+{
+    // The two engines are functionally identical; only timing differs.
+    auto sisa_eng = makeEngine("sisa", 256);
+    auto cpu_eng = makeEngine("set-based", 256);
+    sim::SimContext ctx_a(1), ctx_b(1);
+
+    std::vector<Element> xs{1, 4, 9, 16, 25, 36, 49};
+    std::vector<Element> ys{1, 2, 4, 8, 16, 32, 64, 128};
+    const auto a1 = sisa_eng->create(ctx_a, 0, xs, SetRepr::SparseArray);
+    const auto b1 = sisa_eng->create(ctx_a, 0, ys,
+                                     SetRepr::DenseBitvector);
+    const auto a2 = cpu_eng->create(ctx_b, 0, xs, SetRepr::SparseArray);
+    const auto b2 = cpu_eng->create(ctx_b, 0, ys,
+                                    SetRepr::DenseBitvector);
+
+    EXPECT_EQ(sisa_eng->store().elementsOf(
+                  sisa_eng->intersect(ctx_a, 0, a1, b1)),
+              cpu_eng->store().elementsOf(
+                  cpu_eng->intersect(ctx_b, 0, a2, b2)));
+    EXPECT_EQ(sisa_eng->unionCard(ctx_a, 0, a1, b1),
+              cpu_eng->unionCard(ctx_b, 0, a2, b2));
+}
+
+TEST(SetGraphTest, BuildsNeighborhoodSets)
+{
+    const graph::Graph g = graph::complete(8);
+    SisaEngine eng(8, isa::ScuConfig{}, 1);
+    core::SetGraph sg(g, eng);
+    sim::SimContext ctx(1);
+    for (graph::VertexId v = 0; v < 8; ++v) {
+        EXPECT_EQ(eng.cardinality(ctx, 0, sg.neighborhood(v)), 7u);
+        EXPECT_FALSE(eng.member(ctx, 0, sg.neighborhood(v), v));
+    }
+}
+
+TEST(SetGraphTest, PolicyControlsRepresentations)
+{
+    // A star: the hub neighborhood is large, leaves are tiny.
+    const graph::Graph g = graph::star(100);
+    SisaEngine eng(100, isa::ScuConfig{}, 1);
+    sets::ReprPolicy policy;
+    policy.t = 0.01; // Top 1% of 100 vertices -> 1 DB (the hub).
+    policy.storageBudget = -1.0;
+    core::SetGraph sg(g, eng, policy);
+    EXPECT_EQ(sg.representation(0), SetRepr::DenseBitvector);
+    EXPECT_EQ(sg.representation(1), SetRepr::SparseArray);
+    EXPECT_EQ(sg.assignment().denseCount, 1u);
+}
+
+TEST(SetGraphTest, ZeroBiasMatchesCsrStorage)
+{
+    const graph::Graph g = graph::erdosRenyi(64, 200, 3);
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sets::ReprPolicy policy;
+    policy.t = 0.0;
+    core::SetGraph sg(g, eng, policy);
+    EXPECT_EQ(sg.assignment().chosenBits, sg.assignment().saOnlyBits);
+}
+
+TEST(VertexSetTest, RaiiDestroysOwnedSets)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const auto live_before = eng.store().liveCount();
+    {
+        auto set = core::VertexSet::adopt(
+            eng, ctx, 0,
+            eng.create(ctx, 0, {1, 2, 3}, SetRepr::SparseArray));
+        EXPECT_EQ(set.size(), 3u);
+        auto inter = set.intersect(set);
+        EXPECT_EQ(inter.size(), 3u);
+    }
+    EXPECT_EQ(eng.store().liveCount(), live_before);
+}
+
+TEST(VertexSetTest, BorrowDoesNotDestroy)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const auto id = eng.create(ctx, 0, {5}, SetRepr::SparseArray);
+    {
+        auto view = core::VertexSet::borrow(eng, ctx, 0, id);
+        EXPECT_TRUE(view.contains(5));
+    }
+    EXPECT_TRUE(eng.store().live(id));
+}
+
+TEST(VertexSetTest, MoveTransfersOwnership)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    auto a = core::VertexSet::adopt(
+        eng, ctx, 0, eng.create(ctx, 0, {1}, SetRepr::SparseArray));
+    const auto id = a.id();
+    core::VertexSet b = std::move(a);
+    EXPECT_FALSE(a.bound());
+    EXPECT_EQ(b.id(), id);
+    EXPECT_TRUE(eng.store().live(id));
+}
+
+TEST(VertexSetTest, SetAlgebraMethods)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    auto a = core::VertexSet::adopt(
+        eng, ctx, 0,
+        eng.create(ctx, 0, {1, 2, 3}, SetRepr::SparseArray));
+    auto b = core::VertexSet::adopt(
+        eng, ctx, 0,
+        eng.create(ctx, 0, {2, 3, 4}, SetRepr::SparseArray));
+    EXPECT_EQ(a.intersectCount(b), 2u);
+    EXPECT_EQ(a.unionCount(b), 4u);
+    EXPECT_EQ(a.unite(b).size(), 4u);
+    EXPECT_EQ(a.subtract(b).elements(), (std::vector<Element>{1}));
+    a.add(10);
+    EXPECT_TRUE(a.contains(10));
+    a.discard(10);
+    EXPECT_FALSE(a.contains(10));
+    EXPECT_EQ(a.clone().size(), a.size());
+}
+
+TEST(Wrappers, MapToEngineOps)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const Element xs[] = {1, 2, 3};
+    const auto a = core::sisa_create(eng, ctx, 0, xs, 3);
+    EXPECT_EQ(core::sisa_cardinality(eng, ctx, 0, a), 3u);
+    const auto b = core::sisa_clone(eng, ctx, 0, a);
+    core::sisa_insert(eng, ctx, 0, b, 40);
+    EXPECT_TRUE(core::sisa_is_member(eng, ctx, 0, b, 40));
+    core::sisa_remove(eng, ctx, 0, b, 40);
+    const auto u = core::sisa_union(eng, ctx, 0, a, b);
+    const auto i = core::sisa_intersect(eng, ctx, 0, a, b);
+    const auto d = core::sisa_difference(eng, ctx, 0, a, b);
+    EXPECT_EQ(core::sisa_cardinality(eng, ctx, 0, u), 3u);
+    EXPECT_EQ(core::sisa_cardinality(eng, ctx, 0, i), 3u);
+    EXPECT_EQ(core::sisa_cardinality(eng, ctx, 0, d), 0u);
+    EXPECT_EQ(core::sisa_intersect_count(eng, ctx, 0, a, b), 3u);
+    EXPECT_EQ(core::sisa_union_count(eng, ctx, 0, a, b), 3u);
+    core::sisa_delete(eng, ctx, 0, d);
+    EXPECT_FALSE(eng.store().live(d));
+}
+
+TEST(Wrappers, DenseCreation)
+{
+    SisaEngine eng(64, isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    const Element xs[] = {1, 2, 3};
+    const auto a = core::sisa_create(eng, ctx, 0, xs, 3,
+                                     SetRepr::DenseBitvector);
+    EXPECT_EQ(eng.store().elementsOf(a),
+              (std::vector<Element>{1, 2, 3}));
+    EXPECT_TRUE(eng.store().isDense(a));
+}
+
+} // namespace

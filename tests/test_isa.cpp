@@ -1,0 +1,613 @@
+/** @file Unit tests for the SISA ISA: encoding, set store, SCU. */
+
+#include <gtest/gtest.h>
+
+#include "sisa/encoding.hpp"
+#include "sisa/scu.hpp"
+#include "sisa/set_store.hpp"
+
+namespace {
+
+using namespace sisa::isa;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+// --- Encoding (Figure 5) ----------------------------------------------------
+
+TEST(Encoding, CustomOpcodeInLowBits)
+{
+    SisaInst inst;
+    inst.op = SisaOp::IntersectAuto;
+    const std::uint32_t word = encode(inst);
+    EXPECT_EQ(word & 0x7f, sisa_opcode);
+    EXPECT_TRUE(isSisaWord(word));
+}
+
+TEST(Encoding, Funct7CarriesOperation)
+{
+    SisaInst inst;
+    inst.op = SisaOp::IntersectDbDb; // Table 5 opcode 0x4.
+    EXPECT_EQ(encode(inst) >> 25, 0x4u);
+}
+
+TEST(Encoding, RoundTripAllOps)
+{
+    for (std::uint8_t op = 0; op < num_sisa_ops; ++op) {
+        SisaInst inst;
+        inst.op = static_cast<SisaOp>(op);
+        inst.rd = 3;
+        inst.rs1 = 17;
+        inst.rs2 = 31;
+        inst.xd = true;
+        inst.xs1 = true;
+        inst.xs2 = (op % 2) == 0;
+        const auto decoded = decode(encode(inst));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, inst);
+    }
+}
+
+TEST(Encoding, RejectsForeignOpcode)
+{
+    EXPECT_FALSE(decode(0x33).has_value()); // RISC-V OP opcode.
+    EXPECT_FALSE(isSisaWord(0x33));
+}
+
+TEST(Encoding, RejectsUndefinedFunct7)
+{
+    SisaInst inst;
+    inst.op = SisaOp::IntersectAuto;
+    std::uint32_t word = encode(inst);
+    word = (word & 0x01ffffff) | (0x7fu << 25); // funct7 = 127.
+    EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Encoding, OpNamesUnique)
+{
+    std::set<std::string_view> names;
+    for (std::uint8_t op = 0; op < num_sisa_ops; ++op)
+        names.insert(sisaOpName(static_cast<SisaOp>(op)));
+    EXPECT_EQ(names.size(), num_sisa_ops);
+}
+
+TEST(Encoding, ProducerClassification)
+{
+    EXPECT_TRUE(producesSet(SisaOp::IntersectAuto));
+    EXPECT_TRUE(producesSet(SisaOp::CreateSet));
+    EXPECT_FALSE(producesSet(SisaOp::IntersectCard));
+    EXPECT_TRUE(producesScalar(SisaOp::IntersectCard));
+    EXPECT_TRUE(producesScalar(SisaOp::Member));
+    EXPECT_FALSE(producesScalar(SisaOp::InsertElement));
+}
+
+// --- SetStore ---------------------------------------------------------------
+
+TEST(SetStore, CreateAndMetadata)
+{
+    SetStore store(100);
+    const SetId sa = store.createFromSorted({1, 5, 9},
+                                            SetRepr::SparseArray);
+    const SetId db = store.createFromSorted({2, 4},
+                                            SetRepr::DenseBitvector);
+    EXPECT_EQ(store.cardinality(sa), 3u);
+    EXPECT_EQ(store.cardinality(db), 2u);
+    EXPECT_FALSE(store.isDense(sa));
+    EXPECT_TRUE(store.isDense(db));
+    EXPECT_EQ(store.liveCount(), 2u);
+}
+
+TEST(SetStore, InsertRemoveKeepsMetadataFresh)
+{
+    SetStore store(64);
+    const SetId id = store.createFromSorted({1, 2},
+                                            SetRepr::DenseBitvector);
+    store.insert(id, 10);
+    EXPECT_EQ(store.metadata(id).cardinality, 3u);
+    store.remove(id, 1);
+    EXPECT_EQ(store.metadata(id).cardinality, 2u);
+    EXPECT_TRUE(store.member(id, 10));
+    EXPECT_FALSE(store.member(id, 1));
+}
+
+TEST(SetStore, DestroyRecyclesSlots)
+{
+    SetStore store(64);
+    const SetId a = store.createFromSorted({1}, SetRepr::SparseArray);
+    store.destroy(a);
+    EXPECT_EQ(store.liveCount(), 0u);
+    const SetId b = store.createFromSorted({2}, SetRepr::SparseArray);
+    EXPECT_EQ(b, a); // Slot got recycled.
+}
+
+TEST(SetStore, CloneIsIndependent)
+{
+    SetStore store(64);
+    const SetId a = store.createFromSorted({1, 2},
+                                           SetRepr::DenseBitvector);
+    const SetId b = store.clone(a);
+    store.insert(b, 7);
+    EXPECT_EQ(store.cardinality(a), 2u);
+    EXPECT_EQ(store.cardinality(b), 3u);
+}
+
+TEST(SetStore, ConvertBetweenRepresentations)
+{
+    SetStore store(64);
+    const SetId id = store.createFromSorted({3, 6, 9},
+                                            SetRepr::SparseArray);
+    store.convert(id, SetRepr::DenseBitvector);
+    EXPECT_TRUE(store.isDense(id));
+    EXPECT_EQ(store.cardinality(id), 3u);
+    store.convert(id, SetRepr::SparseArray);
+    EXPECT_FALSE(store.isDense(id));
+    EXPECT_EQ(store.elementsOf(id),
+              (std::vector<sisa::sets::Element>{3, 6, 9}));
+}
+
+TEST(SetStore, CreateFull)
+{
+    SetStore store(70);
+    const SetId id = store.createFull();
+    EXPECT_EQ(store.cardinality(id), 70u);
+    EXPECT_TRUE(store.member(id, 69));
+}
+
+TEST(SetStore, StorageBitsTracksRepresentation)
+{
+    SetStore store(1000);
+    store.createFromSorted({1, 2, 3}, SetRepr::SparseArray);
+    EXPECT_EQ(store.storageBits(), 3u * 32);
+    store.createFromSorted({1}, SetRepr::DenseBitvector);
+    EXPECT_EQ(store.storageBits(), 3u * 32 + 1000);
+}
+
+TEST(SetStore, MetadataAddressesDistinct)
+{
+    SetStore store(64);
+    const SetId a = store.createFromSorted({1}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2}, SetRepr::SparseArray);
+    EXPECT_NE(store.metadataAddr(a), store.metadataAddr(b));
+}
+
+// --- SCU ---------------------------------------------------------------------
+
+class ScuTest : public ::testing::Test
+{
+  protected:
+    ScuTest() : store_(256), scu_(store_, ScuConfig{}, 2), ctx_(2) {}
+
+    SetId
+    makeSa(std::vector<sisa::sets::Element> elems)
+    {
+        return store_.createFromSorted(std::move(elems),
+                                       SetRepr::SparseArray);
+    }
+
+    SetId
+    makeDb(std::vector<sisa::sets::Element> elems)
+    {
+        return store_.createFromSorted(std::move(elems),
+                                       SetRepr::DenseBitvector);
+    }
+
+    SetStore store_;
+    Scu scu_;
+    SimContext ctx_;
+};
+
+TEST_F(ScuTest, DbDbIntersectGoesToPum)
+{
+    const SetId a = makeDb({1, 2, 3});
+    const SetId b = makeDb({2, 3, 4});
+    const SetId r = scu_.intersect(ctx_, 0, a, b);
+    EXPECT_EQ(scu_.lastBackend(), Backend::Pum);
+    EXPECT_EQ(store_.cardinality(r), 2u);
+    EXPECT_TRUE(store_.isDense(r));
+    EXPECT_GE(ctx_.counter("scu.pum_ops"), 1u);
+}
+
+TEST_F(ScuTest, SaSaSimilarSizesMerge)
+{
+    const SetId a = makeSa({1, 2, 3, 4, 5, 6, 7, 8});
+    const SetId b = makeSa({2, 4, 6, 8, 10, 12, 14, 16});
+    scu_.intersect(ctx_, 0, a, b);
+    EXPECT_EQ(scu_.lastBackend(), Backend::PnmStream);
+}
+
+TEST_F(ScuTest, SaSaExtremeSkewGallops)
+{
+    // Under the Section 8.3 models (l_M per probe), galloping only
+    // wins on extreme skews: merge streams max elements at b_M while
+    // galloping pays l_M * min * log(max).
+    SetStore store(8192);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    std::vector<sisa::sets::Element> big;
+    for (sisa::sets::Element e = 0; e < 6000; ++e)
+        big.push_back(e);
+    const SetId a =
+        store.createFromSorted({50}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(std::move(big),
+                                           SetRepr::SparseArray);
+    scu.intersect(ctx, 0, a, b);
+    EXPECT_EQ(scu.lastBackend(), Backend::PnmRandom);
+}
+
+TEST_F(ScuTest, MixedReprUsesPnmRandom)
+{
+    const SetId a = makeSa({1, 2, 3});
+    const SetId b = makeDb({2, 3, 4});
+    const SetId r = scu_.intersect(ctx_, 0, a, b);
+    EXPECT_EQ(scu_.lastBackend(), Backend::PnmRandom);
+    EXPECT_EQ(store_.cardinality(r), 2u);
+    EXPECT_FALSE(store_.isDense(r)); // SA cap DB -> SA.
+}
+
+TEST_F(ScuTest, ForcedVariantsOverrideModel)
+{
+    const SetId a = makeSa({1, 2, 3, 4});
+    const SetId b = makeSa({3, 4, 5, 6});
+    scu_.intersect(ctx_, 0, a, b, SisaOp::IntersectGallop);
+    EXPECT_EQ(scu_.lastBackend(), Backend::PnmRandom);
+    scu_.intersect(ctx_, 0, a, b, SisaOp::IntersectMerge);
+    EXPECT_EQ(scu_.lastBackend(), Backend::PnmStream);
+}
+
+TEST_F(ScuTest, DifferenceChargesTwoRowOpsOnDbDb)
+{
+    const SetId a = makeDb({1, 2, 3});
+    const SetId b = makeDb({2});
+    const auto before = ctx_.threadBusy(0);
+    const SetId r = scu_.difference(ctx_, 0, a, b);
+    const auto diff_cost = ctx_.threadBusy(0) - before;
+    EXPECT_EQ(store_.cardinality(r), 2u);
+
+    const SetId c = makeDb({1, 2, 3});
+    const SetId d = makeDb({2});
+    const auto before2 = ctx_.threadBusy(0);
+    scu_.intersect(ctx_, 0, c, d);
+    const auto and_cost = ctx_.threadBusy(0) - before2;
+    // A \ B = A AND NOT B: one extra in-situ row op vs plain AND.
+    EXPECT_GT(diff_cost, and_cost);
+}
+
+TEST_F(ScuTest, UnionResults)
+{
+    const SetId a = makeSa({1, 3});
+    const SetId b = makeSa({2, 3});
+    const SetId r = scu_.setUnion(ctx_, 0, a, b);
+    EXPECT_EQ(store_.elementsOf(r),
+              (std::vector<sisa::sets::Element>{1, 2, 3}));
+
+    const SetId da = makeDb({1, 3});
+    const SetId db_ = makeDb({2});
+    const SetId r2 = scu_.setUnion(ctx_, 0, da, db_);
+    EXPECT_EQ(scu_.lastBackend(), Backend::Pum);
+    EXPECT_EQ(store_.cardinality(r2), 3u);
+}
+
+TEST_F(ScuTest, FusedCardinalityCreatesNoSet)
+{
+    const SetId a = makeSa({1, 2, 3});
+    const SetId b = makeSa({2, 3, 4});
+    const auto live_before = store_.liveCount();
+    EXPECT_EQ(scu_.intersectCard(ctx_, 0, a, b), 2u);
+    EXPECT_EQ(store_.liveCount(), live_before);
+}
+
+TEST_F(ScuTest, UnionCardUsesInclusionExclusion)
+{
+    const SetId a = makeSa({1, 2, 3});
+    const SetId b = makeSa({3, 4});
+    EXPECT_EQ(scu_.unionCard(ctx_, 0, a, b), 4u);
+}
+
+TEST_F(ScuTest, MemberAndCardinality)
+{
+    const SetId a = makeDb({5, 10});
+    EXPECT_TRUE(scu_.member(ctx_, 0, a, 5));
+    EXPECT_FALSE(scu_.member(ctx_, 0, a, 6));
+    EXPECT_EQ(scu_.cardinality(ctx_, 0, a), 2u);
+}
+
+TEST_F(ScuTest, InsertRemoveOnDbChargesOneAccess)
+{
+    const SetId a = makeDb({});
+    const auto busy_before = ctx_.threadBusy(0);
+    scu_.insert(ctx_, 0, a, 9);
+    const auto cost = ctx_.threadBusy(0) - busy_before;
+    // Table 5 0x5: O(1) random access plus SCU/SMB overheads; far
+    // below any streaming cost over the universe.
+    EXPECT_LE(cost, 3 * scu_.config().pim.dramLatency);
+    EXPECT_TRUE(store_.member(a, 9));
+    scu_.remove(ctx_, 0, a, 9);
+    EXPECT_FALSE(store_.member(a, 9));
+}
+
+TEST_F(ScuTest, SmbHitsAfterFirstTouch)
+{
+    const SetId a = makeSa({1});
+    const SetId b = makeSa({2});
+    scu_.intersect(ctx_, 0, a, b);
+    const auto misses_first = ctx_.counter("scu.smb_misses");
+    scu_.intersect(ctx_, 0, a, b);
+    EXPECT_EQ(ctx_.counter("scu.smb_misses"), misses_first);
+    EXPECT_GE(ctx_.counter("scu.smb_hits"), 2u);
+}
+
+TEST_F(ScuTest, CloneAndDestroyLifecycle)
+{
+    const SetId a = makeDb({1, 2});
+    const SetId b = scu_.clone(ctx_, 0, a);
+    EXPECT_EQ(store_.cardinality(b), 2u);
+    scu_.destroy(ctx_, 0, b);
+    EXPECT_FALSE(store_.live(b));
+}
+
+TEST(ScuConfigTest, DisabledSmbChargesDram)
+{
+    SetStore store(64);
+    ScuConfig config;
+    config.smbEnabled = false;
+    Scu scu(store, config, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2}, SetRepr::SparseArray);
+    scu.intersect(ctx, 0, a, b);
+    EXPECT_GE(ctx.counter("scu.sm_dram_lookups"), 2u);
+    EXPECT_EQ(ctx.counter("scu.smb_hits"), 0u);
+}
+
+TEST(ScuConfigTest, GallopThresholdHeuristic)
+{
+    SetStore store(4096);
+    ScuConfig config;
+    config.gallopThreshold = 5.0;
+    Scu scu(store, config, 1);
+    EXPECT_FALSE(scu.wouldGallop(100, 400)); // 4x < 5x.
+    EXPECT_TRUE(scu.wouldGallop(100, 600));  // 6x >= 5x.
+}
+
+TEST(ScuConfigTest, SharedSmbCostsExtraLatency)
+{
+    SetStore store_a(64), store_b(64);
+    ScuConfig priv;
+    ScuConfig shared;
+    shared.smbShared = true;
+    shared.smbSharedExtraLatency = 10;
+    Scu scu_a(store_a, priv, 2);
+    Scu scu_b(store_b, shared, 2);
+    SimContext ctx_a(2), ctx_b(2);
+    const SetId a1 = store_a.createFromSorted({1},
+                                              SetRepr::SparseArray);
+    const SetId a2 = store_a.createFromSorted({2},
+                                              SetRepr::SparseArray);
+    const SetId b1 = store_b.createFromSorted({1},
+                                              SetRepr::SparseArray);
+    const SetId b2 = store_b.createFromSorted({2},
+                                              SetRepr::SparseArray);
+    // Warm both SMBs, then compare a hot lookup.
+    scu_a.intersectCard(ctx_a, 0, a1, a2);
+    scu_b.intersectCard(ctx_b, 0, b1, b2);
+    const auto busy_a0 = ctx_a.threadBusy(0);
+    const auto busy_b0 = ctx_b.threadBusy(0);
+    scu_a.intersectCard(ctx_a, 0, a1, a2);
+    scu_b.intersectCard(ctx_b, 0, b1, b2);
+    EXPECT_GT(ctx_b.threadBusy(0) - busy_b0,
+              ctx_a.threadBusy(0) - busy_a0);
+}
+
+} // namespace
+
+// --- Instruction trace --------------------------------------------------
+
+#include "sisa/trace.hpp"
+
+namespace trace_tests {
+
+using namespace sisa::isa;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+TEST(InstructionTrace, RecordsEncodedStream)
+{
+    SetStore store(128);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+
+    const SetId a = scu.create(ctx, 0, {1, 2, 3},
+                               SetRepr::SparseArray);
+    const SetId b = scu.create(ctx, 0, {2, 3, 4},
+                               SetRepr::SparseArray);
+    const SetId r = scu.intersect(ctx, 0, a, b);
+    scu.intersectCard(ctx, 0, a, b);
+    scu.insert(ctx, 0, r, 9);
+    scu.destroy(ctx, 0, r);
+
+    EXPECT_EQ(trace.count(SisaOp::CreateSet), 2u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectAuto), 1u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectCard), 1u);
+    EXPECT_EQ(trace.count(SisaOp::InsertElement), 1u);
+    EXPECT_EQ(trace.count(SisaOp::DeleteSet), 1u);
+    EXPECT_EQ(trace.size(), 6u);
+
+    // Every recorded word is a decodable SISA instruction.
+    for (const std::uint32_t word : trace.words()) {
+        EXPECT_TRUE(isSisaWord(word));
+        EXPECT_TRUE(decode(word).has_value());
+    }
+}
+
+TEST(InstructionTrace, DisassemblesToMnemonics)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+
+    const SetId a = scu.create(ctx, 0, {5}, SetRepr::SparseArray);
+    const SetId b = scu.create(ctx, 0, {5, 6}, SetRepr::SparseArray);
+    scu.setUnion(ctx, 0, a, b);
+    const std::string asm_text = trace.disassemble();
+    EXPECT_NE(asm_text.find("sisa.new"), std::string::npos);
+    EXPECT_NE(asm_text.find("sisa.or"), std::string::npos);
+}
+
+TEST(InstructionTrace, ForcedVariantsRecordTheirOpcodes)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+
+    const SetId a = scu.create(ctx, 0, {1, 2}, SetRepr::SparseArray);
+    const SetId b = scu.create(ctx, 0, {2, 3}, SetRepr::SparseArray);
+    scu.intersect(ctx, 0, a, b, SisaOp::IntersectMerge);
+    scu.intersect(ctx, 0, a, b, SisaOp::IntersectGallop);
+    EXPECT_EQ(trace.count(SisaOp::IntersectMerge), 1u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectGallop), 1u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectAuto), 0u);
+}
+
+TEST(InstructionTrace, ClearResets)
+{
+    InstructionTrace trace;
+    trace.record(SisaOp::Member, 1, 2, invalid_set);
+    EXPECT_EQ(trace.size(), 1u);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.count(SisaOp::Member), 0u);
+}
+
+TEST(InstructionTrace, DetachStopsRecording)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+    const SetId a = scu.create(ctx, 0, {1}, SetRepr::SparseArray);
+    scu.setTrace(nullptr);
+    scu.cardinality(ctx, 0, a);
+    EXPECT_EQ(trace.count(SisaOp::Cardinality), 0u);
+    EXPECT_EQ(trace.size(), 1u); // Only the create.
+}
+
+} // namespace trace_tests
+
+// --- CISC-style multi-operand intersection (Section 11) -------------------
+
+namespace multi_tests {
+
+using namespace sisa::isa;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+TEST(IntersectMany, MixedOperandsCorrectResult)
+{
+    SetStore store(256);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1, 2, 3, 4, 5, 6},
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2, 4, 6, 8},
+                                           SetRepr::DenseBitvector);
+    const SetId c = store.createFromSorted({2, 3, 4, 6, 9},
+                                           SetRepr::DenseBitvector);
+    const SetId d = store.createFromSorted({0, 2, 6, 10},
+                                           SetRepr::SparseArray);
+    const SetId r = scu.intersectMany(ctx, 0, {a, b, c, d});
+    EXPECT_EQ(store.elementsOf(r),
+              (std::vector<sisa::sets::Element>{2, 6}));
+}
+
+TEST(IntersectMany, SingleOperandIsCopy)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({3, 7},
+                                           SetRepr::SparseArray);
+    const SetId r = scu.intersectMany(ctx, 0, {a});
+    EXPECT_EQ(store.elementsOf(r),
+              (std::vector<sisa::sets::Element>{3, 7}));
+    EXPECT_NE(r, a);
+}
+
+TEST(IntersectMany, CheaperThanChainedPairwise)
+{
+    // The point of the CISC extension: one decode/metadata round and
+    // one fused pass instead of l - 1 separate instructions.
+    SetStore store_a(4096), store_b(4096);
+    Scu scu_a(store_a, ScuConfig{}, 1);
+    Scu scu_b(store_b, ScuConfig{}, 1);
+    SimContext ctx_a(1), ctx_b(1);
+
+    std::vector<SetId> ops_a, ops_b;
+    for (int i = 0; i < 5; ++i) {
+        std::vector<sisa::sets::Element> elems;
+        for (sisa::sets::Element e = 0; e < 2048; e += (i + 2))
+            elems.push_back(e);
+        ops_a.push_back(store_a.createFromSorted(
+            elems, SetRepr::DenseBitvector));
+        ops_b.push_back(store_b.createFromSorted(
+            elems, SetRepr::DenseBitvector));
+    }
+
+    const auto before_a = ctx_a.threadCycles(0);
+    const SetId fused_result = scu_a.intersectMany(ctx_a, 0, ops_a);
+    const auto fused = ctx_a.threadCycles(0) - before_a;
+
+    const auto before_b = ctx_b.threadCycles(0);
+    SetId acc = scu_b.intersect(ctx_b, 0, ops_b[0], ops_b[1]);
+    for (int i = 2; i < 5; ++i) {
+        const SetId next = scu_b.intersect(ctx_b, 0, acc, ops_b[i]);
+        scu_b.destroy(ctx_b, 0, acc);
+        acc = next;
+    }
+    const auto chained = ctx_b.threadCycles(0) - before_b;
+
+    EXPECT_LT(fused, chained);
+    // Both compute the same set.
+    EXPECT_EQ(store_a.elementsOf(fused_result),
+              store_b.elementsOf(acc));
+}
+
+TEST(IntersectMany, EmptyIntersectionShortCircuits)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2}, SetRepr::SparseArray);
+    const SetId c = store.createFromSorted({1, 2},
+                                           SetRepr::SparseArray);
+    const SetId r = scu.intersectMany(ctx, 0, {a, b, c});
+    EXPECT_EQ(store.cardinality(r), 0u);
+}
+
+TEST(IntersectMany, TracedAsOneInstruction)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1, 2},
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2, 3},
+                                           SetRepr::SparseArray);
+    const SetId c = store.createFromSorted({2, 4},
+                                           SetRepr::SparseArray);
+    scu.intersectMany(ctx, 0, {a, b, c});
+    EXPECT_EQ(trace.count(SisaOp::IntersectMany), 1u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectAuto), 0u);
+    EXPECT_NE(trace.disassemble().find("sisa.andn"),
+              std::string::npos);
+}
+
+} // namespace multi_tests

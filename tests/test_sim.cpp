@@ -1,0 +1,201 @@
+/** @file Unit tests for the simulation harness. */
+
+#include <gtest/gtest.h>
+
+#include "sim/context.hpp"
+#include "sim/cpu_model.hpp"
+
+namespace {
+
+using namespace sisa::sim;
+
+TEST(BlockRange, CoversWithoutOverlap)
+{
+    const std::uint64_t total = 103;
+    const std::uint32_t threads = 8;
+    std::uint64_t covered = 0;
+    std::uint64_t prev_end = 0;
+    for (ThreadId t = 0; t < threads; ++t) {
+        const Range r = blockRange(total, threads, t);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+    }
+    EXPECT_EQ(prev_end, total);
+    EXPECT_EQ(covered, total);
+}
+
+TEST(BlockRange, BalancedWithinOne)
+{
+    for (std::uint32_t threads : {1u, 3u, 7u, 32u}) {
+        std::uint64_t min_size = ~0ull, max_size = 0;
+        for (ThreadId t = 0; t < threads; ++t) {
+            const Range r = blockRange(100, threads, t);
+            min_size = std::min(min_size, r.size());
+            max_size = std::max(max_size, r.size());
+        }
+        EXPECT_LE(max_size - min_size, 1u);
+    }
+}
+
+TEST(Context, MakespanIsSlowestThread)
+{
+    SimContext ctx(4);
+    ctx.chargeBusy(0, 100);
+    ctx.chargeBusy(1, 250);
+    ctx.chargeStall(1, 50);
+    ctx.chargeBusy(2, 10);
+    EXPECT_EQ(ctx.makespan(), 300u);
+    EXPECT_EQ(ctx.threadCycles(1), 300u);
+    EXPECT_EQ(ctx.threadBusy(1), 250u);
+    EXPECT_EQ(ctx.threadStall(1), 50u);
+}
+
+TEST(Context, StalledFractionIncludesIdle)
+{
+    SimContext ctx(2);
+    ctx.chargeBusy(0, 100);     // Thread 0: all busy.
+    ctx.chargeBusy(1, 40);
+    ctx.chargeStall(1, 10);     // Thread 1: finishes at 50.
+    // Makespan 100: thread 1 idles 50 and stalled 10 -> 0.6.
+    EXPECT_DOUBLE_EQ(ctx.stalledFraction(1), 0.6);
+    EXPECT_DOUBLE_EQ(ctx.stalledFraction(0), 0.0);
+}
+
+TEST(Context, PatternCutoffStopsThread)
+{
+    SimContext ctx(1);
+    ctx.setPatternCutoff(3);
+    EXPECT_TRUE(ctx.countPattern(0));
+    EXPECT_TRUE(ctx.countPattern(0));
+    EXPECT_FALSE(ctx.countPattern(0)); // Third hit reaches the cutoff.
+    EXPECT_TRUE(ctx.cutoffReached(0));
+    EXPECT_EQ(ctx.patterns(0), 3u);
+}
+
+TEST(Context, NoCutoffByDefault)
+{
+    SimContext ctx(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(ctx.countPattern(0));
+    EXPECT_FALSE(ctx.cutoffReached(0));
+}
+
+TEST(Context, CutoffIsPerThread)
+{
+    SimContext ctx(2);
+    ctx.setPatternCutoff(1);
+    ctx.countPattern(0);
+    EXPECT_TRUE(ctx.cutoffReached(0));
+    EXPECT_FALSE(ctx.cutoffReached(1));
+    EXPECT_EQ(ctx.totalPatterns(), 1u);
+}
+
+TEST(Context, SetSizeTrace)
+{
+    SimContext ctx(2);
+    ctx.enableSetSizeTrace(5);
+    ctx.recordSetSize(0, 3);
+    ctx.recordSetSize(0, 4);
+    ctx.recordSetSize(1, 50);
+    EXPECT_EQ(ctx.setSizeTrace(0).totalWeight(), 2u);
+    EXPECT_EQ(ctx.setSizeTrace(1).totalWeight(), 1u);
+    EXPECT_DOUBLE_EQ(ctx.setSizeTrace(0).frequency(2), 1.0);
+}
+
+TEST(Context, Counters)
+{
+    SimContext ctx(1);
+    ctx.bumpCounter("x");
+    ctx.bumpCounter("x", 4);
+    EXPECT_EQ(ctx.counter("x"), 5u);
+    EXPECT_EQ(ctx.counter("missing"), 0u);
+}
+
+// --- CPU model -------------------------------------------------------------
+
+TEST(CpuModel, ComputeUsesIpc)
+{
+    CpuParams params;
+    params.ipc = 2.0;
+    SimContext ctx(1);
+    CpuModel cpu(params, 1);
+    cpu.compute(ctx, 0, 10);
+    EXPECT_EQ(ctx.threadBusy(0), 5u);
+}
+
+TEST(CpuModel, DependentMissCostsMoreThanStreamMiss)
+{
+    CpuParams params;
+    SimContext ctx(1);
+    CpuModel cpu(params, 1);
+    const auto dependent =
+        cpu.load(ctx, 0, 0x100000, AccessKind::Dependent);
+    const auto sequential =
+        cpu.load(ctx, 0, 0x200000, AccessKind::Sequential);
+    EXPECT_GT(dependent, sequential); // MLP hides streamed latency.
+}
+
+TEST(CpuModel, L1HitIsBusyNotStall)
+{
+    CpuParams params;
+    SimContext ctx(1);
+    CpuModel cpu(params, 1);
+    cpu.load(ctx, 0, 0x3000, AccessKind::Dependent); // Cold.
+    const Cycles stall_after_cold = ctx.threadStall(0);
+    cpu.load(ctx, 0, 0x3000, AccessKind::Dependent); // Warm L1 hit.
+    EXPECT_EQ(ctx.threadStall(0), stall_after_cold); // No new stalls.
+}
+
+TEST(CpuModel, StreamTouchesEachLineOnce)
+{
+    CpuParams params;
+    SimContext ctx(1);
+    CpuModel cpu(params, 1);
+    // 64 elements x 4B = 256B = 4 lines; 4 misses max.
+    cpu.stream(ctx, 0, 0x40000, 64, 4);
+    EXPECT_LE(cpu.dramAccesses(0), 4u);
+}
+
+TEST(CpuModel, FixedBandwidthContentionGrowsWithThreads)
+{
+    CpuParams params;
+    params.scalableBandwidth = false;
+    SimContext ctx1(1);
+    CpuModel cpu1(params, 1);
+    const auto lat1 = cpu1.load(ctx1, 0, 0x50000,
+                                AccessKind::Dependent);
+    SimContext ctx32(32);
+    CpuModel cpu32(params, 32);
+    const auto lat32 = cpu32.load(ctx32, 0, 0x50000,
+                                  AccessKind::Dependent);
+    EXPECT_GT(lat32, lat1); // The Figure 1 effect.
+}
+
+TEST(CpuModel, ScalableBandwidthHasNoContention)
+{
+    CpuParams params;
+    params.scalableBandwidth = true;
+    SimContext ctx1(1);
+    CpuModel cpu1(params, 1);
+    const auto lat1 = cpu1.load(ctx1, 0, 0x50000,
+                                AccessKind::Dependent);
+    SimContext ctx32(32);
+    CpuModel cpu32(params, 32);
+    const auto lat32 = cpu32.load(ctx32, 0, 0x50000,
+                                  AccessKind::Dependent);
+    EXPECT_EQ(lat32, lat1);
+}
+
+TEST(CpuModel, PerThreadPrivateCaches)
+{
+    CpuParams params;
+    SimContext ctx(2);
+    CpuModel cpu(params, 2);
+    cpu.load(ctx, 0, 0x60000, AccessKind::Dependent); // Warm t0 only.
+    const auto t0 = cpu.load(ctx, 0, 0x60000, AccessKind::Dependent);
+    const auto t1 = cpu.load(ctx, 1, 0x60000, AccessKind::Dependent);
+    EXPECT_LT(t0, t1); // Thread 1's L1/L2 are cold (L3 shared).
+}
+
+} // namespace
