@@ -4,11 +4,27 @@
  * algorithms (merge/galloping/bitwise) and full engine instructions.
  * These measure the *simulator's* throughput (host ns/op), which
  * bounds how much evaluation a given wall-clock budget can cover.
+ *
+ * Before handing control to google-benchmark, main() runs a
+ * deterministic scalar-vs-vectorized kernel sweep and writes it to a
+ * machine-readable BENCH_kernels.json (override the path with
+ * --kernels-json=PATH, or run only the sweep with --kernels-only) so
+ * the kernel-layer perf trajectory is tracked across PRs. The
+ * "scalar" side replicates the seed's per-element-accounted loops;
+ * the "vector" side is the sets/kernels.hpp bulk layer.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/sisa_engine.hpp"
+#include "sets/kernels.hpp"
 #include "sets/operations.hpp"
 #include "support/rng.hpp"
 
@@ -31,6 +47,325 @@ randomSet(std::uint64_t seed, Element universe, std::size_t size)
     return SortedArraySet::fromUnsorted(std::move(elems));
 }
 
+// --- Seed-replica scalar operations --------------------------------------
+//
+// The pre-kernel-layer implementations, kept verbatim as the baseline
+// of the scalar-vs-vectorized comparison: branchy two-pointer loops
+// with a per-element ++work counter inside.
+
+SortedArraySet
+seedIntersectMerge(const SortedArraySet &a, const SortedArraySet &b,
+                   OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+std::uint64_t
+seedIntersectCardMerge(const SortedArraySet &a, const SortedArraySet &b,
+                       OpWork &work)
+{
+    std::uint64_t count = 0;
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return count;
+}
+
+SortedArraySet
+seedUnionMerge(const SortedArraySet &a, const SortedArraySet &b,
+               OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size() + b.size());
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            out.push_back(a[i++]);
+        } else if (b[j] < a[i]) {
+            out.push_back(b[j++]);
+        } else {
+            out.push_back(a[i]);
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i) {
+        ++work.streamedElements;
+        out.push_back(a[i]);
+    }
+    for (; j < b.size(); ++j) {
+        ++work.streamedElements;
+        out.push_back(b[j]);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+SortedArraySet
+seedDifferenceMerge(const SortedArraySet &a, const SortedArraySet &b,
+                    OpWork &work)
+{
+    std::vector<Element> out;
+    out.reserve(a.size());
+    std::uint64_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++work.streamedElements;
+        if (a[i] < b[j]) {
+            out.push_back(a[i++]);
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i) {
+        ++work.streamedElements;
+        out.push_back(a[i]);
+    }
+    work.outputElements += out.size();
+    return SortedArraySet(std::move(out));
+}
+
+// --- Kernel sweep -> BENCH_kernels.json ----------------------------------
+
+/** Best-of-repetitions ns/op of @p op, run long enough to be stable. */
+template <typename Op>
+double
+timeNs(Op &&op)
+{
+    using clock = std::chrono::steady_clock;
+    constexpr int repetitions = 3;
+    double best = 1e300;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        // Calibrate the iteration count to ~20ms of work.
+        std::uint64_t iters = 1;
+        for (;;) {
+            const auto start = clock::now();
+            for (std::uint64_t it = 0; it < iters; ++it)
+                op();
+            const double elapsed =
+                std::chrono::duration<double, std::nano>(clock::now() -
+                                                         start)
+                    .count();
+            if (elapsed > 20e6 || iters > (1ull << 30)) {
+                best = std::min(best, elapsed /
+                                          static_cast<double>(iters));
+                break;
+            }
+            iters *= elapsed > 1e6
+                         ? static_cast<std::uint64_t>(25e6 / elapsed) + 1
+                         : 10;
+        }
+    }
+    return best;
+}
+
+struct SweepRow
+{
+    std::string name;
+    std::uint64_t size;
+    double scalar_ns;
+    double vector_ns;
+};
+
+int
+runKernelSweep(const std::string &json_path)
+{
+    std::vector<SweepRow> rows;
+    const auto add = [&rows](std::string name, std::uint64_t size,
+                             double scalar_ns, double vector_ns) {
+        std::printf("  %-28s %12.0f ns -> %12.0f ns   (%.2fx)\n",
+                    name.c_str(), scalar_ns, vector_ns,
+                    scalar_ns / vector_ns);
+        rows.push_back(
+            {std::move(name), size, scalar_ns, vector_ns});
+    };
+
+    std::printf("kernel sweep (tier: %s, block: %zu lanes)\n",
+                sets::kernels::tierName(), sets::kernels::block_elems);
+
+    // Sorted-array merge kernels at three sizes, 1/16 density.
+    for (const std::size_t size :
+         {std::size_t{1} << 10, std::size_t{1} << 13,
+          std::size_t{1} << 16}) {
+        const Element universe = static_cast<Element>(size * 16);
+        const SortedArraySet a = randomSet(1, universe, size);
+        const SortedArraySet b = randomSet(2, universe, size);
+        std::vector<Element> out(a.size() + b.size() +
+                                 sets::kernels::block_elems);
+
+        const std::string suffix = std::to_string(size >> 10) + "k";
+        add("intersect_kernel_" + suffix, size,
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::ref::intersect(
+                    a.elements(), b.elements(), out.data()));
+            }),
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::intersect(
+                    a.elements(), b.elements(), out.data()));
+            }));
+        add("intersect_card_kernel_" + suffix, size,
+            timeNs([&] {
+                benchmark::DoNotOptimize(
+                    sets::kernels::ref::intersectCard(a.elements(),
+                                                      b.elements()));
+            }),
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::intersectCard(
+                    a.elements(), b.elements()));
+            }));
+        add("union_kernel_" + suffix, size,
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::ref::setUnion(
+                    a.elements(), b.elements(), out.data()));
+            }),
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::setUnion(
+                    a.elements(), b.elements(), out.data()));
+            }));
+        add("difference_kernel_" + suffix, size,
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::ref::difference(
+                    a.elements(), b.elements(), out.data()));
+            }),
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::difference(
+                    a.elements(), b.elements(), out.data()));
+            }));
+    }
+
+    // Operation level (OpWork accounting + result materialization
+    // included): the acceptance-gate 64K intersection, seed loop vs
+    // rewired operations.cpp.
+    {
+        const std::size_t size = std::size_t{1} << 16;
+        const SortedArraySet a = randomSet(1, 1u << 20, size);
+        const SortedArraySet b = randomSet(2, 1u << 20, size);
+        add("intersect_merge_op_64k", size,
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    seedIntersectMerge(a, b, work));
+            }),
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    sets::intersectMerge(a, b, work));
+            }));
+        add("intersect_card_op_64k", size,
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    seedIntersectCardMerge(a, b, work));
+            }),
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    sets::intersectCardMerge(a, b, work));
+            }));
+        add("union_merge_op_64k", size,
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(seedUnionMerge(a, b, work));
+            }),
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(sets::unionMerge(a, b, work));
+            }));
+        add("difference_merge_op_64k", size,
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    seedDifferenceMerge(a, b, work));
+            }),
+            timeNs([&] {
+                OpWork work;
+                benchmark::DoNotOptimize(
+                    sets::differenceMerge(a, b, work));
+            }));
+    }
+
+    // Word-wise dense-bitvector kernel: AND + popcount over 1M bits.
+    {
+        const Element universe = 1u << 20;
+        const SortedArraySet a = randomSet(1, universe, universe / 8);
+        const SortedArraySet b = randomSet(2, universe, universe / 8);
+        const auto da =
+            sets::DenseBitset::fromSorted(a.elements(), universe);
+        const auto db =
+            sets::DenseBitset::fromSorted(b.elements(), universe);
+        const std::size_t words = da.numWords();
+        add("and_card_words_1m", words,
+            timeNs([&] {
+                const auto wa = da.words();
+                const auto wb = db.words();
+                std::uint64_t count = 0;
+                for (std::size_t i = 0; i < wa.size(); ++i)
+                    count += std::popcount(wa[i] & wb[i]);
+                benchmark::DoNotOptimize(count);
+            }),
+            timeNs([&] {
+                benchmark::DoNotOptimize(sets::kernels::andCardWords(
+                    da.words().data(), db.words().data(), words));
+            }));
+    }
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"tier\": \"%s\",\n  \"block_elems\": %zu,\n",
+                 sets::kernels::tierName(), sets::kernels::block_elems);
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"size\": %llu, "
+                     "\"scalar_ns\": %.1f, \"vector_ns\": %.1f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.size),
+                     r.scalar_ns, r.vector_ns,
+                     r.scalar_ns / r.vector_ns,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}
+
+// --- google-benchmark registrations --------------------------------------
+
 void
 BM_IntersectMerge(benchmark::State &state)
 {
@@ -44,6 +379,33 @@ BM_IntersectMerge(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2 * size);
 }
 BENCHMARK(BM_IntersectMerge)->Range(64, 1 << 16);
+
+void
+BM_IntersectMergeSeedScalar(benchmark::State &state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    const SortedArraySet a = randomSet(1, 1 << 20, size);
+    const SortedArraySet b = randomSet(2, 1 << 20, size);
+    for (auto _ : state) {
+        OpWork work;
+        benchmark::DoNotOptimize(seedIntersectMerge(a, b, work));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * size);
+}
+BENCHMARK(BM_IntersectMergeSeedScalar)->Range(64, 1 << 16);
+
+void
+BM_IntersectCardKernel(benchmark::State &state)
+{
+    const auto size = static_cast<std::size_t>(state.range(0));
+    const SortedArraySet a = randomSet(1, 1 << 20, size);
+    const SortedArraySet b = randomSet(2, 1 << 20, size);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sets::kernels::intersectCard(a.elements(), b.elements()));
+    state.SetItemsProcessed(state.iterations() * 2 * size);
+}
+BENCHMARK(BM_IntersectCardKernel)->Range(64, 1 << 16);
 
 void
 BM_IntersectGallop(benchmark::State &state)
@@ -115,3 +477,34 @@ BM_EngineInsertRemoveDb(benchmark::State &state)
 BENCHMARK(BM_EngineInsertRemoveDb);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_kernels.json";
+    bool kernels_only = false;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--kernels-json=", 15) == 0)
+            json_path = argv[i] + 15;
+        else if (std::strcmp(argv[i], "--kernels-only") == 0)
+            kernels_only = true;
+        else
+            passthrough.push_back(argv[i]);
+    }
+
+    if (const int rc = runKernelSweep(json_path))
+        return rc;
+    if (kernels_only)
+        return 0;
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

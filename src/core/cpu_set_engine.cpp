@@ -56,8 +56,10 @@ CpuSetEngine::chargeProbes(sim::SimContext &ctx, sim::ThreadId tid,
                            mem::Addr base, std::uint64_t region_elems,
                            std::uint64_t probes, sim::AccessKind kind)
 {
-    // Model probe loads over a bisecting address pattern (upper
-    // levels of a search tree stay cached).
+    // @p probes is the bulk closed-form bisection charge reported by
+    // the set kernels (ceilLog2(range) + 1 per search). Model the
+    // loads over a bisecting address pattern (upper levels of a
+    // search tree stay cached).
     std::uint64_t span = std::max<std::uint64_t>(region_elems, 2);
     std::uint64_t pos = span / 2;
     for (std::uint64_t p = 0; p < probes; ++p) {

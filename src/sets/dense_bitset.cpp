@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sets/kernels.hpp"
 #include "support/bits.hpp"
 #include "support/logging.hpp"
 
@@ -51,39 +52,27 @@ std::uint64_t
 DenseBitset::andWith(const DenseBitset &other)
 {
     sisa_assert(universe_ == other.universe_, "universe mismatch");
-    std::uint64_t count = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        words_[i] &= other.words_[i];
-        count += support::popcount(words_[i]);
-    }
-    card_ = count;
-    return count;
+    card_ = kernels::andWords(words_.data(), other.words_.data(),
+                              words_.data(), words_.size());
+    return card_;
 }
 
 std::uint64_t
 DenseBitset::orWith(const DenseBitset &other)
 {
     sisa_assert(universe_ == other.universe_, "universe mismatch");
-    std::uint64_t count = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        words_[i] |= other.words_[i];
-        count += support::popcount(words_[i]);
-    }
-    card_ = count;
-    return count;
+    card_ = kernels::orWords(words_.data(), other.words_.data(),
+                             words_.data(), words_.size());
+    return card_;
 }
 
 std::uint64_t
 DenseBitset::andNotWith(const DenseBitset &other)
 {
     sisa_assert(universe_ == other.universe_, "universe mismatch");
-    std::uint64_t count = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        words_[i] &= ~other.words_[i];
-        count += support::popcount(words_[i]);
-    }
-    card_ = count;
-    return count;
+    card_ = kernels::andNotWords(words_.data(), other.words_.data(),
+                                 words_.data(), words_.size());
+    return card_;
 }
 
 SortedArraySet

@@ -9,6 +9,38 @@
  * exact amount of streaming and random-access work it performed; the
  * SCU performance models (Section 8.3) and the Table 6 complexity
  * validation consume these counters.
+ *
+ * The compute itself is delegated to the vectorized bulk kernels in
+ * sets/kernels.hpp; this layer adds the OpWork accounting in O(1) per
+ * call (plus at most two branchless bisections), never per element.
+ * The documented per-op formulas, with nA=|A|, nB=|B|, k=|A cap B|,
+ * u=|A cup B|, d=|A \ B|, W=bitvector words, and
+ * M1 = |{x in A : x <= m}| + |{x in B : x <= m}| for
+ * m = min(max A, max B) (0 if either side is empty -- the elements a
+ * two-pointer merge fetches before one side is exhausted):
+ *
+ *   op                  streamed          probes            words  output
+ *   intersectMerge      M1                0                 0      k
+ *   intersectCardMerge  M1                0                 0      k
+ *   intersect[Card]Gallop min(nA,nB)      bisection steps   0      k
+ *   intersect[Card]SaDb nA                nA                0      k
+ *   intersect[Card]DbDb 0                 0                 W      k
+ *   unionMerge          nA + nB           0                 0      u
+ *   unionGallop         nA + nB           bisection steps   0      u
+ *   unionCardMerge      nA + nB           0                 0      u
+ *   unionSaDb           nA                nA                W      u
+ *   unionDbDb           0                 0                 W      u
+ *   differenceMerge     nA + |{b<=max A}| 0                 0      d
+ *   differenceGallop    nA                nA bisections     0      d
+ *   differenceSaDb      nA                nA                0      d
+ *   differenceDbSa      nB                nB                W      d
+ *   differenceDbDb      0                 0                 W      d
+ *
+ * "Bisection steps" is the closed-form branchless-search charge:
+ * ceilLog2(range) + 1 per lower-bound call (kernels::lowerBound).
+ * Cardinality-only variants charge the same outputElements as their
+ * materializing twins (the logical result size) so set-size statistics
+ * are comparable across variants.
  */
 
 #ifndef SISA_SETS_OPERATIONS_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sets/kernels.hpp"
 #include "support/logging.hpp"
 
 namespace sisa::sets {
@@ -27,7 +28,8 @@ SortedArraySet::fromUnsorted(std::vector<Element> elems)
 bool
 SortedArraySet::contains(Element e) const
 {
-    return std::binary_search(elems_.begin(), elems_.end(), e);
+    const std::uint64_t pos = kernels::lowerBound(elems_, 0, e).pos;
+    return pos < elems_.size() && elems_[pos] == e;
 }
 
 void

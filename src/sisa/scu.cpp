@@ -107,6 +107,8 @@ Scu::chargeMixedProbe(sim::SimContext &ctx, sim::ThreadId tid,
 void
 Scu::recordWork(sim::SimContext &ctx, const OpWork &work)
 {
+    // Bulk counters from the kernel layer (one O(1) charge per set
+    // operation; see the formula table in sets/operations.hpp).
     ctx.bumpCounter("setops.streamed", work.streamedElements);
     ctx.bumpCounter("setops.probes", work.probes);
     ctx.bumpCounter("setops.words", work.bitvectorWords);
