@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/sisa_engine.hpp"
@@ -338,6 +339,50 @@ runKernelSweep(const std::string &json_path)
             }));
     }
 
+    // Batched-vs-serial SISA dispatch: the same N neighbor
+    // intersections issued one instruction at a time ("scalar"
+    // column) vs as one dispatchBatch through the multi-threaded
+    // vault worker pool ("vector" column). Host wall-clock; the
+    // speedup scales with host cores (recorded as host_threads in
+    // the JSON).
+    {
+        constexpr std::size_t ops = 64;
+        for (const std::size_t size :
+             {std::size_t{1} << 12, std::size_t{1} << 16}) {
+            const Element universe = 1u << 20;
+            core::SisaEngine eng(universe, isa::ScuConfig{}, 1);
+            sim::SimContext setup_ctx(1);
+            std::vector<core::SetId> ids;
+            for (std::size_t s = 0; s < ops + 1; ++s) {
+                const SortedArraySet set =
+                    randomSet(s + 1, universe, size);
+                ids.push_back(eng.create(
+                    setup_ctx, 0,
+                    std::vector<Element>(set.begin(), set.end()),
+                    sets::SetRepr::SparseArray));
+            }
+            core::BatchRequest req;
+            for (std::size_t s = 0; s < ops; ++s)
+                req.intersectCard(ids[s], ids[s + 1]);
+
+            const std::string suffix = std::to_string(size >> 10) + "k";
+            add("batched_dispatch_64x" + suffix, size,
+                timeNs([&] {
+                    sim::SimContext ctx(1);
+                    std::uint64_t total = 0;
+                    for (std::size_t s = 0; s < ops; ++s)
+                        total += eng.intersectCard(ctx, 0, ids[s],
+                                                   ids[s + 1]);
+                    benchmark::DoNotOptimize(total);
+                }),
+                timeNs([&] {
+                    sim::SimContext ctx(1);
+                    benchmark::DoNotOptimize(
+                        eng.executeBatch(ctx, 0, req));
+                }));
+        }
+    }
+
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -345,6 +390,8 @@ runKernelSweep(const std::string &json_path)
     }
     std::fprintf(f, "{\n  \"tier\": \"%s\",\n  \"block_elems\": %zu,\n",
                  sets::kernels::tierName(), sets::kernels::block_elems);
+    std::fprintf(f, "  \"host_threads\": %u,\n",
+                 std::max(1u, std::thread::hardware_concurrency()));
     std::fprintf(f, "  \"benchmarks\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const SweepRow &r = rows[i];

@@ -1,5 +1,6 @@
 #include "algorithms/clustering.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 namespace sisa::algorithms {
@@ -59,18 +60,83 @@ jarvisPatrick(SetGraph &sg, sim::SimContext &ctx,
 
     ClusteringResult result;
     UnionFind clusters(n);
-    parallelFor(ctx, edges.size(), [&](sim::ThreadId tid,
-                                       std::uint64_t i) {
-        const auto [u, v] = edges[i];
-        const double similarity =
-            vertexSimilarity(sg, ctx, tid, u, v, measure);
+
+    // Edge similarities from the common-neighbor cardinality (plus
+    // O(1) degree lookups) batch cleanly; the weighted measures
+    // (Adamic-Adar, resource allocation) materialize the common set
+    // and stay on the serial path.
+    const bool batchable =
+        measure == SimilarityMeasure::Jaccard ||
+        measure == SimilarityMeasure::Overlap ||
+        measure == SimilarityMeasure::CommonNeighbors ||
+        measure == SimilarityMeasure::TotalNeighbors;
+    constexpr std::uint64_t chunk = 256;
+
+    const auto acceptEdge = [&](sim::ThreadId tid, VertexId u,
+                                VertexId v, double similarity) {
         if (similarity > tau) {
             // C = C cup {e}.
             ++result.clusterEdges;
             clusters.unite(u, v);
             ctx.countPattern(tid);
         }
-    });
+    };
+
+    if (!batchable) {
+        parallelFor(ctx, edges.size(), [&](sim::ThreadId tid,
+                                           std::uint64_t i) {
+            const auto [u, v] = edges[i];
+            acceptEdge(tid, u, v,
+                       vertexSimilarity(sg, ctx, tid, u, v, measure));
+        });
+    } else {
+        SetEngine &eng = sg.engine();
+        core::BatchRequest batch;
+        parallelForChunks(ctx, edges.size(), chunk, [&](
+                              sim::ThreadId tid, std::uint64_t start,
+                              std::uint64_t end) {
+            batch.clear();
+            batch.reserve(end - start);
+            for (std::uint64_t i = start; i < end; ++i) {
+                const auto [u, v] = edges[i];
+                if (measure == SimilarityMeasure::TotalNeighbors) {
+                    batch.unionCard(sg.neighborhood(u),
+                                    sg.neighborhood(v));
+                } else {
+                    batch.intersectCard(sg.neighborhood(u),
+                                        sg.neighborhood(v));
+                }
+            }
+            const core::BatchResult res =
+                eng.executeBatch(ctx, tid, batch);
+            for (std::uint64_t i = start; i < end; ++i) {
+                if (ctx.cutoffReached(tid))
+                    break;
+                const auto [u, v] = edges[i];
+                const double card = static_cast<double>(
+                    res.entries[i - start].value);
+                double similarity = card;
+                if (measure == SimilarityMeasure::Jaccard) {
+                    const double uni =
+                        static_cast<double>(
+                            eng.cardinality(ctx, tid,
+                                            sg.neighborhood(u)) +
+                            eng.cardinality(ctx, tid,
+                                            sg.neighborhood(v))) -
+                        card;
+                    similarity = uni == 0.0 ? 0.0 : card / uni;
+                } else if (measure == SimilarityMeasure::Overlap) {
+                    const double smaller = static_cast<double>(
+                        std::min(eng.cardinality(ctx, tid,
+                                                 sg.neighborhood(u)),
+                                 eng.cardinality(
+                                     ctx, tid, sg.neighborhood(v))));
+                    similarity = smaller == 0.0 ? 0.0 : card / smaller;
+                }
+                acceptEdge(tid, u, v, similarity);
+            }
+        });
+    }
 
     // Summarize: non-singleton components of C are the clusters.
     std::vector<std::uint32_t> size(n, 0);

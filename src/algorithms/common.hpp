@@ -9,6 +9,7 @@
 #ifndef SISA_ALGORITHMS_COMMON_HPP
 #define SISA_ALGORITHMS_COMMON_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -63,6 +64,28 @@ parallelFor(sim::SimContext &ctx, std::uint64_t total, Fn &&fn)
             if (ctx.cutoffReached(tid))
                 break;
             fn(tid, i);
+        }
+    }
+}
+
+/**
+ * Chunked variant of parallelFor for batched dispatch: each logical
+ * thread walks its contiguous block in sub-ranges of at most
+ * @p chunk indices, calling `fn(tid, begin, end)` per sub-range
+ * (cutoffs are checked between chunks; `fn` handles finer grain).
+ */
+template <typename Fn>
+void
+parallelForChunks(sim::SimContext &ctx, std::uint64_t total,
+                  std::uint64_t chunk, Fn &&fn)
+{
+    for (sim::ThreadId tid = 0; tid < ctx.numThreads(); ++tid) {
+        const sim::Range range =
+            sim::blockRange(total, ctx.numThreads(), tid);
+        for (std::uint64_t begin = range.begin;
+             begin < range.end && !ctx.cutoffReached(tid);
+             begin += chunk) {
+            fn(tid, begin, std::min(range.end, begin + chunk));
         }
     }
 }

@@ -1,5 +1,7 @@
 #include "algorithms/kclique.hpp"
 
+#include <algorithm>
+
 #include "support/logging.hpp"
 
 namespace sisa::algorithms {
@@ -47,15 +49,39 @@ struct KcTask
             eng.destroy(ctx, tid, c_i);
             return found;
         }
-        for (sets::Element v : eng.elements(ctx, tid, c_i)) {
-            if (ctx.cutoffReached(tid))
-                break;
-            // C_{i+1} = N+(v) cap C_i.
-            const core::SetId c_next = eng.intersect(
-                ctx, tid, sg.neighborhood(v), c_i, variant);
-            stack.push_back(v);
-            found += count(i + 1, c_next);
-            stack.pop_back();
+        // C_{i+1} = N+(v) cap C_i for every candidate v: the
+        // extensions of this level are independent, so issue them as
+        // batched dispatches (the varying N+(v) routes each op to its
+        // vault) and recurse on the results. Chunking bounds the
+        // number of simultaneously materialized extension sets.
+        constexpr std::size_t batch_chunk = 64;
+        const std::vector<sets::Element> elems =
+            eng.elements(ctx, tid, c_i);
+        core::BatchRequest batch;
+        for (std::size_t base = 0;
+             base < elems.size() && !ctx.cutoffReached(tid);
+             base += batch_chunk) {
+            const std::size_t chunk_end =
+                std::min(elems.size(), base + batch_chunk);
+            batch.clear();
+            batch.reserve(chunk_end - base);
+            for (std::size_t idx = base; idx < chunk_end; ++idx)
+                batch.intersect(sg.neighborhood(elems[idx]), c_i,
+                                variant);
+            const core::BatchResult res =
+                eng.executeBatch(ctx, tid, batch);
+            for (std::size_t idx = base; idx < chunk_end; ++idx) {
+                const core::SetId c_next =
+                    res.entries[idx - base].set;
+                if (ctx.cutoffReached(tid)) {
+                    // Past the cutoff: drop the unused extensions.
+                    eng.destroy(ctx, tid, c_next);
+                    continue;
+                }
+                stack.push_back(elems[idx]);
+                found += count(i + 1, c_next);
+                stack.pop_back();
+            }
         }
         eng.destroy(ctx, tid, c_i);
         return found;
@@ -119,16 +145,27 @@ fourCliqueCount(OrientedSetGraph &osg, sim::SimContext &ctx)
                 break;
             const core::SetId s1 = eng.intersect(
                 ctx, tid, sg.neighborhood(v1), sg.neighborhood(v2));
-            for (sets::Element v3 : eng.elements(ctx, tid, s1)) {
-                const std::uint64_t found = eng.intersectCard(
-                    ctx, tid, s1, sg.neighborhood(v3));
-                partial[tid] += found;
-                for (std::uint64_t t = 0; t < found; ++t) {
-                    if (!ctx.countPattern(tid))
+            const std::vector<sets::Element> wedge =
+                eng.elements(ctx, tid, s1);
+            if (!wedge.empty()) {
+                // |S1 cap N+(v3)| for all v3 in S1 in one dispatch;
+                // the varying N+(v3) is the vault-routing operand.
+                core::BatchRequest batch;
+                batch.reserve(wedge.size());
+                for (sets::Element v3 : wedge)
+                    batch.intersectCard(sg.neighborhood(v3), s1);
+                const core::BatchResult res =
+                    eng.executeBatch(ctx, tid, batch);
+                for (const core::BatchEntry &entry : res.entries) {
+                    const std::uint64_t found = entry.value;
+                    partial[tid] += found;
+                    for (std::uint64_t t = 0; t < found; ++t) {
+                        if (!ctx.countPattern(tid))
+                            break;
+                    }
+                    if (ctx.cutoffReached(tid))
                         break;
                 }
-                if (ctx.cutoffReached(tid))
-                    break;
             }
             eng.destroy(ctx, tid, s1);
         }

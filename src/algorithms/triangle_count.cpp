@@ -11,14 +11,27 @@ triangleCount(OrientedSetGraph &osg, sim::SimContext &ctx,
     const VertexId n = sg.numVertices();
 
     std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    core::BatchRequest batch;
     parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
         const auto v = static_cast<VertexId>(i);
-        for (VertexId w : osg.oriented.neighbors(v)) {
-            // The variant knob only matters for SA-SA pairs; the
-            // engine handles DB operands itself.
-            const std::uint64_t found =
-                eng.intersectCard(ctx, tid, sg.neighborhood(v),
-                                  sg.neighborhood(w), variant);
+        const auto &nbrs = osg.oriented.neighbors(v);
+        if (nbrs.empty())
+            return;
+        // One dispatch per neighborhood: |N+(v) cap N+(w)| for every
+        // out-neighbor w at once. The variant knob only matters for
+        // SA-SA pairs; the engine handles DB operands itself. N+(w)
+        // is the primary (vault-routing) operand: it varies across
+        // the batch, so the ops spread over vaults, while the
+        // loop-invariant N+(v) would pin them all to one.
+        batch.clear();
+        batch.reserve(nbrs.size());
+        for (VertexId w : nbrs) {
+            batch.intersectCard(sg.neighborhood(w), sg.neighborhood(v),
+                                variant);
+        }
+        const core::BatchResult res = eng.executeBatch(ctx, tid, batch);
+        for (const core::BatchEntry &entry : res.entries) {
+            const std::uint64_t found = entry.value;
             partial[tid] += found;
             for (std::uint64_t t = 0; t < found; ++t) {
                 if (!ctx.countPattern(tid))
@@ -42,12 +55,20 @@ triangleCountNodeIterator(SetGraph &sg, sim::SimContext &ctx)
     const VertexId n = sg.numVertices();
 
     std::vector<std::uint64_t> partial(ctx.numThreads(), 0);
+    core::BatchRequest batch;
     parallelFor(ctx, n, [&](sim::ThreadId tid, std::uint64_t i) {
         const auto v = static_cast<VertexId>(i);
-        for (VertexId w : sg.graph().neighbors(v)) {
-            partial[tid] += eng.intersectCard(
-                ctx, tid, sg.neighborhood(v), sg.neighborhood(w));
-        }
+        const auto &nbrs = sg.graph().neighbors(v);
+        if (nbrs.empty())
+            return;
+        batch.clear();
+        batch.reserve(nbrs.size());
+        // The varying neighborhood routes the op to its vault.
+        for (VertexId w : nbrs)
+            batch.intersectCard(sg.neighborhood(w), sg.neighborhood(v));
+        const core::BatchResult res = eng.executeBatch(ctx, tid, batch);
+        for (const core::BatchEntry &entry : res.entries)
+            partial[tid] += entry.value;
     });
 
     std::uint64_t total = 0;

@@ -314,6 +314,44 @@ CpuSetEngine::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
     return store_.cardinality(a) + store_.cardinality(b) - inter;
 }
 
+BatchResult
+CpuSetEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                           const BatchRequest &batch)
+{
+    // A CPU has no vault fan-out: the batch is sugar for a serial
+    // instruction sequence, so costs are charged exactly as if the
+    // operations had been issued one by one (through the same
+    // vectorized kernels underneath).
+    BatchResult result;
+    result.entries.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const BatchOp &op = batch.ops[i];
+        BatchEntry &entry = result.entries[i];
+        switch (op.kind) {
+          case BatchOpKind::Intersect:
+            entry.set = intersect(ctx, tid, op.a, op.b, op.variant);
+            entry.value = store_.cardinality(entry.set);
+            break;
+          case BatchOpKind::Union:
+            entry.set = setUnion(ctx, tid, op.a, op.b, op.variant);
+            entry.value = store_.cardinality(entry.set);
+            break;
+          case BatchOpKind::Difference:
+            entry.set = difference(ctx, tid, op.a, op.b, op.variant);
+            entry.value = store_.cardinality(entry.set);
+            break;
+          case BatchOpKind::IntersectCard:
+            entry.value = intersectCard(ctx, tid, op.a, op.b,
+                                        op.variant);
+            break;
+          case BatchOpKind::UnionCard:
+            entry.value = unionCard(ctx, tid, op.a, op.b);
+            break;
+        }
+    }
+    return result;
+}
+
 std::uint64_t
 CpuSetEngine::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {

@@ -47,6 +47,8 @@ class CpuSetEngine : public SetEngine
                   SisaOp variant = SisaOp::IntersectAuto) override;
     std::uint64_t unionCard(sim::SimContext &ctx, sim::ThreadId tid,
                             SetId a, SetId b) override;
+    BatchResult executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                             const BatchRequest &batch) override;
     std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
                               SetId a) override;
     bool member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,

@@ -22,11 +22,17 @@
 #include <vector>
 
 #include "sim/context.hpp"
+#include "sisa/batch.hpp"
 #include "sisa/isa.hpp"
 #include "sisa/set_store.hpp"
 
 namespace sisa::core {
 
+using isa::BatchEntry;
+using isa::BatchOp;
+using isa::BatchOpKind;
+using isa::BatchRequest;
+using isa::BatchResult;
 using isa::SetId;
 using isa::SetStore;
 using isa::SisaOp;
@@ -67,6 +73,21 @@ class SetEngine
     virtual std::uint64_t unionCard(sim::SimContext &ctx,
                                     sim::ThreadId tid, SetId a,
                                     SetId b) = 0;
+
+    // --- Batched operations -------------------------------------------------
+
+    /**
+     * Issue every operation of @p batch in ONE dispatch and return
+     * per-operation results in request order. Batched execution is
+     * bit-identical to issuing the operations serially (same result
+     * sets, same ids, same setops.* work totals); only the cycle
+     * model differs: the SISA engine decodes once and spreads the
+     * batch across its vaults (paying the slowest vault's makespan),
+     * while the CPU engine runs the batch serially as software would.
+     */
+    virtual BatchResult executeBatch(sim::SimContext &ctx,
+                                     sim::ThreadId tid,
+                                     const BatchRequest &batch) = 0;
 
     // --- Element operations -----------------------------------------------
 

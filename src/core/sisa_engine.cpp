@@ -45,6 +45,13 @@ SisaEngine::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
     return scu_.unionCard(ctx, tid, a, b);
 }
 
+BatchResult
+SisaEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                         const BatchRequest &batch)
+{
+    return scu_.dispatchBatch(ctx, tid, batch);
+}
+
 std::uint64_t
 SisaEngine::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
@@ -107,14 +114,16 @@ SisaEngine::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 std::vector<Element>
 SisaEngine::elements(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
-    // The host core streams the set out of the vault at b_M.
+    // The host core streams the set out of the vault at b_M: all of a
+    // DB's 8-byte words (rounded up -- sub-word universes still move
+    // one word), or the SA's 4-byte elements.
     const std::uint64_t card = store_.cardinality(a);
-    ctx.chargeBusy(tid, mem::pnmStreamCycles(scu_.config().pim,
-                                             store_.isDense(a)
-                                                 ? store_.universe() /
-                                                       sets::word_bits
-                                                 : card,
-                                             sizeof(Element)));
+    const std::uint64_t bytes =
+        store_.isDense(a)
+            ? sets::dbWords(store_.universe()) * sets::db_word_bytes
+            : card * sizeof(Element);
+    ctx.chargeBusy(tid,
+                   mem::pnmStreamBytesCycles(scu_.config().pim, bytes));
     return store_.elementsOf(a);
 }
 

@@ -21,12 +21,17 @@ Cycles
 pnmStreamCycles(const PimParams &params, std::uint64_t max_elems,
                 std::uint32_t elem_bytes)
 {
+    return pnmStreamBytesCycles(params, max_elems * elem_bytes);
+}
+
+Cycles
+pnmStreamBytesCycles(const PimParams &params, std::uint64_t bytes)
+{
     const double bandwidth = std::min(params.memBandwidth,
                                       params.interconnectBandwidth);
-    const double bytes =
-        static_cast<double>(max_elems) * static_cast<double>(elem_bytes);
     return params.dramLatency +
-           static_cast<Cycles>(std::ceil(bytes / bandwidth));
+           static_cast<Cycles>(
+               std::ceil(static_cast<double>(bytes) / bandwidth));
 }
 
 Cycles

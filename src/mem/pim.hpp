@@ -78,6 +78,15 @@ Cycles pnmStreamCycles(const PimParams &params, std::uint64_t max_elems,
                        std::uint32_t elem_bytes);
 
 /**
+ * Byte-granular form of the Section 8.3 streaming model:
+ * l_M + bytes / min(b_M, b_L). Streams of mixed word sizes (4-byte
+ * sparse-array elements vs 8-byte bitvector words) must be priced
+ * through this so their costs are comparable in bytes, not in
+ * incommensurate element counts.
+ */
+Cycles pnmStreamBytesCycles(const PimParams &params, std::uint64_t bytes);
+
+/**
  * SISA-PNM random-access model (Section 8.3): count the performed
  * random accesses and multiply by the memory access latency.
  */

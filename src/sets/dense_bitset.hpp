@@ -19,6 +19,21 @@
 
 namespace sisa::sets {
 
+/**
+ * Width of one DB storage word. Distinct from sets::word_bits (the
+ * 32-bit SA *element* width): DB streams move 8-byte words, and cost
+ * models must price them as such.
+ */
+inline constexpr std::uint32_t db_word_bits = 64;
+inline constexpr std::uint32_t db_word_bytes = db_word_bits / 8;
+
+/** 64-bit words needed for a bitvector over @p universe bits. */
+constexpr std::uint64_t
+dbWords(std::uint64_t universe)
+{
+    return (universe + db_word_bits - 1) / db_word_bits;
+}
+
 /** Fixed-universe bitvector with a cached cardinality. */
 class DenseBitset
 {

@@ -41,6 +41,29 @@
  * Cardinality-only variants charge the same outputElements as their
  * materializing twins (the logical result size) so set-size statistics
  * are comparable across variants.
+ *
+ * Cycle-charge conventions on top of these work counters (the SCU's
+ * Section 8.3 pricing; see sisa/scu.cpp):
+ *
+ *  - SA streams move 4-byte elements; DB streams move 8-byte 64-bit
+ *    words. Mixed SA-vs-DB plans are compared in BYTES
+ *    (mem::pnmStreamBytesCycles), never in raw element counts, and
+ *    the W used for a DB stream is ceil(universe / 64) -- it rounds
+ *    UP, so a sub-word universe still streams one word.
+ *  - A zero-cardinality operand short-circuits the whole operation:
+ *    intersection (and A \ B with |A| = 0) yields an empty set for a
+ *    metadata-only charge; union (and A \ B with |B| = 0) degenerates
+ *    to a copy of the live operand (RowClone for DBs, a stream for
+ *    SAs). No merge/gallop plan is selected.
+ *
+ * Batched dispatch (sisa/batch.hpp, SetEngine::executeBatch): a
+ * BatchRequest of N independent operations decodes ONCE, charges
+ * metadata per operand, executes each operation with exactly the
+ * kernels and OpWork formulas above (so batched == serial in results
+ * and in total setops.* counters), routes operations to vaults by
+ * operand hash, and charges the issuing thread the makespan of the
+ * slowest vault instead of the serial sum. Operations inside a batch
+ * must not consume each other's results.
  */
 
 #ifndef SISA_SETS_OPERATIONS_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Batched SISA instruction dispatch (the SISA-PNM throughput model of
+ * Sections 5-6). A BatchRequest carries N independent binary set
+ * operations that the SCU decodes ONCE and executes concurrently
+ * across its vaults: each operation is routed to a simulated vault by
+ * hashing its primary operand, operations mapped to the same vault
+ * serialize, and the batch's simulated cost is the makespan of the
+ * slowest vault -- exactly the cross-vault load-balance behaviour the
+ * paper's evaluation studies. Engines expose this through
+ * SetEngine::executeBatch (core/set_engine.hpp); batched and serial
+ * dispatch are bit-identical in their functional results and in their
+ * total setops.* work counters, only the cycle model differs.
+ */
+
+#ifndef SISA_SISA_BATCH_HPP
+#define SISA_SISA_BATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sisa/isa.hpp"
+
+namespace sisa::isa {
+
+/** Which binary set operation a batch entry performs. */
+enum class BatchOpKind : std::uint8_t
+{
+    Intersect,     ///< A cap B -> new set.
+    Union,         ///< A cup B -> new set.
+    Difference,    ///< A setminus B -> new set.
+    IntersectCard, ///< |A cap B| (no materialization).
+    UnionCard,     ///< |A cup B| (no materialization).
+};
+
+/**
+ * One operation inside a batch. Operations must be independent: no
+ * operand may be the result of another op in the same batch.
+ *
+ * Operand `a` is the PRIMARY operand: the SCU routes the op to vault
+ * hash(a), and ops on the same vault serialize. When a loop batches
+ * many ops against one shared set, pass the VARYING set as `a` (the
+ * symmetric ops -- intersect*, union* -- don't care about order) so
+ * the batch spreads across vaults instead of piling onto one.
+ */
+struct BatchOp
+{
+    BatchOpKind kind = BatchOpKind::Intersect;
+    SetId a = invalid_set;
+    SetId b = invalid_set;
+    /** Variant knob (merge/gallop forcing), as in the serial issue. */
+    SisaOp variant = SisaOp::IntersectAuto;
+};
+
+/** N set operations issued to the SCU as one dispatch. */
+struct BatchRequest
+{
+    std::vector<BatchOp> ops;
+
+    std::size_t size() const { return ops.size(); }
+    bool empty() const { return ops.empty(); }
+    void clear() { ops.clear(); }
+    void reserve(std::size_t n) { ops.reserve(n); }
+
+    void
+    intersect(SetId a, SetId b, SisaOp variant = SisaOp::IntersectAuto)
+    {
+        ops.push_back({BatchOpKind::Intersect, a, b, variant});
+    }
+
+    void
+    setUnion(SetId a, SetId b, SisaOp variant = SisaOp::UnionAuto)
+    {
+        ops.push_back({BatchOpKind::Union, a, b, variant});
+    }
+
+    void
+    difference(SetId a, SetId b,
+               SisaOp variant = SisaOp::DifferenceAuto)
+    {
+        ops.push_back({BatchOpKind::Difference, a, b, variant});
+    }
+
+    void
+    intersectCard(SetId a, SetId b,
+                  SisaOp variant = SisaOp::IntersectAuto)
+    {
+        ops.push_back({BatchOpKind::IntersectCard, a, b, variant});
+    }
+
+    void
+    unionCard(SetId a, SetId b)
+    {
+        ops.push_back({BatchOpKind::UnionCard, a, b,
+                       SisaOp::IntersectAuto});
+    }
+};
+
+/** Per-operation outcome of a batch dispatch, in request order. */
+struct BatchEntry
+{
+    /** Result set id for materializing ops; invalid_set otherwise. */
+    SetId set = invalid_set;
+    /**
+     * Scalar result: the cardinality for IntersectCard/UnionCard, and
+     * (for convenience) the result cardinality of materializing ops.
+     */
+    std::uint64_t value = 0;
+};
+
+/** Results of one batch dispatch, entry i matching request op i. */
+struct BatchResult
+{
+    std::vector<BatchEntry> entries;
+
+    std::size_t size() const { return entries.size(); }
+};
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_BATCH_HPP

@@ -1,6 +1,7 @@
 #include "sisa/scu.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "support/bits.hpp"
 #include "support/logging.hpp"
@@ -47,13 +48,64 @@ Scu::chargeMetadata(sim::SimContext &ctx, sim::ThreadId tid, SetId id)
     ctx.bumpCounter(hit ? "scu.smb_hits" : "scu.smb_misses");
 }
 
+// --- Section 8.3 cost predictors ------------------------------------------
+
+mem::Cycles
+Scu::pumCost(std::uint64_t n_bits, std::uint32_t row_ops) const
+{
+    const mem::Cycles base = mem::pumBulkCycles(config_.pim, n_bits);
+    const mem::Cycles per_op = base - config_.pim.dramLatency;
+    return config_.pim.dramLatency + per_op * row_ops;
+}
+
+mem::Cycles
+Scu::streamCost(std::uint64_t max_elems) const
+{
+    return mem::pnmStreamCycles(config_.pim, max_elems,
+                                sizeof(Element));
+}
+
+mem::Cycles
+Scu::streamDbWordsCost(std::uint64_t words) const
+{
+    return mem::pnmStreamBytesCycles(config_.pim,
+                                     words * sets::db_word_bytes);
+}
+
+mem::Cycles
+Scu::randomCost(std::uint64_t probes) const
+{
+    return mem::pnmRandomCycles(config_.pim, probes);
+}
+
+Scu::MixedPlan
+Scu::mixedProbePlan(std::uint64_t array_size) const
+{
+    // SA-vs-DB operations: either probe one bit per array element
+    // (independent accesses, overlapped on the PNM core) or stream
+    // the whole bitvector past the array. Both plans are priced in
+    // bytes -- 4 B per SA element, 8 B per 64-bit DB word -- so the
+    // comparison is unit-consistent, and the word count rounds UP
+    // (a universe smaller than one word still streams that word).
+    const std::uint64_t db_bytes =
+        sets::dbWords(store_.universe()) * sets::db_word_bytes;
+    const std::uint64_t sa_bytes = array_size * sizeof(Element);
+    const mem::Cycles probe_cost =
+        mem::pnmIndependentRandomCycles(config_.pim, array_size);
+    const mem::Cycles stream_cost = mem::pnmStreamBytesCycles(
+        config_.pim, std::max(sa_bytes, db_bytes));
+    if (stream_cost < probe_cost)
+        return {Backend::PnmStream, stream_cost};
+    return {Backend::PnmRandom, probe_cost};
+}
+
+// --- Charging wrappers (serial issue and element ops) ---------------------
+
 void
 Scu::chargePum(sim::SimContext &ctx, sim::ThreadId tid,
                std::uint64_t n_bits, std::uint32_t row_ops)
 {
-    const mem::Cycles base = mem::pumBulkCycles(config_.pim, n_bits);
-    const mem::Cycles per_op = base - config_.pim.dramLatency;
-    ctx.chargeBusy(tid, config_.pim.dramLatency + per_op * row_ops);
+    ctx.chargeBusy(tid, pumCost(n_bits, row_ops));
     ctx.bumpCounter("scu.pum_ops");
     lastBackend_ = Backend::Pum;
 }
@@ -62,8 +114,7 @@ void
 Scu::chargePnmStream(sim::SimContext &ctx, sim::ThreadId tid,
                      std::uint64_t max_elems)
 {
-    ctx.chargeBusy(tid, mem::pnmStreamCycles(config_.pim, max_elems,
-                                             sizeof(Element)));
+    ctx.chargeBusy(tid, streamCost(max_elems));
     ctx.bumpCounter("scu.pnm_stream_ops");
     lastBackend_ = Backend::PnmStream;
 }
@@ -72,7 +123,7 @@ void
 Scu::chargePnmRandom(sim::SimContext &ctx, sim::ThreadId tid,
                      std::uint64_t probes)
 {
-    ctx.chargeBusy(tid, mem::pnmRandomCycles(config_.pim, probes));
+    ctx.chargeBusy(tid, randomCost(probes));
     ctx.bumpCounter("scu.pnm_random_ops");
     lastBackend_ = Backend::PnmRandom;
 }
@@ -81,27 +132,12 @@ void
 Scu::chargeMixedProbe(sim::SimContext &ctx, sim::ThreadId tid,
                       std::uint64_t array_size)
 {
-    // SA-vs-DB operations: either probe one bit per array element
-    // (independent accesses, overlapped on the PNM core) or stream
-    // the whole bitvector past the array. The SCU picks the cheaper
-    // plan -- for small universes streaming the few bitvector words
-    // beats paying memory latency per probe.
-    const std::uint64_t db_words =
-        support::ceilDiv(store_.universe(), sets::word_bits);
-    const mem::Cycles probe_cost = mem::pnmIndependentRandomCycles(
-        config_.pim, array_size);
-    const mem::Cycles stream_cost = mem::pnmStreamCycles(
-        config_.pim, std::max<std::uint64_t>(array_size, db_words),
-        sizeof(Element));
-    if (stream_cost < probe_cost) {
-        ctx.chargeBusy(tid, stream_cost);
-        ctx.bumpCounter("scu.pnm_stream_ops");
-        lastBackend_ = Backend::PnmStream;
-    } else {
-        ctx.chargeBusy(tid, probe_cost);
-        ctx.bumpCounter("scu.pnm_random_ops");
-        lastBackend_ = Backend::PnmRandom;
-    }
+    const MixedPlan plan = mixedProbePlan(array_size);
+    ctx.chargeBusy(tid, plan.cycles);
+    ctx.bumpCounter(plan.backend == Backend::PnmStream
+                        ? "scu.pnm_stream_ops"
+                        : "scu.pnm_random_ops");
+    lastBackend_ = plan.backend;
 }
 
 void
@@ -120,8 +156,11 @@ Scu::wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const
 {
     const std::uint64_t small = std::min(size_a, size_b);
     const std::uint64_t big = std::max(size_a, size_b);
-    if (small == 0)
-        return true; // Degenerate: galloping touches nothing.
+    if (small == 0) {
+        // A zero-cardinality operand short-circuits the whole
+        // operation (see executeBinary); it must not pick a plan.
+        return false;
+    }
     if (config_.gallopThreshold > 0.0) {
         return static_cast<double>(big) >=
                config_.gallopThreshold * static_cast<double>(small);
@@ -134,6 +173,267 @@ Scu::wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const
     return gallop_cost < merge_cost;
 }
 
+// --- The shared plan-and-execute path -------------------------------------
+
+Scu::OpOutcome
+Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
+                   SisaOp variant) const
+{
+    OpOutcome out;
+    const bool a_dense = store_.isDense(a);
+    const bool b_dense = store_.isDense(b);
+    const std::uint64_t card_a = store_.cardinality(a);
+    const std::uint64_t card_b = store_.cardinality(b);
+
+    // Resolve the merge-vs-galloping knob for SA-SA pairs.
+    const auto resolve = [&](SisaOp merge_op, SisaOp gallop_op) {
+        if (variant == merge_op)
+            return false;
+        if (variant == gallop_op)
+            return true;
+        return wouldGallop(card_a, card_b);
+    };
+
+    // Materialize a copy of @p id (the degenerate result of a union
+    // or difference against an empty operand): RowClone for DBs, a
+    // vault stream for SAs.
+    const auto copySet = [&](SetId id) {
+        const std::uint64_t card = store_.cardinality(id);
+        if (store_.isDense(id)) {
+            out.payload = store_.db(id);
+            out.work.bitvectorWords +=
+                sets::dbWords(store_.universe());
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/1));
+        } else {
+            const auto span = store_.sa(id).elements();
+            out.payload = SortedArraySet(
+                std::vector<Element>(span.begin(), span.end()));
+            out.work.streamedElements += card;
+            out.addCharge(Backend::PnmStream, streamCost(card));
+        }
+        out.work.outputElements += card;
+    };
+
+    switch (kind) {
+      case BatchOpKind::Intersect: {
+        if (card_a == 0 || card_b == 0) {
+            // Short-circuit: the SM already proves the result empty;
+            // charge nothing beyond decode + metadata.
+            out.payload = SortedArraySet();
+            out.shortCircuited = true;
+            break;
+        }
+        if (a_dense && b_dense) {
+            // Two bitvectors are always processed with SISA-PUM (3c).
+            out.payload = sets::intersectDbDb(store_.db(a),
+                                              store_.db(b), out.work);
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/1));
+        } else if (a_dense != b_dense) {
+            out.payload = sets::intersectSaDb(
+                a_dense ? store_.sa(b) : store_.sa(a),
+                a_dense ? store_.db(a) : store_.db(b), out.work);
+            const MixedPlan plan =
+                mixedProbePlan(a_dense ? card_b : card_a);
+            out.addCharge(plan.backend, plan.cycles);
+        } else if (resolve(SisaOp::IntersectMerge,
+                           SisaOp::IntersectGallop)) {
+            out.payload = sets::intersectGallop(store_.sa(a),
+                                                store_.sa(b), out.work);
+            out.addCharge(Backend::PnmRandom,
+                          randomCost(out.work.probes));
+        } else {
+            out.payload = sets::intersectMerge(store_.sa(a),
+                                               store_.sa(b), out.work);
+            out.addCharge(Backend::PnmStream,
+                          streamCost(std::max(card_a, card_b)));
+        }
+        break;
+      }
+
+      case BatchOpKind::Union: {
+        if (card_a == 0 || card_b == 0) {
+            // A cup {} degenerates to a copy of the live operand.
+            copySet(card_a == 0 ? b : a);
+            out.shortCircuited = true;
+            break;
+        }
+        if (a_dense && b_dense) {
+            out.payload = sets::unionDbDb(store_.db(a), store_.db(b),
+                                          out.work);
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/1));
+        } else if (a_dense != b_dense) {
+            const std::uint64_t array_size = a_dense ? card_b : card_a;
+            out.payload = sets::unionSaDb(
+                a_dense ? store_.sa(b) : store_.sa(a),
+                a_dense ? store_.db(a) : store_.db(b), out.work);
+            // RowClone the DB copy, then set the SA's bits.
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/1));
+            const MixedPlan plan = mixedProbePlan(array_size);
+            out.addCharge(plan.backend, plan.cycles);
+        } else if (resolve(SisaOp::UnionMerge, SisaOp::UnionGallop)) {
+            out.payload = sets::unionGallop(store_.sa(a), store_.sa(b),
+                                            out.work);
+            out.addCharge(Backend::PnmRandom,
+                          randomCost(out.work.probes +
+                                     std::min(card_a, card_b)));
+            // The copied larger run still streams through the vault.
+            out.addCharge(Backend::PnmStream,
+                          streamCost(std::max(card_a, card_b)));
+        } else {
+            out.payload = sets::unionMerge(store_.sa(a), store_.sa(b),
+                                           out.work);
+            out.addCharge(Backend::PnmStream,
+                          streamCost(card_a + card_b));
+        }
+        break;
+      }
+
+      case BatchOpKind::Difference: {
+        if (card_a == 0) {
+            out.payload = SortedArraySet();
+            out.shortCircuited = true;
+            break;
+        }
+        if (card_b == 0) {
+            copySet(a);
+            out.shortCircuited = true;
+            break;
+        }
+        if (a_dense && b_dense) {
+            // A \ B = A AND (NOT B): in-situ NOT plus AND (8.1).
+            out.payload = sets::differenceDbDb(store_.db(a),
+                                               store_.db(b), out.work);
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/2));
+        } else if (!a_dense && b_dense) {
+            out.payload = sets::differenceSaDb(store_.sa(a),
+                                               store_.db(b), out.work);
+            const MixedPlan plan = mixedProbePlan(card_a);
+            out.addCharge(plan.backend, plan.cycles);
+        } else if (a_dense && !b_dense) {
+            out.payload = sets::differenceDbSa(store_.db(a),
+                                               store_.sa(b), out.work);
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(),
+                                  /*row_ops=*/1)); // Copy.
+            const MixedPlan plan = mixedProbePlan(card_b);
+            out.addCharge(plan.backend, plan.cycles);
+        } else if (resolve(SisaOp::DifferenceMerge,
+                           SisaOp::DifferenceGallop)) {
+            out.payload = sets::differenceGallop(
+                store_.sa(a), store_.sa(b), out.work);
+            out.addCharge(Backend::PnmRandom,
+                          randomCost(out.work.probes));
+        } else {
+            out.payload = sets::differenceMerge(
+                store_.sa(a), store_.sa(b), out.work);
+            out.addCharge(Backend::PnmStream,
+                          streamCost(std::max(card_a, card_b)));
+        }
+        break;
+      }
+
+      case BatchOpKind::IntersectCard:
+      case BatchOpKind::UnionCard: {
+        if (card_a == 0 || card_b == 0) {
+            out.scalar = 0;
+            out.shortCircuited = true;
+        } else if (a_dense && b_dense) {
+            out.scalar = sets::intersectCardDbDb(store_.db(a),
+                                                 store_.db(b), out.work);
+            // In-situ AND, then the logic layer streams the result
+            // row for the population count: ceil(universe / 64)
+            // 8-byte words (truncating this streamed 0 words for
+            // sub-word universes).
+            out.addCharge(Backend::Pum,
+                          pumCost(store_.universe(), /*row_ops=*/1));
+            out.addCharge(Backend::PnmStream,
+                          streamDbWordsCost(
+                              sets::dbWords(store_.universe())));
+        } else if (a_dense != b_dense) {
+            const auto &array = a_dense ? store_.sa(b) : store_.sa(a);
+            const auto &bits = a_dense ? store_.db(a) : store_.db(b);
+            out.scalar = sets::intersectCardSaDb(array, bits, out.work);
+            const MixedPlan plan = mixedProbePlan(array.size());
+            out.addCharge(plan.backend, plan.cycles);
+        } else if (resolve(SisaOp::IntersectMerge,
+                           SisaOp::IntersectGallop)) {
+            out.scalar = sets::intersectCardGallop(
+                store_.sa(a), store_.sa(b), out.work);
+            out.addCharge(Backend::PnmRandom,
+                          randomCost(out.work.probes));
+        } else {
+            out.scalar = sets::intersectCardMerge(
+                store_.sa(a), store_.sa(b), out.work);
+            out.addCharge(Backend::PnmStream,
+                          streamCost(std::max(card_a, card_b)));
+        }
+        if (kind == BatchOpKind::UnionCard) {
+            // |A cup B| = |A| + |B| - |A cap B| (O(1) metadata).
+            out.scalar = card_a + card_b - out.scalar;
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+void
+Scu::chargeOutcome(sim::SimContext &ctx, sim::ThreadId tid,
+                   const OpOutcome &outcome)
+{
+    for (std::uint32_t i = 0; i < outcome.numCharges; ++i) {
+        const OpCharge &charge = outcome.charges[i];
+        ctx.chargeBusy(tid, charge.cycles);
+        switch (charge.backend) {
+          case Backend::Pum:
+            ctx.bumpCounter("scu.pum_ops");
+            break;
+          case Backend::PnmStream:
+            ctx.bumpCounter("scu.pnm_stream_ops");
+            break;
+          case Backend::PnmRandom:
+            ctx.bumpCounter("scu.pnm_random_ops");
+            break;
+          case Backend::None:
+            break;
+        }
+    }
+    if (outcome.shortCircuited)
+        ctx.bumpCounter("scu.short_circuits");
+    recordWork(ctx, outcome.work);
+}
+
+void
+Scu::applyOutcome(sim::SimContext &ctx, sim::ThreadId tid,
+                  const OpOutcome &outcome)
+{
+    chargeOutcome(ctx, tid, outcome);
+    lastBackend_ = outcome.numCharges
+                       ? outcome.charges[outcome.numCharges - 1].backend
+                       : Backend::None;
+}
+
+SetId
+Scu::adoptOutcome(OpOutcome &&outcome)
+{
+    if (std::holds_alternative<SortedArraySet>(outcome.payload)) {
+        return store_.adopt(
+            std::get<SortedArraySet>(std::move(outcome.payload)));
+    }
+    if (std::holds_alternative<DenseBitset>(outcome.payload)) {
+        return store_.adopt(
+            std::get<DenseBitset>(std::move(outcome.payload)));
+    }
+    return invalid_set;
+}
+
+// --- Serial instruction issue ---------------------------------------------
+
 SetId
 Scu::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
                SisaOp variant)
@@ -144,43 +444,9 @@ Scu::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
     ctx.recordSetSize(tid, store_.cardinality(a));
     ctx.recordSetSize(tid, store_.cardinality(b));
 
-    OpWork work;
-    SetId result;
-    const bool a_dense = store_.isDense(a);
-    const bool b_dense = store_.isDense(b);
-    // NOTE: adopt() may grow the store and invalidate references into
-    // it, so capture every size needed for charging by value first.
-    const std::uint64_t card_a = store_.cardinality(a);
-    const std::uint64_t card_b = store_.cardinality(b);
-
-    if (a_dense && b_dense) {
-        // Two bitvectors are always processed with SISA-PUM (Sec. 3c).
-        result = store_.adopt(
-            sets::intersectDbDb(store_.db(a), store_.db(b), work));
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
-    } else if (a_dense != b_dense) {
-        result = store_.adopt(sets::intersectSaDb(
-            a_dense ? store_.sa(b) : store_.sa(a),
-            a_dense ? store_.db(a) : store_.db(b), work));
-        chargeMixedProbe(ctx, tid, a_dense ? card_b : card_a);
-    } else {
-        bool gallop;
-        switch (variant) {
-          case SisaOp::IntersectMerge: gallop = false; break;
-          case SisaOp::IntersectGallop: gallop = true; break;
-          default: gallop = wouldGallop(card_a, card_b); break;
-        }
-        if (gallop) {
-            result = store_.adopt(sets::intersectGallop(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmRandom(ctx, tid, work.probes);
-        } else {
-            result = store_.adopt(sets::intersectMerge(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmStream(ctx, tid, std::max(card_a, card_b));
-        }
-    }
-    recordWork(ctx, work);
+    OpOutcome out = executeBinary(BatchOpKind::Intersect, a, b, variant);
+    applyOutcome(ctx, tid, out);
+    const SetId result = adoptOutcome(std::move(out));
     traceOp(variant, result, a, b);
     return result;
 }
@@ -261,48 +527,9 @@ Scu::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
     ctx.recordSetSize(tid, store_.cardinality(a));
     ctx.recordSetSize(tid, store_.cardinality(b));
 
-    OpWork work;
-    SetId result;
-    const bool a_dense = store_.isDense(a);
-    const bool b_dense = store_.isDense(b);
-    const std::uint64_t card_a = store_.cardinality(a);
-    const std::uint64_t card_b = store_.cardinality(b);
-
-    if (a_dense && b_dense) {
-        result = store_.adopt(
-            sets::unionDbDb(store_.db(a), store_.db(b), work));
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
-    } else if (a_dense != b_dense) {
-        const std::uint64_t array_size = a_dense ? card_b : card_a;
-        result = store_.adopt(sets::unionSaDb(
-            a_dense ? store_.sa(b) : store_.sa(a),
-            a_dense ? store_.db(a) : store_.db(b), work));
-        // RowClone the DB copy, then set the SA's bits.
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
-        chargeMixedProbe(ctx, tid, array_size);
-    } else {
-        bool gallop;
-        switch (variant) {
-          case SisaOp::UnionMerge: gallop = false; break;
-          case SisaOp::UnionGallop: gallop = true; break;
-          default: gallop = wouldGallop(card_a, card_b); break;
-        }
-        if (gallop) {
-            result = store_.adopt(sets::unionGallop(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmRandom(
-                ctx, tid,
-                work.probes +
-                    std::min(card_a, card_b)); // Probe + insert.
-            // The copied larger run still streams through the vault.
-            chargePnmStream(ctx, tid, std::max(card_a, card_b));
-        } else {
-            result = store_.adopt(sets::unionMerge(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmStream(ctx, tid, card_a + card_b);
-        }
-    }
-    recordWork(ctx, work);
+    OpOutcome out = executeBinary(BatchOpKind::Union, a, b, variant);
+    applyOutcome(ctx, tid, out);
+    const SetId result = adoptOutcome(std::move(out));
     traceOp(variant, result, a, b);
     return result;
 }
@@ -317,45 +544,9 @@ Scu::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
     ctx.recordSetSize(tid, store_.cardinality(a));
     ctx.recordSetSize(tid, store_.cardinality(b));
 
-    OpWork work;
-    SetId result;
-    const bool a_dense = store_.isDense(a);
-    const bool b_dense = store_.isDense(b);
-    const std::uint64_t card_a = store_.cardinality(a);
-    const std::uint64_t card_b = store_.cardinality(b);
-
-    if (a_dense && b_dense) {
-        // A \ B = A AND (NOT B): one in-situ NOT plus one AND (8.1).
-        result = store_.adopt(
-            sets::differenceDbDb(store_.db(a), store_.db(b), work));
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/2);
-    } else if (!a_dense && b_dense) {
-        result = store_.adopt(
-            sets::differenceSaDb(store_.sa(a), store_.db(b), work));
-        chargeMixedProbe(ctx, tid, card_a);
-    } else if (a_dense && !b_dense) {
-        result = store_.adopt(
-            sets::differenceDbSa(store_.db(a), store_.sa(b), work));
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // Copy.
-        chargeMixedProbe(ctx, tid, card_b);
-    } else {
-        bool gallop;
-        switch (variant) {
-          case SisaOp::DifferenceMerge: gallop = false; break;
-          case SisaOp::DifferenceGallop: gallop = true; break;
-          default: gallop = wouldGallop(card_a, card_b); break;
-        }
-        if (gallop) {
-            result = store_.adopt(sets::differenceGallop(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmRandom(ctx, tid, work.probes);
-        } else {
-            result = store_.adopt(sets::differenceMerge(
-                store_.sa(a), store_.sa(b), work));
-            chargePnmStream(ctx, tid, std::max(card_a, card_b));
-        }
-    }
-    recordWork(ctx, work);
+    OpOutcome out = executeBinary(BatchOpKind::Difference, a, b, variant);
+    applyOutcome(ctx, tid, out);
+    const SetId result = adoptOutcome(std::move(out));
     traceOp(variant, result, a, b);
     return result;
 }
@@ -370,42 +561,11 @@ Scu::intersectCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
     ctx.recordSetSize(tid, store_.cardinality(a));
     ctx.recordSetSize(tid, store_.cardinality(b));
 
-    OpWork work;
-    std::uint64_t card;
-    const bool a_dense = store_.isDense(a);
-    const bool b_dense = store_.isDense(b);
-
-    if (a_dense && b_dense) {
-        card = sets::intersectCardDbDb(store_.db(a), store_.db(b), work);
-        // In-situ AND, then the logic layer streams the result row for
-        // the population count.
-        chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
-        chargePnmStream(ctx, tid, store_.universe() / sets::word_bits);
-    } else if (a_dense != b_dense) {
-        const auto &array = a_dense ? store_.sa(b) : store_.sa(a);
-        const auto &bits = a_dense ? store_.db(a) : store_.db(b);
-        card = sets::intersectCardSaDb(array, bits, work);
-        chargeMixedProbe(ctx, tid, array.size());
-    } else {
-        const auto &sa = store_.sa(a);
-        const auto &sb = store_.sa(b);
-        bool gallop;
-        switch (variant) {
-          case SisaOp::IntersectMerge: gallop = false; break;
-          case SisaOp::IntersectGallop: gallop = true; break;
-          default: gallop = wouldGallop(sa.size(), sb.size()); break;
-        }
-        if (gallop) {
-            card = sets::intersectCardGallop(sa, sb, work);
-            chargePnmRandom(ctx, tid, work.probes);
-        } else {
-            card = sets::intersectCardMerge(sa, sb, work);
-            chargePnmStream(ctx, tid, std::max(sa.size(), sb.size()));
-        }
-    }
-    recordWork(ctx, work);
+    const OpOutcome out =
+        executeBinary(BatchOpKind::IntersectCard, a, b, variant);
+    applyOutcome(ctx, tid, out);
     traceOp(SisaOp::IntersectCard, 0, a, b);
-    return card;
+    return out.scalar;
 }
 
 std::uint64_t
@@ -413,8 +573,179 @@ Scu::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b)
 {
     // |A cup B| = |A| + |B| - |A cap B|: cardinalities are O(1)
     // metadata, so only the intersection cardinality costs cycles.
-    const std::uint64_t inter = intersectCard(ctx, tid, a, b);
-    return store_.cardinality(a) + store_.cardinality(b) - inter;
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    chargeMetadata(ctx, tid, a);
+    chargeMetadata(ctx, tid, b);
+    ctx.recordSetSize(tid, store_.cardinality(a));
+    ctx.recordSetSize(tid, store_.cardinality(b));
+
+    const OpOutcome out =
+        executeBinary(BatchOpKind::UnionCard, a, b,
+                      SisaOp::IntersectAuto);
+    applyOutcome(ctx, tid, out);
+    traceOp(SisaOp::UnionCard, 0, a, b);
+    return out.scalar;
+}
+
+// --- Batched dispatch ------------------------------------------------------
+
+std::uint32_t
+Scu::vaultOf(SetId id) const
+{
+    // splitmix64 finalizer over the set id: deterministic, cheap, and
+    // well-mixed -- the hash distribution of sets across vaults the
+    // PNM design relies on for load balance.
+    std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(
+        x % std::max<std::uint32_t>(config_.pim.vaults, 1));
+}
+
+std::uint32_t
+Scu::batchWorkerCount() const
+{
+    if (config_.batchWorkers)
+        return config_.batchWorkers;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+VaultWorkerPool &
+Scu::pool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<VaultWorkerPool>(batchWorkerCount());
+    return *pool_;
+}
+
+BatchResult
+Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                   const BatchRequest &batch)
+{
+    BatchResult result;
+    const std::size_t n = batch.size();
+    result.entries.resize(n);
+    if (n == 0)
+        return result;
+
+    // One decode for the whole batch, then one serial metadata round
+    // per operand on the SCU front end (the SMB is shared state).
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    ctx.bumpCounter("scu.batch_dispatches");
+    ctx.bumpCounter("scu.batch_ops", n);
+    for (const BatchOp &op : batch.ops) {
+        chargeMetadata(ctx, tid, op.a);
+        chargeMetadata(ctx, tid, op.b);
+        ctx.recordSetSize(tid, store_.cardinality(op.a));
+        ctx.recordSetSize(tid, store_.cardinality(op.b));
+    }
+
+    // Route operations to vaults (hash of the primary operand) and
+    // build one serial queue per touched vault ("lane"). The scratch
+    // vault->lane table persists across dispatches; laneVault_ lists
+    // the entries to reset afterwards.
+    vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
+                      UINT32_MAX);
+    laneVault_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t vault = vaultOf(batch.ops[i].a);
+        std::uint32_t lane = vaultLane_[vault];
+        if (lane == UINT32_MAX) {
+            lane = static_cast<std::uint32_t>(laneVault_.size());
+            vaultLane_[vault] = lane;
+            laneVault_.push_back(vault);
+            if (laneOps_.size() <= lane)
+                laneOps_.emplace_back();
+            laneOps_[lane].clear();
+        }
+        laneOps_[lane].push_back(i);
+    }
+    const std::vector<std::vector<std::uint32_t>> &lane_ops = laneOps_;
+    // Lanes are fixed now: reset the table for the next dispatch.
+    for (const std::uint32_t vault : laneVault_)
+        vaultLane_[vault] = UINT32_MAX;
+
+    const auto lanes = static_cast<std::uint32_t>(laneVault_.size());
+    const std::uint32_t workers =
+        std::min(batchWorkerCount(), lanes);
+
+    // Worker w executes lanes l with l % workers == w, charging
+    // modeled cycles into its private SimContext (one logical thread
+    // per lane) -- no shared mutable state until the barrier.
+    std::vector<sim::SimContext> worker_ctx;
+    worker_ctx.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        const std::uint32_t own =
+            (lanes - w + workers - 1) / workers;
+        worker_ctx.emplace_back(own);
+    }
+
+    if (outcomes_.size() < n)
+        outcomes_.resize(n);
+    std::vector<OpOutcome> &outcomes = outcomes_;
+    const auto run_worker = [&](std::uint32_t w) {
+        sim::SimContext &wctx = worker_ctx[w];
+        for (std::uint32_t l = w; l < lanes; l += workers) {
+            const sim::ThreadId lane_tid = l / workers;
+            for (const std::uint32_t i : lane_ops[l]) {
+                const BatchOp &op = batch.ops[i];
+                outcomes[i] =
+                    executeBinary(op.kind, op.a, op.b, op.variant);
+                chargeOutcome(wctx, lane_tid, outcomes[i]);
+            }
+        }
+    };
+    if (workers <= 1) {
+        run_worker(0);
+    } else {
+        VaultWorkerPool &workers_pool = pool();
+        workers_pool.run([&](std::uint32_t w) {
+            if (w < workers)
+                run_worker(w);
+        });
+    }
+
+    // Barrier: vaults ran concurrently, so the issuing thread pays
+    // the makespan of the slowest vault; work counters simply sum.
+    mem::Cycles makespan = 0;
+    for (const sim::SimContext &wctx : worker_ctx) {
+        for (sim::ThreadId lane = 0; lane < wctx.numThreads(); ++lane)
+            makespan = std::max(makespan, wctx.threadCycles(lane));
+    }
+    ctx.chargeBusy(tid, makespan);
+    for (const sim::SimContext &wctx : worker_ctx) {
+        for (const auto &[name, value] : wctx.counters())
+            ctx.bumpCounter(name, value);
+    }
+
+    if (const OpOutcome &last = outcomes[n - 1]; last.numCharges) {
+        lastBackend_ = last.charges[last.numCharges - 1].backend;
+    } else {
+        lastBackend_ = Backend::None;
+    }
+
+    // Materialize results in request order (ids deterministic and
+    // identical to a serial issue of the same operations).
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const BatchOp &op = batch.ops[i];
+        BatchEntry &entry = result.entries[i];
+        entry.value = outcomes[i].scalar;
+        if (!std::holds_alternative<std::monostate>(
+                outcomes[i].payload)) {
+            entry.set = adoptOutcome(std::move(outcomes[i]));
+            entry.value = store_.cardinality(entry.set);
+        }
+        SisaOp traced = op.variant;
+        if (op.kind == BatchOpKind::IntersectCard)
+            traced = SisaOp::IntersectCard;
+        else if (op.kind == BatchOpKind::UnionCard)
+            traced = SisaOp::UnionCard;
+        traceOp(traced, entry.set == invalid_set ? 0 : entry.set, op.a,
+                op.b);
+    }
+    return result;
 }
 
 std::uint64_t

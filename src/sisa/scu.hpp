@@ -20,17 +20,21 @@
 #ifndef SISA_SISA_SCU_HPP
 #define SISA_SISA_SCU_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <variant>
 #include <vector>
 
 #include "mem/cache.hpp"
 #include "mem/pim.hpp"
 #include "sets/operations.hpp"
 #include "sim/context.hpp"
+#include "sisa/batch.hpp"
 #include "sisa/isa.hpp"
 #include "sisa/set_store.hpp"
 #include "sisa/trace.hpp"
+#include "sisa/vault_pool.hpp"
 
 namespace sisa::isa {
 
@@ -51,6 +55,13 @@ struct ScuConfig
      * iff max >= g * min), the knob swept in Figure 7b.
      */
     double gallopThreshold = 0.0;
+    /**
+     * Host worker threads executing batched dispatches (one worker
+     * serves vaults v with v % workers == worker id). 0 selects
+     * std::thread::hardware_concurrency(); 1 disables the pool and
+     * runs batches inline on the calling thread.
+     */
+    std::uint32_t batchWorkers = 0;
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -99,6 +110,23 @@ class Scu
     std::uint64_t unionCard(sim::SimContext &ctx, sim::ThreadId tid,
                             SetId a, SetId b);
 
+    /**
+     * Execute every operation of @p batch as ONE dispatch: a single
+     * decode, one metadata round per operand, then concurrent
+     * execution across the vaults. Each operation is routed to vault
+     * hash(primary operand) % vaults; operations on the same vault
+     * serialize, vaults run in parallel, and the calling simulated
+     * thread is charged the makespan of the slowest vault (merged at
+     * the barrier from per-worker SimContexts). Functional results
+     * and total setops.* counters are identical to issuing the same
+     * operations serially.
+     */
+    BatchResult dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                              const BatchRequest &batch);
+
+    /** Simulated vault holding @p id (hash-based assignment). */
+    std::uint32_t vaultOf(SetId id) const;
+
     /** |A| (O(1): a metadata lookup). */
     std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
                               SetId a);
@@ -143,6 +171,82 @@ class Scu
     bool wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const;
 
   private:
+    /**
+     * One planned-and-executed binary set operation, produced by
+     * executeBinary() without touching any SimContext or the store's
+     * id space. Serial dispatch applies it to the calling thread;
+     * batched dispatch applies it to a vault lane. Keeping a single
+     * execution path is what guarantees batched and serial dispatch
+     * pick identical plans and produce identical results.
+     */
+    struct OpCharge
+    {
+        Backend backend = Backend::None;
+        mem::Cycles cycles = 0;
+    };
+
+    struct OpOutcome
+    {
+        std::variant<std::monostate, SortedArraySet, DenseBitset>
+            payload; ///< Result set for materializing ops.
+        std::uint64_t scalar = 0;  ///< Cardinality for *Card ops.
+        sets::OpWork work;         ///< setops.* accounting.
+        std::array<OpCharge, 3> charges{};
+        std::uint32_t numCharges = 0;
+        bool shortCircuited = false; ///< Zero-cardinality fast path.
+
+        void
+        addCharge(Backend backend, mem::Cycles cycles)
+        {
+            charges[numCharges++] = {backend, cycles};
+        }
+    };
+
+    /**
+     * Plan and execute one binary set operation (Section 8.2/8.3
+     * dispatch rules; zero-cardinality operands short-circuit to a
+     * metadata-only charge). Reads the store but never mutates it.
+     */
+    OpOutcome executeBinary(BatchOpKind kind, SetId a, SetId b,
+                            SisaOp variant) const;
+
+    /**
+     * Charge @p outcome's cycles and counters to (@p ctx, @p tid).
+     * Never mutates `this` -- batch workers call it concurrently on
+     * their private contexts.
+     */
+    void chargeOutcome(sim::SimContext &ctx, sim::ThreadId tid,
+                       const OpOutcome &outcome);
+
+    /** chargeOutcome + lastBackend_ update (serial issue only). */
+    void applyOutcome(sim::SimContext &ctx, sim::ThreadId tid,
+                      const OpOutcome &outcome);
+
+    /** Adopt the payload (if any) into the store. */
+    SetId adoptOutcome(OpOutcome &&outcome);
+
+    // --- Pure Section 8.3 cost predictors (no side effects) -----------
+
+    mem::Cycles pumCost(std::uint64_t n_bits,
+                        std::uint32_t row_ops) const;
+    mem::Cycles streamCost(std::uint64_t max_elems) const;
+    /** DB word streams are priced at 8 bytes per word. */
+    mem::Cycles streamDbWordsCost(std::uint64_t words) const;
+    mem::Cycles randomCost(std::uint64_t probes) const;
+
+    struct MixedPlan
+    {
+        Backend backend = Backend::PnmRandom;
+        mem::Cycles cycles = 0;
+    };
+
+    /**
+     * SA-vs-DB plan: bit-probe each of @p array_size elements, or
+     * stream the bitvector past the array -- whichever the models
+     * predict cheaper, with both plans priced in bytes.
+     */
+    MixedPlan mixedProbePlan(std::uint64_t array_size) const;
+
     /** Charge the SMB/SM lookup for @p id's metadata. */
     void chargeMetadata(sim::SimContext &ctx, sim::ThreadId tid, SetId id);
 
@@ -176,11 +280,26 @@ class Scu
             trace_->record(op, rd, rs1, rs2);
     }
 
+    /** The worker pool, created lazily on the first parallel batch. */
+    VaultWorkerPool &pool();
+
+    /** Effective host worker count for batched dispatch. */
+    std::uint32_t batchWorkerCount() const;
+
     SetStore &store_;
     ScuConfig config_;
     std::vector<std::unique_ptr<mem::Cache>> smbs_;
     Backend lastBackend_ = Backend::None;
     InstructionTrace *trace_ = nullptr;
+    std::unique_ptr<VaultWorkerPool> pool_;
+
+    // Scratch reused across dispatchBatch calls so a small batch does
+    // not pay fresh allocations (instruction issue on one SCU is not
+    // reentrant, like the SMB state above).
+    std::vector<std::uint32_t> vaultLane_; ///< vault -> lane or ~0u.
+    std::vector<std::uint32_t> laneVault_; ///< lane -> vault (reset list).
+    std::vector<std::vector<std::uint32_t>> laneOps_;
+    std::vector<OpOutcome> outcomes_;
 };
 
 } // namespace sisa::isa

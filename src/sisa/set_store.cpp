@@ -1,10 +1,17 @@
 #include "sisa/set_store.hpp"
 
+#include "support/bits.hpp"
 #include "support/logging.hpp"
 
 namespace sisa::isa {
 
 SetStore::SetStore(Element universe) : universe_(universe) {}
+
+std::uint64_t
+SetStore::denseBytes() const
+{
+    return support::ceilDiv(universe_, 8);
+}
 
 SetId
 SetStore::allocateSlot()
@@ -39,7 +46,7 @@ SetStore::createFromSorted(std::vector<Element> elems, SetRepr repr)
     const SetId id = allocateSlot();
     const std::uint64_t bytes =
         repr == SetRepr::SparseArray ? elems.size() * sizeof(Element)
-                                     : universe_ / 8 + 1;
+                                     : denseBytes();
     if (repr == SetRepr::SparseArray) {
         payloads_[id] = SortedArraySet(std::move(elems));
     } else {
@@ -62,7 +69,7 @@ SetStore::createFull()
 {
     const SetId id = allocateSlot();
     payloads_[id] = DenseBitset::full(universe_);
-    metadata_[id].location = space_.allocate("set", universe_ / 8).base;
+    metadata_[id].location = space_.allocate("set", denseBytes()).base;
     refreshMetadata(id);
     ++liveCount_;
     return id;
@@ -177,7 +184,7 @@ SetStore::adopt(DenseBitset set)
 {
     sisa_assert(set.universe() == universe_, "universe mismatch");
     const SetId id = allocateSlot();
-    metadata_[id].location = space_.allocate("set", universe_ / 8).base;
+    metadata_[id].location = space_.allocate("set", denseBytes()).base;
     payloads_[id] = std::move(set);
     refreshMetadata(id);
     ++liveCount_;

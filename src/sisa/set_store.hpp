@@ -47,6 +47,14 @@ class SetStore
 
     Element universe() const { return universe_; }
 
+    /**
+     * Memory footprint of one dense bitvector over this universe:
+     * ceil(universe / 8) bytes. The single source of truth for DB
+     * allocation sizes (previously three call sites disagreed about
+     * rounding).
+     */
+    std::uint64_t denseBytes() const;
+
     /** Create a set from sorted unique elements in @p repr. */
     SetId createFromSorted(std::vector<Element> elems, SetRepr repr);
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Host-side worker pool backing the SCU's batched dispatch. The pool
+ * owns a fixed set of std::thread workers, each pinned to a disjoint
+ * slice of the simulated vaults (vault v belongs to worker
+ * v % size()), so per-vault state never needs synchronization: a
+ * worker is the only thread that touches its vaults' operations and
+ * cycle accumulators. run() hands every worker the same job and
+ * blocks at a barrier until all of them finish, mirroring the SCU
+ * waiting for the slowest vault.
+ *
+ * The pool is purely an execution vehicle for the host simulator; all
+ * *modeled* parallelism (per-vault cycle accounting, makespan merge)
+ * lives in Scu::dispatchBatch.
+ */
+
+#ifndef SISA_SISA_VAULT_POOL_HPP
+#define SISA_SISA_VAULT_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sisa::isa {
+
+/** Persistent worker threads for batched vault execution. */
+class VaultWorkerPool
+{
+  public:
+    /**
+     * @param workers Number of host threads; clamped to >= 1. The
+     *                caller decides the policy (hardware concurrency,
+     *                config override, ...).
+     */
+    explicit VaultWorkerPool(std::uint32_t workers);
+
+    ~VaultWorkerPool();
+
+    VaultWorkerPool(const VaultWorkerPool &) = delete;
+    VaultWorkerPool &operator=(const VaultWorkerPool &) = delete;
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(threads_.size());
+    }
+
+    /**
+     * Execute @p job(w) on every worker w in [0, size()) and wait for
+     * all of them (the batch barrier). Exceptions thrown by a job are
+     * captured and rethrown here after the barrier.
+     */
+    void run(const std::function<void(std::uint32_t)> &job);
+
+  private:
+    void workerLoop(std::uint32_t index);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::uint32_t)> *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::uint32_t remaining_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::exception_ptr> errors_;
+};
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_VAULT_POOL_HPP

@@ -611,3 +611,361 @@ TEST(IntersectMany, TracedAsOneInstruction)
 }
 
 } // namespace multi_tests
+
+// --- Cost-model regressions (word counts, byte pricing, short circuits) ---
+
+namespace cost_model_tests {
+
+using namespace sisa::isa;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+namespace mem = sisa::mem;
+namespace sets = sisa::sets;
+
+TEST(CostModel, SubWordUniverseStreamsOneWord)
+{
+    // A universe smaller than one 64-bit DB word: the popcount pass
+    // of a DB-DB intersectCard must stream ONE 8-byte word, not zero
+    // (universe / word_bits truncated to 0 before).
+    SetStore store(40);
+    ScuConfig config;
+    Scu scu(store, config, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1, 2, 3},
+                                           SetRepr::DenseBitvector);
+    const SetId b = store.createFromSorted({2, 3, 4},
+                                           SetRepr::DenseBitvector);
+    const auto before = ctx.threadBusy(0);
+    EXPECT_EQ(scu.intersectCard(ctx, 0, a, b), 2u);
+    const auto cost = ctx.threadBusy(0) - before;
+
+    const auto &pim = config.pim;
+    const mem::Cycles expected =
+        pim.scuDelay                                     // decode
+        + 2 * (pim.smbHitLatency + pim.dramLatency)      // 2 SMB misses
+        + mem::pumBulkCycles(pim, 40)                    // in-situ AND
+        + mem::pnmStreamBytesCycles(pim, sets::db_word_bytes);
+    EXPECT_EQ(cost, expected);
+}
+
+TEST(CostModel, DbDbCardWordCountRoundsUp)
+{
+    // 100 bits -> ceil(100 / 64) = 2 words at 8 bytes each (the
+    // truncating form streamed 1).
+    SetStore store(100);
+    ScuConfig config;
+    Scu scu(store, config, 1);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1, 70},
+                                           SetRepr::DenseBitvector);
+    const SetId b = store.createFromSorted({1, 70, 99},
+                                           SetRepr::DenseBitvector);
+    const auto before = ctx.threadBusy(0);
+    EXPECT_EQ(scu.intersectCard(ctx, 0, a, b), 2u);
+    const auto cost = ctx.threadBusy(0) - before;
+    const auto &pim = config.pim;
+    const mem::Cycles expected =
+        pim.scuDelay + 2 * (pim.smbHitLatency + pim.dramLatency) +
+        mem::pumBulkCycles(pim, 100) +
+        mem::pnmStreamBytesCycles(pim, 2 * sets::db_word_bytes);
+    EXPECT_EQ(cost, expected);
+}
+
+TEST(CostModel, MixedPlanSelectsAtByteCrossover)
+{
+    // SA-vs-DB dispatch with default parameters and a 2^16 universe:
+    // the stream plan moves ceil(65536 / 64) * 8 = 8192 bytes
+    // (l_M + 1024 = 1084 cycles); the probe plan costs
+    // ceil(l_M * n / mlp) = 15 n cycles. Crossover between n = 72
+    // (probe: 1080 < 1084) and n = 73 (probe: 1095 > 1084).
+    SetStore store(1u << 16);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    const SetId db = store.createFromSorted({5, 1000, 40000},
+                                            SetRepr::DenseBitvector);
+
+    std::vector<sisa::sets::Element> probe_side;
+    for (sisa::sets::Element e = 0; e < 72; ++e)
+        probe_side.push_back(e * 7);
+    const SetId sa72 = store.createFromSorted(probe_side,
+                                              SetRepr::SparseArray);
+    scu.intersectCard(ctx, 0, sa72, db);
+    EXPECT_EQ(scu.lastBackend(), Backend::PnmRandom);
+
+    probe_side.push_back(72 * 7);
+    const SetId sa73 = store.createFromSorted(probe_side,
+                                              SetRepr::SparseArray);
+    scu.intersectCard(ctx, 0, sa73, db);
+    EXPECT_EQ(scu.lastBackend(), Backend::PnmStream);
+}
+
+TEST(CostModel, ZeroCardinalityOperandShortCircuits)
+{
+    SetStore store(256);
+    ScuConfig config;
+    Scu scu(store, config, 1);
+    SimContext ctx(1);
+    const SetId empty = store.createFromSorted({}, SetRepr::SparseArray);
+    const SetId full = store.createFromSorted({1, 2, 3, 4, 5},
+                                              SetRepr::SparseArray);
+
+    // wouldGallop must not claim the gallop plan for empty operands.
+    EXPECT_FALSE(scu.wouldGallop(0, 100));
+    EXPECT_FALSE(scu.wouldGallop(100, 0));
+
+    // Intersect: empty result, metadata-only charge, no backend.
+    const auto before = ctx.threadBusy(0);
+    const SetId r = scu.intersect(ctx, 0, empty, full);
+    const auto cost = ctx.threadBusy(0) - before;
+    EXPECT_EQ(store.cardinality(r), 0u);
+    EXPECT_EQ(scu.lastBackend(), Backend::None);
+    const auto &pim = config.pim;
+    EXPECT_EQ(cost, pim.scuDelay +
+                        2 * (pim.smbHitLatency + pim.dramLatency));
+    EXPECT_EQ(ctx.counter("scu.short_circuits"), 1u);
+    EXPECT_EQ(ctx.counter("scu.pnm_random_ops"), 0u);
+
+    // Fused cardinality short-circuits to 0 the same way.
+    EXPECT_EQ(scu.intersectCard(ctx, 0, full, empty), 0u);
+    EXPECT_EQ(scu.lastBackend(), Backend::None);
+    EXPECT_EQ(ctx.counter("scu.short_circuits"), 2u);
+
+    // A \ {} degenerates to a streamed copy of A.
+    const SetId copy = scu.difference(ctx, 0, full, empty);
+    EXPECT_EQ(store.elementsOf(copy),
+              (std::vector<sisa::sets::Element>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(scu.lastBackend(), Backend::PnmStream);
+
+    // {} \ A is empty without touching a vault.
+    const SetId none = scu.difference(ctx, 0, empty, full);
+    EXPECT_EQ(store.cardinality(none), 0u);
+    EXPECT_EQ(scu.lastBackend(), Backend::None);
+
+    // {} cup A copies A.
+    const SetId uni = scu.setUnion(ctx, 0, empty, full);
+    EXPECT_EQ(store.elementsOf(uni),
+              (std::vector<sisa::sets::Element>{1, 2, 3, 4, 5}));
+}
+
+} // namespace cost_model_tests
+
+// --- Batched dispatch ------------------------------------------------------
+
+namespace batch_tests {
+
+using namespace sisa::isa;
+using sisa::sets::Element;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+/** Identical random set pools in two stores. */
+std::vector<SetId>
+makePool(SetStore &store, std::uint32_t count, Element universe,
+         std::uint64_t seed)
+{
+    std::vector<SetId> ids;
+    std::uint64_t state = seed;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (std::uint32_t s = 0; s < count; ++s) {
+        std::vector<Element> elems;
+        const std::uint64_t size = next() % 60; // Includes empty sets.
+        for (std::uint64_t e = 0; e < size; ++e)
+            elems.push_back(static_cast<Element>(next() % universe));
+        std::sort(elems.begin(), elems.end());
+        elems.erase(std::unique(elems.begin(), elems.end()),
+                    elems.end());
+        ids.push_back(store.createFromSorted(
+            elems, next() % 3 == 0 ? SetRepr::DenseBitvector
+                                   : SetRepr::SparseArray));
+    }
+    return ids;
+}
+
+BatchRequest
+makeRequest(const std::vector<SetId> &pool, std::uint32_t count,
+            std::uint64_t seed)
+{
+    BatchRequest req;
+    std::uint64_t state = seed;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const SetId a = pool[next() % pool.size()];
+        const SetId b = pool[next() % pool.size()];
+        switch (next() % 5) {
+          case 0: req.intersect(a, b); break;
+          case 1: req.setUnion(a, b); break;
+          case 2: req.difference(a, b); break;
+          case 3: req.intersectCard(a, b); break;
+          default: req.unionCard(a, b); break;
+        }
+    }
+    return req;
+}
+
+TEST(BatchDispatch, BitIdenticalToSerialDispatch)
+{
+    // The core batching contract: same results, same result ids, and
+    // same total setops.* work counters as issuing the ops serially.
+    SetStore store_batch(512), store_serial(512);
+    Scu scu_batch(store_batch, ScuConfig{}, 1);
+    Scu scu_serial(store_serial, ScuConfig{}, 1);
+    SimContext ctx_batch(1), ctx_serial(1);
+
+    const auto pool_b = makePool(store_batch, 24, 512, 42);
+    const auto pool_s = makePool(store_serial, 24, 512, 42);
+    const BatchRequest req_b = makeRequest(pool_b, 64, 7);
+    const BatchRequest req_s = makeRequest(pool_s, 64, 7);
+
+    const BatchResult res = scu_batch.dispatchBatch(ctx_batch, 0, req_b);
+    ASSERT_EQ(res.size(), req_b.size());
+
+    for (std::size_t i = 0; i < req_s.size(); ++i) {
+        const BatchOp &op = req_s.ops[i];
+        const BatchEntry &entry = res.entries[i];
+        switch (op.kind) {
+          case BatchOpKind::Intersect: {
+            const SetId r =
+                scu_serial.intersect(ctx_serial, 0, op.a, op.b);
+            EXPECT_EQ(entry.set, r);
+            EXPECT_EQ(store_batch.elementsOf(entry.set),
+                      store_serial.elementsOf(r));
+            break;
+          }
+          case BatchOpKind::Union: {
+            const SetId r =
+                scu_serial.setUnion(ctx_serial, 0, op.a, op.b);
+            EXPECT_EQ(entry.set, r);
+            EXPECT_EQ(store_batch.elementsOf(entry.set),
+                      store_serial.elementsOf(r));
+            break;
+          }
+          case BatchOpKind::Difference: {
+            const SetId r =
+                scu_serial.difference(ctx_serial, 0, op.a, op.b);
+            EXPECT_EQ(entry.set, r);
+            EXPECT_EQ(store_batch.elementsOf(entry.set),
+                      store_serial.elementsOf(r));
+            break;
+          }
+          case BatchOpKind::IntersectCard:
+            EXPECT_EQ(entry.value,
+                      scu_serial.intersectCard(ctx_serial, 0, op.a,
+                                               op.b));
+            break;
+          case BatchOpKind::UnionCard:
+            EXPECT_EQ(entry.value,
+                      scu_serial.unionCard(ctx_serial, 0, op.a, op.b));
+            break;
+        }
+    }
+
+    for (const char *name :
+         {"setops.streamed", "setops.probes", "setops.words",
+          "setops.output", "scu.pum_ops", "scu.pnm_stream_ops",
+          "scu.pnm_random_ops", "scu.short_circuits"}) {
+        EXPECT_EQ(ctx_batch.counter(name), ctx_serial.counter(name))
+            << name;
+    }
+}
+
+TEST(BatchDispatch, InvariantUnderWorkerCount)
+{
+    // The host worker count is an execution detail: 1 worker and 4
+    // workers must produce identical results AND identical modeled
+    // cycles/counters.
+    ScuConfig one, four;
+    one.batchWorkers = 1;
+    four.batchWorkers = 4;
+    SetStore store_1(1024), store_4(1024);
+    Scu scu_1(store_1, one, 1);
+    Scu scu_4(store_4, four, 1);
+    SimContext ctx_1(1), ctx_4(1);
+
+    const auto pool_1 = makePool(store_1, 32, 1024, 99);
+    const auto pool_4 = makePool(store_4, 32, 1024, 99);
+    const BatchRequest req_1 = makeRequest(pool_1, 200, 5);
+    const BatchRequest req_4 = makeRequest(pool_4, 200, 5);
+
+    const BatchResult res_1 = scu_1.dispatchBatch(ctx_1, 0, req_1);
+    const BatchResult res_4 = scu_4.dispatchBatch(ctx_4, 0, req_4);
+
+    ASSERT_EQ(res_1.size(), res_4.size());
+    for (std::size_t i = 0; i < res_1.size(); ++i) {
+        EXPECT_EQ(res_1.entries[i].set, res_4.entries[i].set);
+        EXPECT_EQ(res_1.entries[i].value, res_4.entries[i].value);
+    }
+    EXPECT_EQ(ctx_1.threadBusy(0), ctx_4.threadBusy(0));
+    EXPECT_EQ(ctx_1.counters(), ctx_4.counters());
+}
+
+TEST(BatchDispatch, ChargesSlowestVaultNotSum)
+{
+    // Ops spread across distinct vaults cost the batch their MAX,
+    // while a serial issue pays the SUM. (Metadata/decode still
+    // serialize, so compare against the post-metadata residue.)
+    SetStore store(4096);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx_batch(1), ctx_serial(1);
+
+    std::vector<Element> big;
+    for (Element e = 0; e < 3000; ++e)
+        big.push_back(e);
+    std::vector<SetId> sets;
+    for (int s = 0; s < 8; ++s)
+        sets.push_back(
+            store.createFromSorted(big, SetRepr::SparseArray));
+
+    BatchRequest req;
+    for (int s = 0; s < 8; s += 2)
+        req.intersectCard(sets[s], sets[s + 1]);
+
+    const BatchResult res = scu.dispatchBatch(ctx_batch, 0, req);
+    for (const BatchEntry &entry : res.entries)
+        EXPECT_EQ(entry.value, 3000u);
+
+    for (int s = 0; s < 8; s += 2)
+        scu.intersectCard(ctx_serial, 0, sets[s], sets[s + 1]);
+
+    // All four ops hash to at least two distinct vaults here, so the
+    // batched makespan must be strictly below the serial sum.
+    EXPECT_LT(ctx_batch.threadBusy(0), ctx_serial.threadBusy(0));
+}
+
+TEST(BatchDispatch, EmptyBatchIsFree)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    SimContext ctx(1);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, BatchRequest{});
+    EXPECT_EQ(res.size(), 0u);
+    EXPECT_EQ(ctx.threadBusy(0), 0u);
+}
+
+TEST(BatchDispatch, TracedPerOperation)
+{
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    InstructionTrace trace;
+    scu.setTrace(&trace);
+    SimContext ctx(1);
+    const SetId a = store.createFromSorted({1, 2},
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted({2, 3},
+                                           SetRepr::SparseArray);
+    BatchRequest req;
+    req.intersect(a, b);
+    req.intersectCard(a, b);
+    req.unionCard(a, b);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(trace.count(SisaOp::IntersectAuto), 1u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectCard), 1u);
+    EXPECT_EQ(trace.count(SisaOp::UnionCard), 1u);
+}
+
+} // namespace batch_tests

@@ -169,6 +169,28 @@ TEST(Pim, MergeBeatsGallopForSimilarSizes)
     EXPECT_LT(gallop_skewed, merge_skewed);
 }
 
+TEST(Pim, StreamBytesFormIsExact)
+{
+    PimParams p;
+    // l_M + ceil(bytes / min(b_M, b_L)), byte-granular.
+    EXPECT_EQ(pnmStreamBytesCycles(p, 0), p.dramLatency);
+    EXPECT_EQ(pnmStreamBytesCycles(p, 1), p.dramLatency + 1);
+    EXPECT_EQ(pnmStreamBytesCycles(p, 8), p.dramLatency + 1);
+    EXPECT_EQ(pnmStreamBytesCycles(p, 9), p.dramLatency + 2);
+    EXPECT_EQ(pnmStreamBytesCycles(p, 8192), p.dramLatency + 1024);
+}
+
+TEST(Pim, StreamElementFormDelegatesToBytes)
+{
+    // The element-count form must price exactly elem_bytes per
+    // element, so mixed-width streams (4 B SA elements vs 8 B DB
+    // words) are comparable after conversion to bytes.
+    PimParams p;
+    EXPECT_EQ(pnmStreamCycles(p, 1000, 4), pnmStreamBytesCycles(p, 4000));
+    EXPECT_EQ(pnmStreamCycles(p, 500, 8), pnmStreamBytesCycles(p, 4000));
+    EXPECT_EQ(pnmStreamCycles(p, 1000, 4), pnmStreamCycles(p, 500, 8));
+}
+
 TEST(Pim, PumBeatsPnmForWideBitvectors)
 {
     // The headline effect: an in-situ AND over n bits costs two row
