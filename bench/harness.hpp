@@ -36,6 +36,7 @@
 #include "core/sisa_engine.hpp"
 #include "graph/degeneracy.hpp"
 #include "graph/generators.hpp"
+#include "support/logging.hpp"
 
 namespace sisa::bench {
 
@@ -65,7 +66,29 @@ struct RunConfig
     sim::CpuParams cpu{};
     std::uint32_t labels = 0; ///< >0: attach random vertex labels.
     bool traceSetSizes = false;
+    /**
+     * Vault placement for Sisa mode: "hash" (default), "range", or
+     * "locality" (greedy edge-locality seeded from the run's graph).
+     * Placement moves cycle charges and setops.xvault_* counters
+     * only; results are policy-invariant.
+     */
+    std::string placement{};
 };
+
+/** Build the named placement policy over @p sg's traffic arcs. */
+inline std::shared_ptr<const isa::PlacementPolicy>
+makePlacement(const std::string &name, std::uint32_t vaults,
+              const core::SetGraph &sg)
+{
+    if (name == "range")
+        return std::make_shared<isa::RangePlacement>(vaults);
+    if (name == "locality")
+        return isa::greedyLocalityPlacement(vaults,
+                                            core::placementArcs(sg));
+    sisa_assert(name.empty() || name == "hash",
+                "unknown placement policy (hash | range | locality)");
+    return std::make_shared<isa::HashPlacement>(vaults);
+}
 
 /** Outcome of one run. */
 struct RunOutcome
@@ -150,16 +173,29 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
         }
     } else {
         std::unique_ptr<core::SetEngine> engine;
+        core::SisaEngine *sisa_engine = nullptr;
         if (mode == Mode::Sisa) {
-            engine = std::make_unique<core::SisaEngine>(
+            auto sisa = std::make_unique<core::SisaEngine>(
                 g->numVertices(), config.scu, config.threads);
+            sisa_engine = sisa.get();
+            engine = std::move(sisa);
         } else {
             engine = std::make_unique<core::CpuSetEngine>(
                 g->numVertices(), config.cpu, config.threads);
         }
+        // Placement can only be seeded once the neighborhood sets
+        // exist, so it installs right after SetGraph construction.
+        const auto installPlacement = [&](const core::SetGraph &sg) {
+            if (sisa_engine && !config.placement.empty()) {
+                sisa_engine->scu().setPlacement(
+                    makePlacement(config.placement,
+                                  config.scu.pim.vaults, sg));
+            }
+        };
         if (needs_orientation) {
             algorithms::OrientedSetGraph osg(*g, *engine,
                                              config.policy);
+            installPlacement(*osg.sets);
             if (problem == "tc") {
                 outcome.value = algorithms::triangleCount(osg, ctx);
             } else if (problem.rfind("kcc-", 0) == 0) {
@@ -173,6 +209,7 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
             }
         } else {
             core::SetGraph sg(*g, *engine, config.policy);
+            installPlacement(sg);
             if (problem == "mc") {
                 outcome.value =
                     algorithms::maximalCliques(sg, ctx).cliqueCount;

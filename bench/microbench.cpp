@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/sisa_engine.hpp"
+#include "graph/generators.hpp"
+#include "harness.hpp"
 #include "sets/kernels.hpp"
 #include "sets/operations.hpp"
 #include "support/rng.hpp"
@@ -195,19 +197,24 @@ struct SweepRow
     std::uint64_t size;
     double scalar_ns;
     double vector_ns;
+    const char *unit;
 };
 
 int
 runKernelSweep(const std::string &json_path)
 {
     std::vector<SweepRow> rows;
+    // @p unit is "ns" for timing rows; non-timing sweeps (the
+    // placement rows report modeled bytes/cycles) label themselves so
+    // JSON consumers never mix units into nanosecond statistics.
     const auto add = [&rows](std::string name, std::uint64_t size,
-                             double scalar_ns, double vector_ns) {
-        std::printf("  %-28s %12.0f ns -> %12.0f ns   (%.2fx)\n",
-                    name.c_str(), scalar_ns, vector_ns,
+                             double scalar_ns, double vector_ns,
+                             const char *unit = "ns") {
+        std::printf("  %-28s %12.0f %s -> %12.0f %s   (%.2fx)\n",
+                    name.c_str(), scalar_ns, unit, vector_ns, unit,
                     scalar_ns / vector_ns);
         rows.push_back(
-            {std::move(name), size, scalar_ns, vector_ns});
+            {std::move(name), size, scalar_ns, vector_ns, unit});
     };
 
     std::printf("kernel sweep (tier: %s, block: %zu lanes)\n",
@@ -383,6 +390,37 @@ runKernelSweep(const std::string &json_path)
         }
     }
 
+    // Placement sweep: cross-vault traffic of a fixed-seed RMAT
+    // triangle count under hash vs locality placement. These rows are
+    // NOT nanoseconds (their unit field says so): "scalar" is the
+    // HashPlacement value, "vector" the LocalityPlacement value, and
+    // "speedup" the reduction factor.
+    {
+        graph::RmatParams rmat_params;
+        rmat_params.scale = 9;
+        rmat_params.edgeFactor = 8;
+        const graph::Graph g = graph::rmat(rmat_params, 42);
+        const auto run = [&](const char *placement) {
+            bench::RunConfig rc;
+            rc.threads = 4;
+            rc.cutoff = 0;
+            rc.placement = placement;
+            bench::RunOutcome out =
+                bench::runProblem("tc", g, bench::Mode::Sisa, rc);
+            return std::pair{
+                out.ctx->counter("setops.xvault_bytes"),
+                out.cycles};
+        };
+        const auto [hash_bytes, hash_cycles] = run("hash");
+        const auto [locality_bytes, locality_cycles] = run("locality");
+        add("placement_tc_rmat9_xvault_bytes", g.numVertices(),
+            static_cast<double>(hash_bytes),
+            static_cast<double>(locality_bytes), "bytes");
+        add("placement_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(hash_cycles),
+            static_cast<double>(locality_cycles), "cycles");
+    }
+
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -397,10 +435,11 @@ runKernelSweep(const std::string &json_path)
         const SweepRow &r = rows[i];
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"size\": %llu, "
+                     "\"unit\": \"%s\", "
                      "\"scalar_ns\": %.1f, \"vector_ns\": %.1f, "
                      "\"speedup\": %.3f}%s\n",
                      r.name.c_str(),
-                     static_cast<unsigned long long>(r.size),
+                     static_cast<unsigned long long>(r.size), r.unit,
                      r.scalar_ns, r.vector_ns,
                      r.scalar_ns / r.vector_ns,
                      i + 1 < rows.size() ? "," : "");

@@ -51,17 +51,29 @@ struct BkTask
             return;
         }
 
-        // Tomita pivot: u in P cup X maximizing |P cap N(u)|.
+        // Tomita pivot: u in P cup X maximizing |P cap N(u)|. All
+        // |P| + |X| fused cardinalities ride ONE batched dispatch;
+        // N(u) is the primary (vault-routing) operand since it varies
+        // across the batch while P is loop-invariant. The first
+        // maximum wins, exactly as the serial scan did.
+        std::vector<sets::Element> members;
+        for (core::SetId side : {p, x}) {
+            for (sets::Element u : eng.elements(ctx, tid, side))
+                members.push_back(u);
+        }
+        core::BatchRequest pivot_batch;
+        pivot_batch.reserve(members.size());
+        for (sets::Element u : members)
+            pivot_batch.intersectCard(sg.neighborhood(u), p);
+        const core::BatchResult gains =
+            eng.executeBatch(ctx, tid, pivot_batch);
         VertexId pivot = graph::invalid_vertex;
         std::uint64_t best = 0;
-        for (core::SetId side : {p, x}) {
-            for (sets::Element u : eng.elements(ctx, tid, side)) {
-                const std::uint64_t gain = eng.intersectCard(
-                    ctx, tid, p, sg.neighborhood(u));
-                if (pivot == graph::invalid_vertex || gain > best) {
-                    best = gain;
-                    pivot = u;
-                }
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            const std::uint64_t gain = gains.entries[i].value;
+            if (pivot == graph::invalid_vertex || gain > best) {
+                best = gain;
+                pivot = members[i];
             }
         }
 

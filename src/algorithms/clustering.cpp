@@ -65,11 +65,7 @@ jarvisPatrick(SetGraph &sg, sim::SimContext &ctx,
     // O(1) degree lookups) batch cleanly; the weighted measures
     // (Adamic-Adar, resource allocation) materialize the common set
     // and stay on the serial path.
-    const bool batchable =
-        measure == SimilarityMeasure::Jaccard ||
-        measure == SimilarityMeasure::Overlap ||
-        measure == SimilarityMeasure::CommonNeighbors ||
-        measure == SimilarityMeasure::TotalNeighbors;
+    const bool batchable = similarityBatchable(measure);
     constexpr std::uint64_t chunk = 256;
 
     const auto acceptEdge = [&](sim::ThreadId tid, VertexId u,
@@ -99,13 +95,7 @@ jarvisPatrick(SetGraph &sg, sim::SimContext &ctx,
             batch.reserve(end - start);
             for (std::uint64_t i = start; i < end; ++i) {
                 const auto [u, v] = edges[i];
-                if (measure == SimilarityMeasure::TotalNeighbors) {
-                    batch.unionCard(sg.neighborhood(u),
-                                    sg.neighborhood(v));
-                } else {
-                    batch.intersectCard(sg.neighborhood(u),
-                                        sg.neighborhood(v));
-                }
+                appendSimilarityOp(sg, batch, u, v, measure);
             }
             const core::BatchResult res =
                 eng.executeBatch(ctx, tid, batch);
@@ -113,27 +103,10 @@ jarvisPatrick(SetGraph &sg, sim::SimContext &ctx,
                 if (ctx.cutoffReached(tid))
                     break;
                 const auto [u, v] = edges[i];
-                const double card = static_cast<double>(
-                    res.entries[i - start].value);
-                double similarity = card;
-                if (measure == SimilarityMeasure::Jaccard) {
-                    const double uni =
-                        static_cast<double>(
-                            eng.cardinality(ctx, tid,
-                                            sg.neighborhood(u)) +
-                            eng.cardinality(ctx, tid,
-                                            sg.neighborhood(v))) -
-                        card;
-                    similarity = uni == 0.0 ? 0.0 : card / uni;
-                } else if (measure == SimilarityMeasure::Overlap) {
-                    const double smaller = static_cast<double>(
-                        std::min(eng.cardinality(ctx, tid,
-                                                 sg.neighborhood(u)),
-                                 eng.cardinality(
-                                     ctx, tid, sg.neighborhood(v))));
-                    similarity = smaller == 0.0 ? 0.0 : card / smaller;
-                }
-                acceptEdge(tid, u, v, similarity);
+                acceptEdge(tid, u, v,
+                           similarityFromCard(
+                               sg, ctx, tid, u, v, measure,
+                               res.entries[i - start].value));
             }
         });
     }

@@ -88,13 +88,41 @@ linkPredictionTest(SetEngine &engine, const Graph &graph,
         }
     }
     scored.resize(candidates.size());
-    parallelFor(ctx, candidates.size(), [&](sim::ThreadId tid,
-                                            std::uint64_t i) {
-        const auto [u, v] = candidates[i];
-        scored[i] = {vertexSimilarity(sparse_sets, ctx, tid, u, v,
-                                      measure),
-                     u, v};
-    });
+    if (similarityBatchable(measure)) {
+        // One executeBatch per candidate chunk: every pair's fused
+        // cardinality rides a single dispatch across the vaults
+        // (scores are identical to the serial path -- only the cycle
+        // model differs).
+        constexpr std::uint64_t chunk = 256;
+        core::BatchRequest batch;
+        parallelForChunks(ctx, candidates.size(), chunk, [&](
+                              sim::ThreadId tid, std::uint64_t start,
+                              std::uint64_t end) {
+            batch.clear();
+            batch.reserve(end - start);
+            for (std::uint64_t i = start; i < end; ++i) {
+                const auto [u, v] = candidates[i];
+                appendSimilarityOp(sparse_sets, batch, u, v, measure);
+            }
+            const core::BatchResult res =
+                engine.executeBatch(ctx, tid, batch);
+            for (std::uint64_t i = start; i < end; ++i) {
+                const auto [u, v] = candidates[i];
+                scored[i] = {similarityFromCard(
+                                 sparse_sets, ctx, tid, u, v, measure,
+                                 res.entries[i - start].value),
+                             u, v};
+            }
+        });
+    } else {
+        parallelFor(ctx, candidates.size(), [&](sim::ThreadId tid,
+                                                std::uint64_t i) {
+            const auto [u, v] = candidates[i];
+            scored[i] = {vertexSimilarity(sparse_sets, ctx, tid, u, v,
+                                          measure),
+                         u, v};
+        });
+    }
 
     // E_predict: the |E_rndm| highest-scored candidates.
     std::stable_sort(scored.begin(), scored.end(),

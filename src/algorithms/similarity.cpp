@@ -22,6 +22,56 @@ measureName(SimilarityMeasure measure)
     return "???";
 }
 
+bool
+similarityBatchable(SimilarityMeasure measure)
+{
+    return measure == SimilarityMeasure::Jaccard ||
+           measure == SimilarityMeasure::Overlap ||
+           measure == SimilarityMeasure::CommonNeighbors ||
+           measure == SimilarityMeasure::TotalNeighbors;
+}
+
+void
+appendSimilarityOp(SetGraph &sg, core::BatchRequest &batch, VertexId u,
+                   VertexId v, SimilarityMeasure measure)
+{
+    if (measure == SimilarityMeasure::TotalNeighbors) {
+        batch.unionCard(sg.neighborhood(u), sg.neighborhood(v));
+    } else {
+        batch.intersectCard(sg.neighborhood(u), sg.neighborhood(v));
+    }
+}
+
+double
+similarityFromCard(SetGraph &sg, sim::SimContext &ctx, sim::ThreadId tid,
+                   VertexId u, VertexId v, SimilarityMeasure measure,
+                   std::uint64_t card)
+{
+    SetEngine &eng = sg.engine();
+    const double value = static_cast<double>(card);
+    switch (measure) {
+      case SimilarityMeasure::Jaccard: {
+        const double uni =
+            static_cast<double>(
+                eng.cardinality(ctx, tid, sg.neighborhood(u)) +
+                eng.cardinality(ctx, tid, sg.neighborhood(v))) -
+            value;
+        return uni == 0.0 ? 0.0 : value / uni;
+      }
+      case SimilarityMeasure::Overlap: {
+        const double smaller = static_cast<double>(
+            std::min(eng.cardinality(ctx, tid, sg.neighborhood(u)),
+                     eng.cardinality(ctx, tid, sg.neighborhood(v))));
+        return smaller == 0.0 ? 0.0 : value / smaller;
+      }
+      case SimilarityMeasure::CommonNeighbors:
+      case SimilarityMeasure::TotalNeighbors:
+        return value;
+      default:
+        sisa_panic("measure is not batchable");
+    }
+}
+
 double
 vertexSimilarity(SetGraph &sg, sim::SimContext &ctx, sim::ThreadId tid,
                  VertexId u, VertexId v, SimilarityMeasure measure)

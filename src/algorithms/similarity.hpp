@@ -39,6 +39,33 @@ double vertexSimilarity(SetGraph &sg, sim::SimContext &ctx,
                         sim::ThreadId tid, VertexId u, VertexId v,
                         SimilarityMeasure measure);
 
+/**
+ * True when @p measure reduces to ONE fused cardinality instruction
+ * per pair (plus O(1) metadata lookups) and therefore batches through
+ * SetEngine::executeBatch. The weighted measures (Adamic-Adar,
+ * Resource Allocation) materialize the common-neighbor set and stay
+ * on the serial vertexSimilarity path.
+ */
+bool similarityBatchable(SimilarityMeasure measure);
+
+/**
+ * Append the one batched set operation scoring (u, v) under a
+ * batchable @p measure (unionCard for TotalNeighbors, intersectCard
+ * otherwise). Pair each entry with similarityFromCard afterwards.
+ */
+void appendSimilarityOp(SetGraph &sg, core::BatchRequest &batch,
+                        VertexId u, VertexId v,
+                        SimilarityMeasure measure);
+
+/**
+ * Finish a batchable measure from its fused cardinality @p card,
+ * charging the same O(1) cardinality lookups the serial path issues.
+ */
+double similarityFromCard(SetGraph &sg, sim::SimContext &ctx,
+                          sim::ThreadId tid, VertexId u, VertexId v,
+                          SimilarityMeasure measure,
+                          std::uint64_t card);
+
 } // namespace sisa::algorithms
 
 #endif // SISA_ALGORITHMS_SIMILARITY_HPP

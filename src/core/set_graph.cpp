@@ -27,4 +27,23 @@ SetGraph::SetGraph(const graph::Graph &graph, SetEngine &engine,
     }
 }
 
+std::vector<isa::TrafficArc>
+placementArcs(const SetGraph &sg)
+{
+    std::vector<isa::TrafficArc> arcs;
+    const graph::Graph &g = sg.graph();
+    // One arc per adjacency entry: m for oriented graphs, 2m for
+    // undirected ones (both directions pair the same two sets; the
+    // duplicate just doubles every weight uniformly).
+    std::size_t entries = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        entries += g.degree(v);
+    arcs.reserve(entries);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (VertexId w : g.neighbors(v))
+            arcs.push_back({sg.neighborhood(w), sg.neighborhood(v), 1});
+    }
+    return arcs;
+}
+
 } // namespace sisa::core

@@ -17,6 +17,7 @@
 #include "core/set_engine.hpp"
 #include "graph/graph.hpp"
 #include "sets/representation.hpp"
+#include "sisa/placement.hpp"
 
 namespace sisa::core {
 
@@ -61,6 +62,16 @@ class SetGraph
     sets::ReprAssignment assignment_;
     std::vector<SetId> nbr_;
 };
+
+/**
+ * Traffic arcs seeding locality-aware placement
+ * (isa::greedyLocalityPlacement): the neighborhood-joining kernels
+ * (TC, k-clique, clustering, BK pivoting) intersect N(w) with N(v)
+ * for every arc v -> w of @p sg's (possibly degeneracy-oriented)
+ * graph, so each arc is one expected operand pairing of the two
+ * neighborhood sets.
+ */
+std::vector<isa::TrafficArc> placementArcs(const SetGraph &sg);
 
 } // namespace sisa::core
 

@@ -48,6 +48,15 @@ pnmIndependentRandomCycles(const PimParams &params, std::uint64_t probes)
                   params.pnmRandomMlp));
 }
 
+Cycles
+interconnectCycles(const PimParams &params, std::uint64_t bytes)
+{
+    return params.dramLatency +
+           static_cast<Cycles>(
+               std::ceil(static_cast<double>(bytes) /
+                         params.interconnectBandwidth));
+}
+
 std::uint64_t
 predictedGallopProbes(std::uint64_t min_size, std::uint64_t max_size)
 {

@@ -46,7 +46,12 @@ struct PimParams
     Cycles inSituLatency = 250;
     /** b_M: per-vault DRAM bandwidth in bytes/cycle (16 GB/s @2GHz). */
     double memBandwidth = 8.0;
-    /** b_L: inter-core/vault interconnect bandwidth in bytes/cycle. */
+    /**
+     * b_L: inter-core/vault interconnect bandwidth in bytes/cycle.
+     * Bounds streaming together with b_M, and prices cross-vault
+     * operand transfers and result reduction on its own
+     * (interconnectCycles).
+     */
     double interconnectBandwidth = 8.0;
     /** Total vault count (16 cubes x 32 vaults, Section 9.1). */
     std::uint32_t vaults = 512;
@@ -99,6 +104,16 @@ Cycles pnmRandomCycles(const PimParams &params, std::uint64_t probes);
  */
 Cycles pnmIndependentRandomCycles(const PimParams &params,
                                   std::uint64_t probes);
+
+/**
+ * Inter-vault transfer: moving @p bytes from one vault to another
+ * over the cube interconnect costs l_M + ceil(bytes / b_L). This is
+ * the b_L term in isolation -- unlike pnmStreamBytesCycles it is NOT
+ * bounded by the local vault bandwidth b_M, because the sender
+ * streams straight onto the links. Charged by Scu::dispatchBatch for
+ * remote co-operands and for the cross-vault result reduction tree.
+ */
+Cycles interconnectCycles(const PimParams &params, std::uint64_t bytes);
 
 /**
  * Predicted galloping probe count, min * ceil(log2(max)), used by the

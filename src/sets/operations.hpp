@@ -60,10 +60,39 @@
  * BatchRequest of N independent operations decodes ONCE, charges
  * metadata per operand, executes each operation with exactly the
  * kernels and OpWork formulas above (so batched == serial in results
- * and in total setops.* counters), routes operations to vaults by
- * operand hash, and charges the issuing thread the makespan of the
- * slowest vault instead of the serial sum. Operations inside a batch
- * must not consume each other's results.
+ * and in total setops.* counters), routes operations to the vault the
+ * placement policy (sisa/placement.hpp) assigns their primary
+ * operand, and charges the issuing thread the makespan of the slowest
+ * vault instead of the serial sum. Operations inside a batch must not
+ * consume each other's results.
+ *
+ * Cross-vault charges on top (batched dispatch only; priced with
+ * mem::interconnectCycles(bytes) = l_M + ceil(bytes / b_L)):
+ *
+ *  - Operand transfer: an op whose co-operand lives in a different
+ *    vault than its primary operand first moves the co-operand's
+ *    footprint (SA: 4 |B| bytes, DB: ceil(universe / 8) bytes) over
+ *    the interconnect, charged into that vault's lane ONCE per
+ *    (vault, operand) pair per dispatch -- the vault buffers remote
+ *    operands for the dispatch's duration. Metadata-only short
+ *    circuits (empty results, zero cardinalities) never touch the
+ *    interconnect, but the degenerate copy {} cup B with a remote B
+ *    does stream B's bytes and pays the transfer. Counters:
+ *    scu.xvault_transfers, setops.xvault_bytes.
+ *  - Result reduction: a batch touching L > 1 vaults that charged
+ *    vault work (metadata-only outcomes have nothing to send)
+ *    reduces its results to the SCU as a ceil(log2 L)-level binary
+ *    tree; each
+ *    level's transfers run in parallel and cost the slowest sender
+ *    (senders aggregate absorbed results; scalars count 8 bytes, SA
+ *    results 4 |R| bytes, DB results ceil(universe / 8) bytes),
+ *    added to the batch makespan. Counter:
+ *    setops.xvault_reduce_bytes.
+ *
+ * Placement moves only these cycle charges and xvault counters;
+ * results, result ids, and the functional setops.{streamed, probes,
+ * words, output} totals are placement-invariant (differential-tested
+ * per policy in tests/test_isa.cpp).
  */
 
 #ifndef SISA_SETS_OPERATIONS_HPP

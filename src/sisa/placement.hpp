@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Vault placement policies for SISA sets (Section 9's locality
+ * discussion; PIMMiner-style architecture-aware placement). The SCU
+ * routes every batched operation to the vault holding its primary
+ * operand; when the co-operand lives in a DIFFERENT vault, its bytes
+ * must cross the inter-vault interconnect at b_L before the vault can
+ * execute (see Scu::dispatchBatch). Which vault holds which set is
+ * the placement policy's decision:
+ *
+ *  - HashPlacement:     splitmix64 over the set id -- the default
+ *                       "well-mixed" assignment the PNM design relies
+ *                       on for load balance, blind to locality;
+ *  - RangePlacement:    contiguous SetId blocks per vault -- ids
+ *                       created together (e.g. consecutive vertex
+ *                       neighborhoods) land together;
+ *  - LocalityPlacement: an explicit per-set table, typically built by
+ *                       greedyLocalityPlacement() from the traffic
+ *                       arcs of the workload (co-locate each
+ *                       neighborhood set with its highest-traffic
+ *                       partners, seeded from the oriented graph's
+ *                       arc structure).
+ *
+ * Policies are pure functions of the set id (and their frozen build
+ * state): deterministic, thread-safe after construction, and
+ * functionally invisible -- placement only moves cycle charges and
+ * the cross-vault byte counters, never results.
+ */
+
+#ifndef SISA_SISA_PLACEMENT_HPP
+#define SISA_SISA_PLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sisa/isa.hpp"
+
+namespace sisa::isa {
+
+/** Maps every set id to the simulated vault that stores it. */
+class PlacementPolicy
+{
+  public:
+    /** @param vaults Total vault count (>= 1 after clamping). */
+    explicit PlacementPolicy(std::uint32_t vaults)
+        : vaults_(vaults ? vaults : 1)
+    {
+    }
+
+    virtual ~PlacementPolicy() = default;
+
+    /** Short policy name for reports ("hash" / "range" / ...). */
+    virtual const char *name() const = 0;
+
+    /** Vault holding @p id; must return a value in [0, vaults()). */
+    virtual std::uint32_t vaultOf(SetId id) const = 0;
+
+    std::uint32_t vaults() const { return vaults_; }
+
+  protected:
+    std::uint32_t vaults_;
+};
+
+/**
+ * The default assignment: a splitmix64 finalizer over the set id.
+ * Deterministic, cheap, and well-mixed -- the hash distribution of
+ * sets across vaults the PNM design relies on for load balance
+ * (guarded by the chi-square bound in tests/test_isa.cpp).
+ */
+class HashPlacement final : public PlacementPolicy
+{
+  public:
+    using PlacementPolicy::PlacementPolicy;
+
+    const char *name() const override { return "hash"; }
+    std::uint32_t vaultOf(SetId id) const override;
+};
+
+/**
+ * Contiguous SetId blocks: ids [k * blockSize, (k+1) * blockSize)
+ * share vault k % vaults. Sets created back-to-back (vertex
+ * neighborhoods materialized in vertex order) stay together, at the
+ * cost of hot id ranges piling onto one vault.
+ */
+class RangePlacement final : public PlacementPolicy
+{
+  public:
+    RangePlacement(std::uint32_t vaults, std::uint32_t block_size = 64)
+        : PlacementPolicy(vaults),
+          blockSize_(block_size ? block_size : 1)
+    {
+    }
+
+    const char *name() const override { return "range"; }
+    std::uint32_t vaultOf(SetId id) const override;
+    std::uint32_t blockSize() const { return blockSize_; }
+
+  private:
+    std::uint32_t blockSize_;
+};
+
+/**
+ * Explicit per-set placement table with hash fallback for unmapped
+ * ids (dynamically created intermediates). Build one by hand with
+ * assign(), or from workload traffic with greedyLocalityPlacement().
+ */
+class LocalityPlacement final : public PlacementPolicy
+{
+  public:
+    explicit LocalityPlacement(std::uint32_t vaults)
+        : PlacementPolicy(vaults), fallback_(vaults)
+    {
+    }
+
+    const char *name() const override { return "locality"; }
+    std::uint32_t vaultOf(SetId id) const override;
+
+    /** Pin @p id to @p vault (clamped into range). */
+    void assign(SetId id, std::uint32_t vault);
+
+    std::uint64_t assignedCount() const { return table_.size(); }
+
+  private:
+    std::unordered_map<SetId, std::uint32_t> table_;
+    HashPlacement fallback_;
+};
+
+/**
+ * One expected operand pairing: the workload will issue operations
+ * routed to @p a's vault with @p b as the co-operand (so co-locating
+ * them saves @p weight interconnect transfers).
+ */
+struct TrafficArc
+{
+    SetId a = invalid_set;
+    SetId b = invalid_set;
+    std::uint64_t weight = 1;
+};
+
+/**
+ * Greedy edge-locality placement: process sets in descending
+ * traffic order and put each one where most of its already-placed
+ * partners live, subject to a per-vault capacity of
+ * max(2, ceil(capacity_slack * sets / vaults)) that preserves load
+ * balance. Sets without placed partners fill the least-loaded vault.
+ * Deterministic for a fixed arc list.
+ */
+std::shared_ptr<const LocalityPlacement>
+greedyLocalityPlacement(std::uint32_t vaults,
+                        const std::vector<TrafficArc> &arcs,
+                        double capacity_slack = 2.0);
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_PLACEMENT_HPP

@@ -14,6 +14,7 @@ Scu::Scu(SetStore &store, const ScuConfig &config,
          std::uint32_t num_threads)
     : store_(store), config_(config)
 {
+    setPlacement(config_.placement);
     if (config_.smbEnabled) {
         // The SMB is a small associative scratchpad over SM entries;
         // model it as a 4-way cache with 16-byte lines (one entry).
@@ -222,6 +223,7 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
             // charge nothing beyond decode + metadata.
             out.payload = SortedArraySet();
             out.shortCircuited = true;
+            out.readsCoOperand = false;
             break;
         }
         if (a_dense && b_dense) {
@@ -254,9 +256,11 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
 
       case BatchOpKind::Union: {
         if (card_a == 0 || card_b == 0) {
-            // A cup {} degenerates to a copy of the live operand.
+            // A cup {} degenerates to a copy of the live operand;
+            // only the {} cup B case streams B's payload.
             copySet(card_a == 0 ? b : a);
             out.shortCircuited = true;
+            out.readsCoOperand = card_a == 0;
             break;
         }
         if (a_dense && b_dense) {
@@ -296,11 +300,13 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
         if (card_a == 0) {
             out.payload = SortedArraySet();
             out.shortCircuited = true;
+            out.readsCoOperand = false;
             break;
         }
         if (card_b == 0) {
             copySet(a);
             out.shortCircuited = true;
+            out.readsCoOperand = false;
             break;
         }
         if (a_dense && b_dense) {
@@ -342,6 +348,7 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
         if (card_a == 0 || card_b == 0) {
             out.scalar = 0;
             out.shortCircuited = true;
+            out.readsCoOperand = false;
         } else if (a_dense && b_dense) {
             out.scalar = sets::intersectCardDbDb(store_.db(a),
                                                  store_.db(b), out.work);
@@ -592,15 +599,40 @@ Scu::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b)
 std::uint32_t
 Scu::vaultOf(SetId id) const
 {
-    // splitmix64 finalizer over the set id: deterministic, cheap, and
-    // well-mixed -- the hash distribution of sets across vaults the
-    // PNM design relies on for load balance.
-    std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<std::uint32_t>(
-        x % std::max<std::uint32_t>(config_.pim.vaults, 1));
+    // Delegate to the placement policy (HashPlacement's splitmix64
+    // finalizer by default); clamp defensively in case the installed
+    // policy was built for a different vault count.
+    return placement_->vaultOf(id) %
+           std::max<std::uint32_t>(config_.pim.vaults, 1);
+}
+
+void
+Scu::setPlacement(std::shared_ptr<const PlacementPolicy> policy)
+{
+    placement_ = policy ? std::move(policy)
+                        : std::make_shared<HashPlacement>(
+                              std::max<std::uint32_t>(
+                                  config_.pim.vaults, 1));
+}
+
+std::uint64_t
+Scu::operandBytes(SetId id) const
+{
+    return store_.isDense(id)
+               ? store_.denseBytes()
+               : store_.cardinality(id) * sizeof(Element);
+}
+
+std::uint64_t
+Scu::resultBytes(const OpOutcome &outcome) const
+{
+    if (std::holds_alternative<SortedArraySet>(outcome.payload)) {
+        return std::get<SortedArraySet>(outcome.payload).size() *
+               sizeof(Element);
+    }
+    if (std::holds_alternative<DenseBitset>(outcome.payload))
+        return store_.denseBytes();
+    return 8; // Scalar result register.
 }
 
 std::uint32_t
@@ -642,15 +674,24 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         ctx.recordSetSize(tid, store_.cardinality(op.b));
     }
 
-    // Route operations to vaults (hash of the primary operand) and
-    // build one serial queue per touched vault ("lane"). The scratch
-    // vault->lane table persists across dispatches; laneVault_ lists
-    // the entries to reset afterwards.
+    // Route operations to vaults (placement of the primary operand)
+    // and build one serial queue per touched vault ("lane"). The
+    // scratch vault->lane table persists across dispatches;
+    // laneVault_ lists the entries to reset afterwards. Operations
+    // whose co-operand the policy placed in a different vault must
+    // first pull its bytes over the interconnect (charged in the
+    // worker, once per (vault, operand) pair -- the vault buffers the
+    // remote operand for the dispatch's duration).
     vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
                       UINT32_MAX);
     laneVault_.clear();
+    if (xferBytes_.size() < n)
+        xferBytes_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint32_t vault = vaultOf(batch.ops[i].a);
+        xferBytes_[i] = vaultOf(batch.ops[i].b) != vault
+                            ? operandBytes(batch.ops[i].b)
+                            : 0;
         std::uint32_t lane = vaultLane_[vault];
         if (lane == UINT32_MAX) {
             lane = static_cast<std::uint32_t>(laneVault_.size());
@@ -689,10 +730,24 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         sim::SimContext &wctx = worker_ctx[w];
         for (std::uint32_t l = w; l < lanes; l += workers) {
             const sim::ThreadId lane_tid = l / workers;
+            // Remote operands already pulled into this vault during
+            // this dispatch (fetched once, reused by later ops).
+            std::vector<SetId> fetched;
             for (const std::uint32_t i : lane_ops[l]) {
                 const BatchOp &op = batch.ops[i];
                 outcomes[i] =
                     executeBinary(op.kind, op.a, op.b, op.variant);
+                if (xferBytes_[i] && outcomes[i].readsCoOperand &&
+                    std::find(fetched.begin(), fetched.end(), op.b) ==
+                        fetched.end()) {
+                    fetched.push_back(op.b);
+                    wctx.chargeBusy(lane_tid,
+                                    mem::interconnectCycles(
+                                        config_.pim, xferBytes_[i]));
+                    wctx.bumpCounter("scu.xvault_transfers");
+                    wctx.bumpCounter("setops.xvault_bytes",
+                                     xferBytes_[i]);
+                }
                 chargeOutcome(wctx, lane_tid, outcomes[i]);
             }
         }
@@ -713,6 +768,51 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     for (const sim::SimContext &wctx : worker_ctx) {
         for (sim::ThreadId lane = 0; lane < wctx.numThreads(); ++lane)
             makespan = std::max(makespan, wctx.threadCycles(lane));
+    }
+
+    // Cross-vault result reduction: a multi-vault batch funnels its
+    // per-vault results back to the SCU as a binary tree over the b_L
+    // interconnect. Each level runs its transfers in parallel and
+    // costs the slowest sender; a sender's payload accumulates the
+    // results it already absorbed. Metadata-only outcomes (zero
+    // charges: the SCU front end proved them from the SM alone) have
+    // nothing in any vault to send, so only lanes that charged vault
+    // work participate -- degenerate copies DID materialize data and
+    // reduce like any other result. Lane order is the deterministic
+    // first-touch order, so the charge is worker-count invariant.
+    laneResultBytes_.clear();
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        std::uint64_t bytes = 0;
+        bool executed = false;
+        for (const std::uint32_t i : lane_ops[l]) {
+            if (outcomes[i].numCharges == 0)
+                continue;
+            executed = true;
+            bytes += resultBytes(outcomes[i]);
+        }
+        if (executed)
+            laneResultBytes_.push_back(bytes);
+    }
+    if (laneResultBytes_.size() > 1) {
+        std::uint64_t reduce_bytes = 0;
+        std::size_t len = laneResultBytes_.size();
+        while (len > 1) {
+            mem::Cycles level = 0;
+            std::size_t out = 0;
+            for (std::size_t i = 0; i + 1 < len; i += 2) {
+                level = std::max(
+                    level, mem::interconnectCycles(
+                               config_.pim, laneResultBytes_[i + 1]));
+                reduce_bytes += laneResultBytes_[i + 1];
+                laneResultBytes_[out++] =
+                    laneResultBytes_[i] + laneResultBytes_[i + 1];
+            }
+            if (len % 2)
+                laneResultBytes_[out++] = laneResultBytes_[len - 1];
+            len = out;
+            makespan += level;
+        }
+        ctx.bumpCounter("setops.xvault_reduce_bytes", reduce_bytes);
     }
     ctx.chargeBusy(tid, makespan);
     for (const sim::SimContext &wctx : worker_ctx) {

@@ -32,6 +32,7 @@
 #include "sim/context.hpp"
 #include "sisa/batch.hpp"
 #include "sisa/isa.hpp"
+#include "sisa/placement.hpp"
 #include "sisa/set_store.hpp"
 #include "sisa/trace.hpp"
 #include "sisa/vault_pool.hpp"
@@ -62,6 +63,13 @@ struct ScuConfig
      * runs batches inline on the calling thread.
      */
     std::uint32_t batchWorkers = 0;
+    /**
+     * Set-to-vault placement policy consulted by dispatchBatch.
+     * nullptr selects HashPlacement over pim.vaults (the historical
+     * behavior). The policy's vault count should match pim.vaults;
+     * out-of-range results are clamped by modulo.
+     */
+    std::shared_ptr<const PlacementPolicy> placement;
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -113,19 +121,46 @@ class Scu
     /**
      * Execute every operation of @p batch as ONE dispatch: a single
      * decode, one metadata round per operand, then concurrent
-     * execution across the vaults. Each operation is routed to vault
-     * hash(primary operand) % vaults; operations on the same vault
-     * serialize, vaults run in parallel, and the calling simulated
-     * thread is charged the makespan of the slowest vault (merged at
-     * the barrier from per-worker SimContexts). Functional results
-     * and total setops.* counters are identical to issuing the same
-     * operations serially.
+     * execution across the vaults. Each operation is routed to the
+     * vault the placement policy assigns its primary operand;
+     * operations on the same vault serialize, vaults run in parallel,
+     * and the calling simulated thread is charged the makespan of the
+     * slowest vault (merged at the barrier from per-worker
+     * SimContexts) plus the cross-vault result reduction tree.
+     *
+     * Cross-vault traffic model: when an operation's co-operand
+     * resolves to a DIFFERENT vault than its primary operand, the
+     * co-operand's bytes first cross the interconnect at b_L
+     * (mem::interconnectCycles), charged into that vault's lane --
+     * once per (vault, remote operand) pair per dispatch, since the
+     * vault buffers the operand for the batch's duration. Results of
+     * a multi-vault batch reduce back to the SCU as a binary tree
+     * over b_L whose per-level cost is the slowest sender. Counters:
+     * scu.xvault_transfers, setops.xvault_bytes,
+     * setops.xvault_reduce_bytes. Metadata-only short circuits
+     * (empty results, zero cardinalities) never touch the
+     * interconnect; a degenerate copy still moves data, so {} cup B
+     * with a remote B pays B's transfer and its result reduces.
+     *
+     * Functional results and total setops.{streamed,probes,words,
+     * output} counters are identical to issuing the same operations
+     * serially, under every placement policy.
      */
     BatchResult dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                               const BatchRequest &batch);
 
-    /** Simulated vault holding @p id (hash-based assignment). */
+    /** Simulated vault holding @p id (placement-policy assignment). */
     std::uint32_t vaultOf(SetId id) const;
+
+    /** The active placement policy (never null). */
+    const PlacementPolicy &placement() const { return *placement_; }
+
+    /**
+     * Install @p policy for subsequent dispatches (nullptr resets to
+     * HashPlacement). Placement affects cycle charges and xvault
+     * counters only, never functional results.
+     */
+    void setPlacement(std::shared_ptr<const PlacementPolicy> policy);
 
     /** |A| (O(1): a metadata lookup). */
     std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
@@ -194,6 +229,14 @@ class Scu
         std::array<OpCharge, 3> charges{};
         std::uint32_t numCharges = 0;
         bool shortCircuited = false; ///< Zero-cardinality fast path.
+        /**
+         * Whether executing the op pulls operand B's payload into
+         * the vault (so a remote B pays the b_L transfer). False for
+         * metadata-only short circuits AND for degenerate copies of
+         * A; true for everything else including the degenerate copy
+         * of B ({} cup B streams B's bytes).
+         */
+        bool readsCoOperand = true;
 
         void
         addCharge(Backend backend, mem::Cycles cycles)
@@ -286,8 +329,19 @@ class Scu
     /** Effective host worker count for batched dispatch. */
     std::uint32_t batchWorkerCount() const;
 
+    /**
+     * Result footprint of @p outcome in bytes, as moved by the
+     * cross-vault reduction tree (SA payloads at 4 B/element, DB
+     * payloads at denseBytes(), scalars at 8 B).
+     */
+    std::uint64_t resultBytes(const OpOutcome &outcome) const;
+
+    /** Footprint of operand @p id when fetched from a remote vault. */
+    std::uint64_t operandBytes(SetId id) const;
+
     SetStore &store_;
     ScuConfig config_;
+    std::shared_ptr<const PlacementPolicy> placement_;
     std::vector<std::unique_ptr<mem::Cache>> smbs_;
     Backend lastBackend_ = Backend::None;
     InstructionTrace *trace_ = nullptr;
@@ -300,6 +354,8 @@ class Scu
     std::vector<std::uint32_t> laneVault_; ///< lane -> vault (reset list).
     std::vector<std::vector<std::uint32_t>> laneOps_;
     std::vector<OpOutcome> outcomes_;
+    std::vector<std::uint64_t> xferBytes_; ///< op -> remote-operand bytes (0 = local).
+    std::vector<std::uint64_t> laneResultBytes_;
 };
 
 } // namespace sisa::isa

@@ -10,8 +10,11 @@
  * waiting for the slowest vault.
  *
  * The pool is purely an execution vehicle for the host simulator; all
- * *modeled* parallelism (per-vault cycle accounting, makespan merge)
- * lives in Scu::dispatchBatch.
+ * *modeled* parallelism (per-vault cycle accounting, cross-vault
+ * transfer charges and byte counters, makespan merge) lives in
+ * Scu::dispatchBatch. Each worker's private SimContext carries its
+ * vaults' scu.xvault_transfers / setops.xvault_bytes tallies until
+ * the barrier merges them into the issuing thread's context.
  */
 
 #ifndef SISA_SISA_VAULT_POOL_HPP

@@ -969,3 +969,663 @@ TEST(BatchDispatch, TracedPerOperation)
 }
 
 } // namespace batch_tests
+
+// --- Vault placement policies + cross-vault traffic model ------------------
+
+#include <cmath>
+#include <string_view>
+
+#include "algorithms/common.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "core/cpu_set_engine.hpp"
+#include "core/sisa_engine.hpp"
+#include "graph/generators.hpp"
+#include "sisa/placement.hpp"
+
+namespace placement_tests {
+
+using namespace sisa;
+using namespace sisa::isa;
+using sisa::sets::Element;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+TEST(Placement, PoliciesStayInVaultRange)
+{
+    const HashPlacement hash(7);
+    const RangePlacement range(7, 3);
+    LocalityPlacement locality(7);
+    locality.assign(5, 100); // Out-of-range vault clamps.
+    for (SetId id = 0; id < 1000; ++id) {
+        EXPECT_LT(hash.vaultOf(id), 7u);
+        EXPECT_LT(range.vaultOf(id), 7u);
+        EXPECT_LT(locality.vaultOf(id), 7u);
+    }
+    // Range keeps blockSize consecutive ids together.
+    EXPECT_EQ(range.vaultOf(0), range.vaultOf(2));
+    EXPECT_NE(range.vaultOf(2), range.vaultOf(3));
+    // Locality: the table wins, everything else falls back to hash.
+    EXPECT_EQ(locality.vaultOf(5), 100u % 7u);
+    EXPECT_EQ(locality.vaultOf(6), hash.vaultOf(6));
+    EXPECT_EQ(locality.assignedCount(), 1u);
+}
+
+TEST(Placement, ScuDefaultMatchesHashPlacement)
+{
+    // The default-configured SCU must keep the historical splitmix64
+    // assignment bit-for-bit (ids hash to the same vaults as before
+    // the placement subsystem existed).
+    SetStore store(64);
+    Scu scu(store, ScuConfig{}, 1);
+    const HashPlacement ref(ScuConfig{}.pim.vaults);
+    EXPECT_STREQ(scu.placement().name(), "hash");
+    for (SetId id = 0; id < 4096; ++id)
+        EXPECT_EQ(scu.vaultOf(id), ref.vaultOf(id));
+}
+
+TEST(Placement, HashAssignmentNearUniform)
+{
+    // Chi-square-style guard on the "well-mixed" promise of the
+    // splitmix64 vault hash: over 10k consecutive ids the per-vault
+    // counts stay within the 99.9th-percentile chi-square band around
+    // uniform (df + 3.29 * sqrt(2 df) approximates that quantile).
+    constexpr std::uint64_t ids = 10000;
+    for (const std::uint32_t vaults : {64u, 512u}) {
+        HashPlacement hash(vaults);
+        std::vector<std::uint64_t> counts(vaults, 0);
+        for (SetId id = 0; id < ids; ++id)
+            ++counts[hash.vaultOf(id)];
+        const double expected =
+            static_cast<double>(ids) / static_cast<double>(vaults);
+        double chi2 = 0.0;
+        for (const std::uint64_t c : counts) {
+            const double dev = static_cast<double>(c) - expected;
+            chi2 += dev * dev / expected;
+        }
+        const double df = vaults - 1;
+        EXPECT_LT(chi2, df + 3.29 * std::sqrt(2.0 * df))
+            << "vaults=" << vaults;
+    }
+}
+
+TEST(Placement, GreedyLocalityCoLocatesHeavyPairs)
+{
+    // Two disjoint heavy cliques of sets over two vaults with a
+    // balance-tight capacity (slack 1.0 -> 4 per vault): the greedy
+    // build puts each clique in its own vault, deterministically.
+    std::vector<TrafficArc> arcs;
+    for (SetId a = 0; a < 4; ++a)
+        for (SetId b = a + 1; b < 4; ++b)
+            arcs.push_back({a, b, 10});
+    for (SetId a = 10; a < 14; ++a)
+        for (SetId b = a + 1; b < 14; ++b)
+            arcs.push_back({a, b, 10});
+    const auto placement = greedyLocalityPlacement(2, arcs, 1.0);
+    EXPECT_EQ(placement->assignedCount(), 8u);
+    for (SetId id = 1; id < 4; ++id)
+        EXPECT_EQ(placement->vaultOf(id), placement->vaultOf(0));
+    for (SetId id = 11; id < 14; ++id)
+        EXPECT_EQ(placement->vaultOf(id), placement->vaultOf(10));
+    EXPECT_NE(placement->vaultOf(0), placement->vaultOf(10));
+    const auto again = greedyLocalityPlacement(2, arcs, 1.0);
+    for (SetId id = 0; id < 14; ++id)
+        EXPECT_EQ(placement->vaultOf(id), again->vaultOf(id));
+}
+
+} // namespace placement_tests
+
+// --- Cross-vault transfer + reduction charges ------------------------------
+
+namespace xvault_tests {
+
+using namespace sisa;
+using namespace sisa::isa;
+using sisa::sets::Element;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+/** n consecutive elements starting at @p base. */
+std::vector<Element>
+iota(Element base, Element n)
+{
+    std::vector<Element> out;
+    for (Element e = 0; e < n; ++e)
+        out.push_back(base + e);
+    return out;
+}
+
+TEST(CrossVault, CoLocatedOperandsNeverTouchInterconnect)
+{
+    SetStore store(4096);
+    ScuConfig config;
+    Scu scu(store, config, 1);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(50, 100),
+                                           SetRepr::SparseArray);
+    placement->assign(a, 3);
+    placement->assign(b, 3);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(a, b);
+    req.setUnion(a, b);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 0u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 0u);
+    EXPECT_EQ(ctx.counter("setops.xvault_reduce_bytes"), 0u);
+}
+
+TEST(CrossVault, RemoteOperandPricedAtInterconnectBandwidth)
+{
+    // Identical single-op batches, co-located vs split operands: the
+    // cycle difference is EXACTLY one l_M + ceil(bytes / b_L)
+    // transfer of the remote co-operand's 200 * 4 bytes.
+    ScuConfig config;
+    SetStore store_local(4096), store_remote(4096);
+    Scu scu_local(store_local, config, 1);
+    Scu scu_remote(store_remote, config, 1);
+    SimContext ctx_local(1), ctx_remote(1);
+
+    const auto build = [&](SetStore &store, Scu &scu,
+                           std::uint32_t vault_b) {
+        const SetId a = store.createFromSorted(iota(0, 100),
+                                               SetRepr::SparseArray);
+        const SetId b = store.createFromSorted(iota(0, 200),
+                                               SetRepr::SparseArray);
+        auto placement =
+            std::make_shared<LocalityPlacement>(config.pim.vaults);
+        placement->assign(a, 0);
+        placement->assign(b, vault_b);
+        scu.setPlacement(placement);
+        BatchRequest req;
+        req.intersectCard(a, b);
+        return req;
+    };
+    const BatchRequest req_local = build(store_local, scu_local, 0);
+    const BatchRequest req_remote = build(store_remote, scu_remote, 1);
+
+    scu_local.dispatchBatch(ctx_local, 0, req_local);
+    scu_remote.dispatchBatch(ctx_remote, 0, req_remote);
+    EXPECT_EQ(ctx_remote.threadBusy(0) - ctx_local.threadBusy(0),
+              mem::interconnectCycles(config.pim, 200 * 4));
+    EXPECT_EQ(ctx_remote.counter("scu.xvault_transfers"), 1u);
+    EXPECT_EQ(ctx_remote.counter("setops.xvault_bytes"), 200u * 4);
+    EXPECT_EQ(ctx_local.counter("scu.xvault_transfers"), 0u);
+}
+
+TEST(CrossVault, RemoteOperandFetchedOncePerVaultPerDispatch)
+{
+    // Two ops in the same vault sharing one remote co-operand: the
+    // vault buffers it for the dispatch, so ONE transfer is charged.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId c = store.createFromSorted(iota(10, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 300),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(a, 0);
+    placement->assign(c, 0);
+    placement->assign(b, 7);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(a, b);
+    req.intersectCard(c, b);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 1u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 300u * 4);
+}
+
+TEST(CrossVault, ShortCircuitedOpsSkipTheInterconnect)
+{
+    // A zero-cardinality primary operand short-circuits: the SM
+    // already proves the result, so the remote co-operand never moves.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId empty =
+        store.createFromSorted({}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 50),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(empty, 0);
+    placement->assign(b, 1);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(empty, b);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("scu.short_circuits"), 1u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 0u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 0u);
+
+    // Multi-lane variant: a batch whose every op short-circuits has
+    // nothing to reduce either -- the SCU front end already holds all
+    // the results, so the log tree must not run.
+    const SetId empty2 =
+        store.createFromSorted({}, SetRepr::SparseArray);
+    placement->assign(empty2, 2);
+    BatchRequest req2;
+    req2.intersectCard(empty, b);  // Lane of vault 0.
+    req2.intersectCard(empty2, b); // Lane of vault 2.
+    SimContext ctx2(1);
+    scu.dispatchBatch(ctx2, 0, req2);
+    EXPECT_EQ(ctx2.counter("scu.short_circuits"), 2u);
+    EXPECT_EQ(ctx2.counter("setops.xvault_reduce_bytes"), 0u);
+    // Metadata/decode only: no vault executed, so no makespan beyond
+    // the front end (in particular no interconnectCycles(0) floor).
+    // empty2's first SM lookup misses the SMB; the rest were warmed
+    // by the first dispatch.
+    const auto &pim = config.pim;
+    EXPECT_EQ(ctx2.threadBusy(0),
+              pim.scuDelay + 4 * pim.smbHitLatency + pim.dramLatency);
+}
+
+TEST(CrossVault, DegenerateUnionCopyOfRemoteOperandPaysTransfer)
+{
+    // {} cup B short-circuits to a COPY of B -- real data movement,
+    // not a metadata-only outcome: a remote B must pay the b_L
+    // transfer, and the copy's result participates in reduction
+    // accounting (single lane here, so no tree).
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId empty =
+        store.createFromSorted({}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(empty, 0);
+    placement->assign(b, 1);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.setUnion(empty, b);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(res.entries[0].value, 100u);
+    EXPECT_EQ(ctx.counter("scu.short_circuits"), 1u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 1u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 100u * 4);
+
+    // The mirror case A cup {} copies the LOCAL primary operand: the
+    // remote empty co-operand contributes no data, no transfer.
+    const SetId a2 = store.createFromSorted(iota(0, 100),
+                                            SetRepr::SparseArray);
+    const SetId empty2 =
+        store.createFromSorted({}, SetRepr::SparseArray);
+    placement->assign(a2, 0);
+    placement->assign(empty2, 1);
+    scu.setPlacement(placement);
+    SimContext ctx2(1);
+    BatchRequest req2;
+    req2.setUnion(a2, empty2);
+    scu.dispatchBatch(ctx2, 0, req2);
+    EXPECT_EQ(ctx2.counter("scu.xvault_transfers"), 0u);
+    EXPECT_EQ(ctx2.counter("setops.xvault_bytes"), 0u);
+}
+
+TEST(CrossVault, MultiVaultResultsReduceOverLogTree)
+{
+    // Four equal-cost scalar ops in four distinct vaults, operand
+    // pairs co-located (no operand transfers). One-vault placement of
+    // the same batch isolates the reduction charge R:
+    //   makespan_one  = F + 4C        (serial lane, no reduction)
+    //   makespan_four = F + C + R     (parallel lanes + log tree)
+    // with C the known merge-stream cost, so
+    //   R = makespan_four - makespan_one + 3C.
+    // The tree moves 8-byte scalars: level 1 sends lanes 1->0 and
+    // 3->2 (8 B each, in parallel), level 2 sends the 16 B aggregate.
+    ScuConfig config;
+    SetStore store_one(4096), store_four(4096);
+    Scu scu_one(store_one, config, 1);
+    Scu scu_four(store_four, config, 1);
+
+    const auto build = [&](SetStore &store, Scu &scu, bool spread) {
+        auto placement =
+            std::make_shared<LocalityPlacement>(config.pim.vaults);
+        BatchRequest req;
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            const SetId a = store.createFromSorted(
+                iota(0, 100), SetRepr::SparseArray);
+            const SetId b = store.createFromSorted(
+                iota(0, 100), SetRepr::SparseArray);
+            placement->assign(a, spread ? i : 0);
+            placement->assign(b, spread ? i : 0);
+            req.intersectCard(a, b);
+        }
+        scu.setPlacement(placement);
+        return req;
+    };
+    const BatchRequest req_one = build(store_one, scu_one, false);
+    const BatchRequest req_four = build(store_four, scu_four, true);
+
+    SimContext ctx_one(1), ctx_four(1);
+    scu_one.dispatchBatch(ctx_one, 0, req_one);
+    scu_four.dispatchBatch(ctx_four, 0, req_four);
+    EXPECT_EQ(ctx_one.counter("setops.xvault_reduce_bytes"), 0u);
+    EXPECT_EQ(ctx_four.counter("setops.xvault_reduce_bytes"),
+              8u + 8u + 16u);
+
+    const mem::Cycles op_cost =
+        mem::pnmStreamCycles(config.pim, 100, sizeof(Element));
+    const mem::Cycles reduction = ctx_four.threadBusy(0) -
+                                  ctx_one.threadBusy(0) + 3 * op_cost;
+    EXPECT_EQ(reduction,
+              mem::interconnectCycles(config.pim, 8) +
+                  mem::interconnectCycles(config.pim, 16));
+}
+
+} // namespace xvault_tests
+
+// --- Differential: placement policies x engines vs serial ------------------
+
+namespace placement_differential_tests {
+
+using namespace sisa;
+using namespace sisa::isa;
+using sisa::sets::Element;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+std::shared_ptr<const PlacementPolicy>
+buildPolicy(std::string_view name, std::uint32_t vaults,
+            const BatchRequest &req)
+{
+    if (name == "range")
+        return std::make_shared<RangePlacement>(vaults, 4);
+    if (name == "locality") {
+        std::vector<TrafficArc> arcs;
+        for (const BatchOp &op : req.ops)
+            arcs.push_back({op.a, op.b, 1});
+        return greedyLocalityPlacement(vaults, arcs);
+    }
+    return std::make_shared<HashPlacement>(vaults);
+}
+
+class PlacementDifferential
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PlacementDifferential, ScuBatchesBitIdenticalToSerialAndHash)
+{
+    // The placement contract: for every policy, batched dispatch is
+    // bit-identical to the serial issue and to HashPlacement in
+    // results, result ids, cardinalities, and the functional setops.*
+    // totals -- only cycle charges (and xvault counters) may differ.
+    const Element universe = 1024;
+    SetStore store_policy(universe), store_hash(universe),
+        store_serial(universe);
+    Scu scu_policy(store_policy, ScuConfig{}, 1);
+    Scu scu_hash(store_hash, ScuConfig{}, 1);
+    Scu scu_serial(store_serial, ScuConfig{}, 1);
+
+    const auto pool_p =
+        batch_tests::makePool(store_policy, 32, universe, 77);
+    batch_tests::makePool(store_hash, 32, universe, 77);
+    batch_tests::makePool(store_serial, 32, universe, 77);
+    const BatchRequest req = batch_tests::makeRequest(pool_p, 150, 13);
+
+    scu_policy.setPlacement(
+        buildPolicy(GetParam(), ScuConfig{}.pim.vaults, req));
+
+    SimContext ctx_p(1), ctx_h(1), ctx_s(1);
+    const BatchResult res_p = scu_policy.dispatchBatch(ctx_p, 0, req);
+    const BatchResult res_h = scu_hash.dispatchBatch(ctx_h, 0, req);
+    ASSERT_EQ(res_p.size(), req.size());
+
+    for (std::size_t i = 0; i < req.size(); ++i) {
+        const BatchOp &op = req.ops[i];
+        EXPECT_EQ(res_p.entries[i].set, res_h.entries[i].set);
+        EXPECT_EQ(res_p.entries[i].value, res_h.entries[i].value);
+
+        SetId serial = invalid_set;
+        std::uint64_t value = 0;
+        switch (op.kind) {
+          case BatchOpKind::Intersect:
+            serial = scu_serial.intersect(ctx_s, 0, op.a, op.b);
+            break;
+          case BatchOpKind::Union:
+            serial = scu_serial.setUnion(ctx_s, 0, op.a, op.b);
+            break;
+          case BatchOpKind::Difference:
+            serial = scu_serial.difference(ctx_s, 0, op.a, op.b);
+            break;
+          case BatchOpKind::IntersectCard:
+            value = scu_serial.intersectCard(ctx_s, 0, op.a, op.b);
+            break;
+          case BatchOpKind::UnionCard:
+            value = scu_serial.unionCard(ctx_s, 0, op.a, op.b);
+            break;
+        }
+        if (serial != invalid_set) {
+            EXPECT_EQ(res_p.entries[i].set, serial);
+            EXPECT_EQ(store_policy.elementsOf(res_p.entries[i].set),
+                      store_serial.elementsOf(serial));
+            EXPECT_EQ(res_p.entries[i].value,
+                      store_serial.cardinality(serial));
+        } else {
+            EXPECT_EQ(res_p.entries[i].value, value);
+        }
+    }
+
+    for (const char *name :
+         {"setops.streamed", "setops.probes", "setops.words",
+          "setops.output", "scu.pum_ops", "scu.pnm_stream_ops",
+          "scu.pnm_random_ops", "scu.short_circuits"}) {
+        EXPECT_EQ(ctx_p.counter(name), ctx_h.counter(name)) << name;
+        EXPECT_EQ(ctx_p.counter(name), ctx_s.counter(name)) << name;
+    }
+}
+
+TEST_P(PlacementDifferential, EnginesBatchIdenticalToSerialUnderPolicy)
+{
+    // Same contract one layer up, for BOTH SetEngine implementations:
+    // the sisa engine runs under the parameterized policy, the CPU
+    // engine has no vaults but must honor the same batch semantics.
+    const Element universe = 1024;
+    const auto fill = [&](core::SetEngine &eng, SimContext &ctx) {
+        std::vector<core::SetId> pool;
+        std::uint64_t state = 31;
+        const auto next = [&state] {
+            state = state * 6364136223846793005ull +
+                    1442695040888963407ull;
+            return state >> 33;
+        };
+        for (int s = 0; s < 24; ++s) {
+            std::vector<Element> elems;
+            const std::uint64_t size = next() % 80;
+            for (std::uint64_t e = 0; e < size; ++e)
+                elems.push_back(
+                    static_cast<Element>(next() % universe));
+            std::sort(elems.begin(), elems.end());
+            elems.erase(std::unique(elems.begin(), elems.end()),
+                        elems.end());
+            pool.push_back(eng.create(ctx, 0, elems,
+                                      next() % 3 == 0
+                                          ? SetRepr::DenseBitvector
+                                          : SetRepr::SparseArray));
+        }
+        return pool;
+    };
+
+    for (const bool sisa_engine : {true, false}) {
+        std::unique_ptr<core::SetEngine> eng_b, eng_s;
+        if (sisa_engine) {
+            eng_b = std::make_unique<core::SisaEngine>(
+                universe, ScuConfig{}, 1);
+            eng_s = std::make_unique<core::SisaEngine>(
+                universe, ScuConfig{}, 1);
+        } else {
+            eng_b = std::make_unique<core::CpuSetEngine>(
+                universe, sim::CpuParams{}, 1);
+            eng_s = std::make_unique<core::CpuSetEngine>(
+                universe, sim::CpuParams{}, 1);
+        }
+        SimContext ctx_b(1), ctx_s(1);
+        const auto pool_b = fill(*eng_b, ctx_b);
+        fill(*eng_s, ctx_s);
+        const BatchRequest req =
+            batch_tests::makeRequest(pool_b, 120, 23);
+        if (sisa_engine) {
+            static_cast<core::SisaEngine &>(*eng_b).scu().setPlacement(
+                placement_differential_tests::buildPolicy(
+                    GetParam(), ScuConfig{}.pim.vaults, req));
+        }
+
+        const BatchResult res = eng_b->executeBatch(ctx_b, 0, req);
+        ASSERT_EQ(res.size(), req.size());
+        for (std::size_t i = 0; i < req.size(); ++i) {
+            const BatchOp &op = req.ops[i];
+            switch (op.kind) {
+              case BatchOpKind::Intersect:
+              case BatchOpKind::Union:
+              case BatchOpKind::Difference: {
+                SetId serial = invalid_set;
+                if (op.kind == BatchOpKind::Intersect)
+                    serial = eng_s->intersect(ctx_s, 0, op.a, op.b);
+                else if (op.kind == BatchOpKind::Union)
+                    serial = eng_s->setUnion(ctx_s, 0, op.a, op.b);
+                else
+                    serial = eng_s->difference(ctx_s, 0, op.a, op.b);
+                EXPECT_EQ(res.entries[i].set, serial);
+                EXPECT_EQ(
+                    eng_b->store().elementsOf(res.entries[i].set),
+                    eng_s->store().elementsOf(serial));
+                break;
+              }
+              case BatchOpKind::IntersectCard:
+                EXPECT_EQ(res.entries[i].value,
+                          eng_s->intersectCard(ctx_s, 0, op.a, op.b));
+                break;
+              case BatchOpKind::UnionCard:
+                EXPECT_EQ(res.entries[i].value,
+                          eng_s->unionCard(ctx_s, 0, op.a, op.b));
+                break;
+            }
+        }
+        for (const char *name :
+             {"setops.streamed", "setops.probes", "setops.words",
+              "setops.output"}) {
+            EXPECT_EQ(ctx_b.counter(name), ctx_s.counter(name))
+                << name << (sisa_engine ? " (sisa)" : " (cpu)");
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PlacementDifferential,
+                         ::testing::Values("hash", "range",
+                                           "locality"));
+
+TEST(PlacementAcceptance, LocalityReducesCrossVaultBytesOnRmat)
+{
+    // The acceptance bar: on a fixed-seed RMAT graph, greedy locality
+    // placement moves measurably fewer interconnect bytes than hash
+    // placement while every functional output stays bit-identical.
+    graph::RmatParams params;
+    params.scale = 8;
+    params.edgeFactor = 8;
+    const graph::Graph g = graph::rmat(params, 42);
+
+    const auto run = [&](bool locality) {
+        core::SisaEngine eng(g.numVertices(), ScuConfig{}, 4);
+        SimContext ctx(4);
+        ctx.setPatternCutoff(0);
+        algorithms::OrientedSetGraph osg(g, eng);
+        if (locality) {
+            eng.scu().setPlacement(greedyLocalityPlacement(
+                ScuConfig{}.pim.vaults,
+                core::placementArcs(*osg.sets)));
+        }
+        const std::uint64_t tri = algorithms::triangleCount(osg, ctx);
+        return std::tuple{tri, ctx.counter("setops.xvault_bytes"),
+                          ctx.counter("setops.streamed"),
+                          ctx.counter("setops.probes"),
+                          ctx.counter("setops.words"),
+                          ctx.counter("setops.output")};
+    };
+
+    const auto [tri_h, bytes_h, st_h, pr_h, wo_h, out_h] = run(false);
+    const auto [tri_l, bytes_l, st_l, pr_l, wo_l, out_l] = run(true);
+    EXPECT_EQ(tri_h, tri_l);
+    EXPECT_EQ(st_h, st_l);
+    EXPECT_EQ(pr_h, pr_l);
+    EXPECT_EQ(wo_h, wo_l);
+    EXPECT_EQ(out_h, out_l);
+    EXPECT_GT(bytes_h, 0u);
+    // "Measurably": at least a 5% cut (observed ~16% at slack 2.0).
+    EXPECT_LT(bytes_l, bytes_h - bytes_h / 20);
+}
+
+} // namespace placement_differential_tests
+
+// --- Golden instruction trace: fixed-seed RMAT triangle count --------------
+
+namespace golden_trace_tests {
+
+using namespace sisa;
+using namespace sisa::isa;
+
+TEST(GoldenTrace, RmatTriangleCountPinsInstructionStream)
+{
+    // Regression pin: the exact SISA instruction stream and backend
+    // mix of a fixed-seed RMAT triangle count. A refactor that
+    // reorders, drops, or re-plans instructions changes one of these
+    // constants and must justify the new goldens explicitly.
+    graph::RmatParams params;
+    params.scale = 6;
+    params.edgeFactor = 4;
+    const graph::Graph g = graph::rmat(params, 7);
+    ASSERT_EQ(g.numVertices(), 64u);
+    ASSERT_EQ(g.numEdges(), 165u);
+
+    core::SisaEngine eng(g.numVertices(), ScuConfig{}, 2);
+    InstructionTrace trace;
+    eng.scu().setTrace(&trace);
+    sim::SimContext ctx(2);
+    ctx.setPatternCutoff(0);
+    algorithms::OrientedSetGraph osg(g, eng);
+    EXPECT_EQ(algorithms::triangleCount(osg, ctx), 186u);
+
+    // One fused-cardinality instruction per oriented arc.
+    EXPECT_EQ(trace.size(), 165u);
+    EXPECT_EQ(trace.count(SisaOp::IntersectCard), 165u);
+
+    // FNV-1a over the encoded words pins opcode sequence AND operand
+    // registers (any reorder or operand swap moves the hash).
+    std::uint64_t fnv = 1469598103934665603ull;
+    for (const std::uint32_t word : trace.words()) {
+        EXPECT_TRUE(decode(word).has_value());
+        fnv ^= word;
+        fnv *= 1099511628211ull;
+    }
+    EXPECT_EQ(fnv, 306698877496648735ull);
+
+    // Backend choices pinned: the Section 8.2/8.3 dispatch decisions
+    // for this workload must not drift silently.
+    EXPECT_EQ(ctx.counter("scu.pum_ops"), 67u);
+    EXPECT_EQ(ctx.counter("scu.pnm_stream_ops"), 81u);
+    EXPECT_EQ(ctx.counter("scu.pnm_random_ops"), 51u);
+    EXPECT_EQ(ctx.counter("scu.short_circuits"), 33u);
+    EXPECT_EQ(ctx.counter("scu.batch_dispatches"), 50u);
+    EXPECT_EQ(ctx.counter("setops.streamed"), 141u);
+    EXPECT_EQ(ctx.counter("setops.probes"), 106u);
+    EXPECT_EQ(ctx.counter("setops.words"), 67u);
+    EXPECT_EQ(ctx.counter("setops.output"), 186u);
+}
+
+} // namespace golden_trace_tests

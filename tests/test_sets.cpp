@@ -390,3 +390,209 @@ TEST(ReprPolicy, ZeroBiasKeepsEverythingSparse)
 }
 
 } // namespace
+
+// --- Property/fuzz: random op sequences vs a std::set oracle ---------------
+
+#include <algorithm>
+#include <iterator>
+
+namespace fuzz_tests {
+
+using namespace sisa::sets;
+using sisa::support::Xoshiro256;
+
+/** One fuzz slot: the functional set in SA or DB form + its oracle. */
+struct Slot
+{
+    bool dense = false;
+    SortedArraySet sa;
+    DenseBitset db;
+    std::set<Element> ref;
+};
+
+Slot
+makeSlot(std::vector<Element> elems, bool dense, Element universe)
+{
+    Slot s;
+    s.dense = dense;
+    s.ref = std::set<Element>(elems.begin(), elems.end());
+    SortedArraySet sa(
+        std::vector<Element>(s.ref.begin(), s.ref.end()));
+    if (dense)
+        s.db = DenseBitset::fromSorted(sa.elements(), universe);
+    else
+        s.sa = std::move(sa);
+    return s;
+}
+
+std::vector<Element>
+elementsOf(const Slot &s)
+{
+    if (!s.dense)
+        return {s.sa.begin(), s.sa.end()};
+    std::vector<Element> out;
+    s.db.collect(out);
+    return out;
+}
+
+TEST(SetOpsFuzz, RandomMixedSequencesMatchStdSetOracle)
+{
+    // Replay random union/intersect/difference/cardinality sequences
+    // over a mixed SA/DB pool -- including the empty set and the full
+    // universe in both representations -- against a std::set oracle.
+    // Every Table 5 variant applicable to the drawn representation
+    // pair must agree with the oracle and with its sibling variants.
+    constexpr Element universe = 192;
+    Xoshiro256 rng(20260729);
+
+    std::vector<Slot> slots;
+    slots.push_back(makeSlot({}, false, universe)); // Empty SA.
+    slots.push_back(makeSlot({}, true, universe));  // Empty DB.
+    std::vector<Element> all;
+    for (Element e = 0; e < universe; ++e)
+        all.push_back(e);
+    slots.push_back(makeSlot(all, true, universe));  // Full DB.
+    slots.push_back(makeSlot(all, false, universe)); // Full SA.
+    constexpr std::size_t fixed_slots = 4;
+    for (int s = 0; s < 10; ++s) {
+        std::vector<Element> elems;
+        const std::uint64_t size = rng.nextBounded(universe);
+        for (std::uint64_t e = 0; e < size; ++e)
+            elems.push_back(
+                static_cast<Element>(rng.nextBounded(universe)));
+        slots.push_back(
+            makeSlot(std::move(elems), rng.nextBounded(2) == 0,
+                     universe));
+    }
+
+    const auto saOf = [](const Slot &s) {
+        return s.dense ? s.db.toSortedArray() : s.sa;
+    };
+    const auto dbOf = [universe](const Slot &s) {
+        return s.dense ? s.db
+                       : DenseBitset::fromSorted(s.sa.elements(),
+                                                 universe);
+    };
+
+    for (int iter = 0; iter < 1200; ++iter) {
+        const Slot &a = slots[rng.nextBounded(slots.size())];
+        const Slot &b = slots[rng.nextBounded(slots.size())];
+
+        std::vector<Element> want_i, want_u, want_d;
+        std::set_intersection(a.ref.begin(), a.ref.end(),
+                              b.ref.begin(), b.ref.end(),
+                              std::back_inserter(want_i));
+        std::set_union(a.ref.begin(), a.ref.end(), b.ref.begin(),
+                       b.ref.end(), std::back_inserter(want_u));
+        std::set_difference(a.ref.begin(), a.ref.end(), b.ref.begin(),
+                            b.ref.end(), std::back_inserter(want_d));
+
+        OpWork work;
+        switch (rng.nextBounded(4)) {
+          case 0: { // Intersection.
+            if (!a.dense && !b.dense) {
+                const auto merge = intersectMerge(a.sa, b.sa, work);
+                const auto gallop = intersectGallop(a.sa, b.sa, work);
+                ASSERT_EQ(std::vector<Element>(merge.begin(),
+                                               merge.end()),
+                          want_i);
+                ASSERT_EQ(merge, gallop);
+                ASSERT_EQ(intersectCardMerge(a.sa, b.sa, work),
+                          want_i.size());
+                ASSERT_EQ(intersectCardGallop(a.sa, b.sa, work),
+                          want_i.size());
+            } else if (a.dense && b.dense) {
+                const auto r = intersectDbDb(a.db, b.db, work);
+                std::vector<Element> got;
+                r.collect(got);
+                ASSERT_EQ(got, want_i);
+                ASSERT_EQ(intersectCardDbDb(a.db, b.db, work),
+                          want_i.size());
+            } else {
+                const SortedArraySet &array = a.dense ? b.sa : a.sa;
+                const DenseBitset &bits = a.dense ? a.db : b.db;
+                const auto r = intersectSaDb(array, bits, work);
+                ASSERT_EQ(std::vector<Element>(r.begin(), r.end()),
+                          want_i);
+                ASSERT_EQ(intersectCardSaDb(array, bits, work),
+                          want_i.size());
+            }
+            break;
+          }
+          case 1: { // Union.
+            if (!a.dense && !b.dense) {
+                const auto merge = unionMerge(a.sa, b.sa, work);
+                const auto gallop = unionGallop(a.sa, b.sa, work);
+                ASSERT_EQ(std::vector<Element>(merge.begin(),
+                                               merge.end()),
+                          want_u);
+                ASSERT_EQ(merge, gallop);
+                ASSERT_EQ(unionCardMerge(a.sa, b.sa, work),
+                          want_u.size());
+            } else if (a.dense && b.dense) {
+                const auto r = unionDbDb(a.db, b.db, work);
+                std::vector<Element> got;
+                r.collect(got);
+                ASSERT_EQ(got, want_u);
+            } else {
+                const SortedArraySet &array = a.dense ? b.sa : a.sa;
+                const DenseBitset &bits = a.dense ? a.db : b.db;
+                const auto r = unionSaDb(array, bits, work);
+                std::vector<Element> got;
+                r.collect(got);
+                ASSERT_EQ(got, want_u);
+            }
+            break;
+          }
+          case 2: { // Difference A \ B (order matters).
+            if (!a.dense && !b.dense) {
+                const auto merge = differenceMerge(a.sa, b.sa, work);
+                const auto gallop = differenceGallop(a.sa, b.sa, work);
+                ASSERT_EQ(std::vector<Element>(merge.begin(),
+                                               merge.end()),
+                          want_d);
+                ASSERT_EQ(merge, gallop);
+            } else if (a.dense && b.dense) {
+                const auto r = differenceDbDb(a.db, b.db, work);
+                std::vector<Element> got;
+                r.collect(got);
+                ASSERT_EQ(got, want_d);
+            } else if (!a.dense && b.dense) {
+                const auto r = differenceSaDb(a.sa, b.db, work);
+                ASSERT_EQ(std::vector<Element>(r.begin(), r.end()),
+                          want_d);
+            } else {
+                const auto r = differenceDbSa(a.db, b.sa, work);
+                std::vector<Element> got;
+                r.collect(got);
+                ASSERT_EQ(got, want_d);
+            }
+            break;
+          }
+          default: { // Cardinalities across forced conversions.
+            ASSERT_EQ(intersectCardMerge(saOf(a), saOf(b), work),
+                      want_i.size());
+            ASSERT_EQ(intersectCardDbDb(dbOf(a), dbOf(b), work),
+                      want_i.size());
+            ASSERT_EQ(intersectCardSaDb(saOf(a), dbOf(b), work),
+                      want_i.size());
+            ASSERT_EQ(unionCardMerge(saOf(a), saOf(b), work),
+                      want_u.size());
+            break;
+          }
+        }
+
+        // Feed results back into the pool so sequences compound
+        // (never overwriting the fixed empty/full edge slots).
+        if (iter % 7 == 0) {
+            const std::size_t target =
+                fixed_slots +
+                rng.nextBounded(slots.size() - fixed_slots);
+            slots[target] = makeSlot(std::move(want_i),
+                                     rng.nextBounded(2) == 0,
+                                     universe);
+        }
+    }
+}
+
+} // namespace fuzz_tests

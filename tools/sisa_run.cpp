@@ -4,12 +4,16 @@
  * dataset, mode) cell with chosen thread count and pattern cutoff,
  * and print the simulated outcome plus the hardware counters.
  *
- *   sisa_run <problem> <dataset> <mode> [threads] [cutoff]
+ *   sisa_run <problem> <dataset> <mode> [threads] [cutoff] [placement]
  *
- *   problem:  tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
- *             cl-jac | cl-ovr | cl-tot
- *   dataset:  any registry name (see --list)
- *   mode:     non-set | set-based | sisa
+ *   problem:   tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
+ *              cl-jac | cl-ovr | cl-tot
+ *   dataset:   any registry name (see --list)
+ *   mode:      non-set | set-based | sisa
+ *   placement: hash | range | locality (sisa mode; default hash) --
+ *              cross-vault traffic lands in the scu.xvault_transfers /
+ *              setops.xvault_bytes / setops.xvault_reduce_bytes
+ *              counters printed below.
  */
 
 #include <cstdio>
@@ -43,7 +47,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <problem> <dataset> <mode> [threads] "
-                 "[cutoff]\n       %s --list\n",
+                 "[cutoff] [placement]\n       %s --list\n"
+                 "       placement: hash | range | locality "
+                 "(sisa mode only)\n",
                  argv0, argv0);
     return 2;
 }
@@ -77,14 +83,29 @@ main(int argc, char **argv)
     config.threads = argc > 4 ? std::stoul(argv[4]) : 32;
     config.cutoff =
         argc > 5 ? std::stoull(argv[5]) : defaultCutoff(problem);
+    if (argc > 6) {
+        config.placement = argv[6];
+        if (config.placement != "hash" && config.placement != "range" &&
+            config.placement != "locality")
+            return usage(argv[0]);
+        if (mode != Mode::Sisa) {
+            std::fprintf(stderr,
+                         "placement is only meaningful in sisa mode\n");
+            return usage(argv[0]);
+        }
+    }
     if (problem == "si-4s-L")
         config.labels = 3;
 
     const graph::Graph g = graph::makeDataset(dataset);
     std::printf("dataset: %s\n", g.describe().c_str());
-    std::printf("running %s in %s mode, T=%u, cutoff=%llu\n",
+    std::printf("running %s in %s mode, T=%u, cutoff=%llu, "
+                "placement=%s\n",
                 problem.c_str(), modeName(mode), config.threads,
-                static_cast<unsigned long long>(config.cutoff));
+                static_cast<unsigned long long>(config.cutoff),
+                mode != Mode::Sisa ? "n/a"
+                : config.placement.empty() ? "hash"
+                                           : config.placement.c_str());
 
     const RunOutcome outcome = runProblem(problem, g, mode, config);
 
