@@ -73,6 +73,20 @@ struct RunConfig
      * only; results are policy-invariant.
      */
     std::string placement{};
+    /**
+     * Execution-vault routing for Sisa mode: "primary" (default, the
+     * a-operand's vault) or "min-bytes" (run where the bigger
+     * operand lives and move only the smaller co-operand). Cycle
+     * charges and xvault counters only; results are invariant.
+     */
+    std::string routing{};
+    /**
+     * Dynamic re-placement for Sisa mode: wrap the chosen placement
+     * in a DynamicPlacement that migrates sets observed being
+     * fetched into the same remote vault repeatedly (counters
+     * scu.migrations / setops.migration_bytes).
+     */
+    bool replace = false;
 };
 
 /** Build the named placement policy over @p sg's traffic arcs. */
@@ -175,8 +189,17 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
         std::unique_ptr<core::SetEngine> engine;
         core::SisaEngine *sisa_engine = nullptr;
         if (mode == Mode::Sisa) {
+            isa::ScuConfig scu_cfg = config.scu;
+            if (config.routing == "min-bytes") {
+                scu_cfg.routing = isa::Routing::MinBytes;
+            } else {
+                sisa_assert(config.routing.empty() ||
+                                config.routing == "primary",
+                            "unknown routing rule "
+                            "(primary | min-bytes)");
+            }
             auto sisa = std::make_unique<core::SisaEngine>(
-                g->numVertices(), config.scu, config.threads);
+                g->numVertices(), scu_cfg, config.threads);
             sisa_engine = sisa.get();
             engine = std::move(sisa);
         } else {
@@ -186,10 +209,16 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
         // Placement can only be seeded once the neighborhood sets
         // exist, so it installs right after SetGraph construction.
         const auto installPlacement = [&](const core::SetGraph &sg) {
-            if (sisa_engine && !config.placement.empty()) {
-                sisa_engine->scu().setPlacement(
+            if (sisa_engine &&
+                (!config.placement.empty() || config.replace)) {
+                auto policy =
                     makePlacement(config.placement,
-                                  config.scu.pim.vaults, sg));
+                                  config.scu.pim.vaults, sg);
+                if (config.replace) {
+                    policy = std::make_shared<isa::DynamicPlacement>(
+                        std::move(policy));
+                }
+                sisa_engine->scu().setPlacement(std::move(policy));
             }
         };
         if (needs_orientation) {

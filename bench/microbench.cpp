@@ -390,35 +390,119 @@ runKernelSweep(const std::string &json_path)
         }
     }
 
-    // Placement sweep: cross-vault traffic of a fixed-seed RMAT
-    // triangle count under hash vs locality placement. These rows are
-    // NOT nanoseconds (their unit field says so): "scalar" is the
-    // HashPlacement value, "vector" the LocalityPlacement value, and
+    // Placement / routing / re-placement sweep: cross-vault traffic
+    // of a fixed-seed RMAT triangle count. These rows are NOT
+    // nanoseconds (their unit field says so): "scalar" is the
+    // baseline configuration's value, "vector" the tuned one's, and
     // "speedup" the reduction factor.
     {
         graph::RmatParams rmat_params;
         rmat_params.scale = 9;
         rmat_params.edgeFactor = 8;
         const graph::Graph g = graph::rmat(rmat_params, 42);
-        const auto run = [&](const char *placement) {
+        struct PlacementRun
+        {
+            std::uint64_t moved_bytes; ///< xvault + migration bytes.
+            std::uint64_t cycles;
+        };
+        const auto run = [&](const char *placement,
+                             const char *routing, bool replace) {
             bench::RunConfig rc;
             rc.threads = 4;
             rc.cutoff = 0;
             rc.placement = placement;
+            rc.routing = routing;
+            rc.replace = replace;
             bench::RunOutcome out =
                 bench::runProblem("tc", g, bench::Mode::Sisa, rc);
-            return std::pair{
-                out.ctx->counter("setops.xvault_bytes"),
+            return PlacementRun{
+                out.ctx->counter("setops.xvault_bytes") +
+                    out.ctx->counter("setops.migration_bytes"),
                 out.cycles};
         };
-        const auto [hash_bytes, hash_cycles] = run("hash");
-        const auto [locality_bytes, locality_cycles] = run("locality");
+        // hash vs locality placement (primary routing): the PR 3 row.
+        const PlacementRun hash = run("hash", "primary", false);
+        const PlacementRun locality = run("locality", "primary", false);
         add("placement_tc_rmat9_xvault_bytes", g.numVertices(),
-            static_cast<double>(hash_bytes),
-            static_cast<double>(locality_bytes), "bytes");
+            static_cast<double>(hash.moved_bytes),
+            static_cast<double>(locality.moved_bytes), "bytes");
         add("placement_tc_rmat9_cycles", g.numVertices(),
-            static_cast<double>(hash_cycles),
-            static_cast<double>(locality_cycles), "cycles");
+            static_cast<double>(hash.cycles),
+            static_cast<double>(locality.cycles), "cycles");
+        // primary vs min-bytes routing, both on locality placement.
+        const PlacementRun minbytes =
+            run("locality", "min-bytes", false);
+        add("routing_tc_rmat9_xvault_bytes", g.numVertices(),
+            static_cast<double>(locality.moved_bytes),
+            static_cast<double>(minbytes.moved_bytes), "bytes");
+        add("routing_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(locality.cycles),
+            static_cast<double>(minbytes.cycles), "cycles");
+        // The full tuned stack (locality + min-bytes + dynamic
+        // re-placement, migration traffic included) vs the PR 3
+        // locality baseline.
+        const PlacementRun dynamic =
+            run("locality", "min-bytes", true);
+        add("replace_tc_rmat9_xvault_bytes", g.numVertices(),
+            static_cast<double>(locality.moved_bytes),
+            static_cast<double>(dynamic.moved_bytes), "bytes");
+        add("replace_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(locality.cycles),
+            static_cast<double>(dynamic.cycles), "cycles");
+    }
+
+    // Remote-operand dedup guard: one vault serializing 512 ops whose
+    // co-operands are all remote and distinct -- the worst case for
+    // the per-lane fetched-set membership check (formerly an O(k)
+    // linear scan per op, now a per-worker hash set). Host
+    // wall-clock, serial vs batched.
+    {
+        const Element universe = 1u << 16;
+        constexpr std::size_t ops = 512;
+        isa::ScuConfig cfg;
+        cfg.batchWorkers = 1;
+        core::SisaEngine eng(universe, cfg, 1);
+        sim::SimContext setup_ctx(1);
+        auto placement = std::make_shared<isa::LocalityPlacement>(
+            cfg.pim.vaults);
+        std::vector<core::SetId> as, bs;
+        for (std::size_t s = 0; s < ops; ++s) {
+            const SortedArraySet a_set =
+                randomSet(2 * s + 1, universe, 64);
+            const SortedArraySet b_set =
+                randomSet(2 * s + 2, universe, 64);
+            as.push_back(eng.create(
+                setup_ctx, 0,
+                std::vector<Element>(a_set.begin(), a_set.end()),
+                sets::SetRepr::SparseArray));
+            bs.push_back(eng.create(
+                setup_ctx, 0,
+                std::vector<Element>(b_set.begin(), b_set.end()),
+                sets::SetRepr::SparseArray));
+            placement->assign(as.back(), 0);
+            placement->assign(bs.back(),
+                              1 + static_cast<std::uint32_t>(
+                                      s % (cfg.pim.vaults - 1)));
+        }
+        eng.scu().setPlacement(placement);
+        core::BatchRequest req;
+        for (std::size_t s = 0; s < ops; ++s)
+            req.intersectCard(as[s], bs[s]);
+
+        add("batched_dispatch_1vault_512x64", ops,
+            timeNs([&] {
+                sim::SimContext ctx(1);
+                std::uint64_t total = 0;
+                for (std::size_t s = 0; s < ops; ++s)
+                    total +=
+                        eng.intersectCard(ctx, 0, as[s], bs[s]);
+                benchmark::DoNotOptimize(total);
+            }),
+            timeNs([&] {
+                sim::SimContext ctx(1);
+                benchmark::DoNotOptimize(
+                    eng.executeBatch(ctx, 0, req));
+            }));
     }
 
     std::FILE *f = std::fopen(json_path.c_str(), "w");

@@ -80,13 +80,22 @@ struct BkTask
         // Candidates: P setminus N(u).
         const core::SetId cands =
             eng.difference(ctx, tid, p, sg.neighborhood(pivot));
+        core::BatchRequest child;
         for (sets::Element v : eng.elements(ctx, tid, cands)) {
             if (ctx.cutoffReached(tid))
                 break;
-            const core::SetId p_next =
-                eng.intersect(ctx, tid, p, sg.neighborhood(v));
-            const core::SetId x_next =
-                eng.intersect(ctx, tid, x, sg.neighborhood(v));
+            // P' = P cap N(v) and X' = X cap N(v) are independent:
+            // one dispatch materializes both (same result ids and
+            // instruction trace as the serial pair), and under a
+            // result-placing policy the intermediates stay in the
+            // vault that produced them, keeping the recursion local.
+            child.clear();
+            child.intersect(p, sg.neighborhood(v));
+            child.intersect(x, sg.neighborhood(v));
+            const core::BatchResult next =
+                eng.executeBatch(ctx, tid, child);
+            const core::SetId p_next = next.entries[0].set;
+            const core::SetId x_next = next.entries[1].set;
             clique.push_back(v);
             recurse(p_next, x_next);
             clique.pop_back();

@@ -60,24 +60,32 @@
  * BatchRequest of N independent operations decodes ONCE, charges
  * metadata per operand, executes each operation with exactly the
  * kernels and OpWork formulas above (so batched == serial in results
- * and in total setops.* counters), routes operations to the vault the
- * placement policy (sisa/placement.hpp) assigns their primary
- * operand, and charges the issuing thread the makespan of the slowest
- * vault instead of the serial sum. Operations inside a batch must not
- * consume each other's results.
+ * and in total setops.* counters), routes operations to the
+ * execution vault Scu::routeVault picks, and charges the issuing
+ * thread the makespan of the slowest vault instead of the serial
+ * sum. Operations inside a batch must not consume each other's
+ * results.
+ *
+ * Routing (ScuConfig.routing): Primary executes every op in the
+ * vault the placement policy (sisa/placement.hpp) assigns operand A;
+ * MinBytes executes where the LARGER operand (by footprint: SA 4 |S|
+ * bytes, DB ceil(universe / 8) bytes) lives and moves only the
+ * smaller co-operand, with ties keeping A's vault. Routing, like
+ * placement, moves only cycles and xvault counters.
  *
  * Cross-vault charges on top (batched dispatch only; priced with
  * mem::interconnectCycles(bytes) = l_M + ceil(bytes / b_L)):
  *
  *  - Operand transfer: an op whose co-operand lives in a different
- *    vault than its primary operand first moves the co-operand's
- *    footprint (SA: 4 |B| bytes, DB: ceil(universe / 8) bytes) over
- *    the interconnect, charged into that vault's lane ONCE per
- *    (vault, operand) pair per dispatch -- the vault buffers remote
- *    operands for the dispatch's duration. Metadata-only short
- *    circuits (empty results, zero cardinalities) never touch the
- *    interconnect, but the degenerate copy {} cup B with a remote B
- *    does stream B's bytes and pays the transfer. Counters:
+ *    vault than its execution vault first moves the co-operand's
+ *    footprint over the interconnect, charged into that vault's
+ *    lane ONCE per (vault, operand) pair per dispatch -- the vault
+ *    buffers remote operands for the dispatch's duration.
+ *    Metadata-only short circuits (empty results, zero
+ *    cardinalities) never touch the interconnect; a degenerate copy
+ *    pays only for the operand it actually reads ({} cup B with a
+ *    remote B streams B's bytes under Primary routing, and under
+ *    MinBytes simply executes in B's vault). Counters:
  *    scu.xvault_transfers, setops.xvault_bytes.
  *  - Result reduction: a batch touching L > 1 vaults that charged
  *    vault work (metadata-only outcomes have nothing to send)
@@ -88,11 +96,23 @@
  *    results 4 |R| bytes, DB results ceil(universe / 8) bytes),
  *    added to the batch makespan. Counter:
  *    setops.xvault_reduce_bytes.
+ *  - Migration: with a DynamicPlacement policy installed, each
+ *    dispatch barrier migrates the sets whose observed remote
+ *    traffic into one vault reached migrateFactor x footprint; a
+ *    migration moves the set's footprint once at b_L, serialized on
+ *    the issuing thread. Counters: scu.migrations,
+ *    setops.migration_bytes.
  *
- * Placement moves only these cycle charges and xvault counters;
- * results, result ids, and the functional setops.{streamed, probes,
- * words, output} totals are placement-invariant (differential-tested
- * per policy in tests/test_isa.cpp).
+ * Result sets adopted under a result-placing policy (locality,
+ * dynamic) are pinned to the vault that produced them (the SCU's
+ * placement overlay), so recursion over intermediates stays local
+ * instead of falling back to the hash assignment.
+ *
+ * Placement, routing, and re-placement move only these cycle charges
+ * and xvault/migration counters; results, result ids, the functional
+ * setops.{streamed, probes, words, output} totals, and lastBackend()
+ * are invariant (differential-tested per policy x routing in
+ * tests/test_isa.cpp and tests/test_placement.cpp).
  */
 
 #ifndef SISA_SETS_OPERATIONS_HPP

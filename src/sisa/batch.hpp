@@ -3,11 +3,12 @@
  * Batched SISA instruction dispatch (the SISA-PNM throughput model of
  * Sections 5-6). A BatchRequest carries N independent binary set
  * operations that the SCU decodes ONCE and executes concurrently
- * across its vaults: each operation is routed to a simulated vault by
- * hashing its primary operand, operations mapped to the same vault
- * serialize, and the batch's simulated cost is the makespan of the
- * slowest vault -- exactly the cross-vault load-balance behaviour the
- * paper's evaluation studies. Engines expose this through
+ * across its vaults: each operation is routed to the execution vault
+ * Scu::routeVault picks (its primary operand's vault by default, or
+ * the bigger operand's vault under ScuConfig.routing = MinBytes),
+ * operations mapped to the same vault serialize, and the batch's
+ * simulated cost is the makespan of the slowest vault -- exactly the
+ * cross-vault load-balance behaviour the paper's evaluation studies. Engines expose this through
  * SetEngine::executeBatch (core/set_engine.hpp); batched and serial
  * dispatch are bit-identical in their functional results and in their
  * total setops.* work counters, only the cycle model differs.
@@ -37,11 +38,13 @@ enum class BatchOpKind : std::uint8_t
  * One operation inside a batch. Operations must be independent: no
  * operand may be the result of another op in the same batch.
  *
- * Operand `a` is the PRIMARY operand: the SCU routes the op to vault
- * hash(a), and ops on the same vault serialize. When a loop batches
- * many ops against one shared set, pass the VARYING set as `a` (the
- * symmetric ops -- intersect*, union* -- don't care about order) so
- * the batch spreads across vaults instead of piling onto one.
+ * Operand `a` is the PRIMARY operand: under Routing::Primary the SCU
+ * routes the op to `a`'s vault (under Routing::MinBytes it runs
+ * where the bigger operand lives, with ties keeping `a`'s vault),
+ * and ops on the same vault serialize. When a loop batches many ops
+ * against one shared set, pass the VARYING set as `a` (the symmetric
+ * ops -- intersect*, union* -- don't care about order) so the batch
+ * spreads across vaults instead of piling onto one.
  */
 struct BatchOp
 {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/logging.hpp"
+
 namespace sisa::isa {
 
 std::uint32_t
@@ -32,6 +34,81 @@ void
 LocalityPlacement::assign(SetId id, std::uint32_t vault)
 {
     table_[id] = vault % vaults_;
+}
+
+DynamicPlacement::DynamicPlacement(
+    std::shared_ptr<const PlacementPolicy> base,
+    DynamicPlacementConfig config)
+    : PlacementPolicy(base ? base->vaults() : 1),
+      base_(base ? std::move(base)
+                 : std::make_shared<HashPlacement>(1)),
+      config_(config)
+{
+    sisa_assert(config_.migrateFactor > 0.0,
+                "DynamicPlacement migrateFactor must be positive");
+}
+
+void
+DynamicPlacement::observe(SetId id, std::uint32_t from,
+                          std::uint32_t into,
+                          std::uint64_t bytes) const
+{
+    Heat &heat = heat_[id];
+    heat.from = from;
+    heat.footprint = bytes;
+    for (auto &[vault, total] : heat.perVault) {
+        if (vault == into) {
+            total += bytes;
+            return;
+        }
+    }
+    heat.perVault.emplace_back(into, bytes);
+}
+
+std::vector<MigrationEvent>
+DynamicPlacement::collectMigrations() const
+{
+    std::vector<MigrationEvent> events;
+    for (auto it = heat_.begin(); it != heat_.end();) {
+        const Heat &heat = it->second;
+        // The hottest destination wins; deterministic tie-break on
+        // the lower vault id (perVault order is insertion order, so
+        // an order-independent rule is needed).
+        std::uint32_t best = 0;
+        std::uint64_t best_bytes = 0;
+        for (const auto &[vault, total] : heat.perVault) {
+            if (total > best_bytes ||
+                (total == best_bytes && best_bytes > 0 &&
+                 vault < best)) {
+                best = vault;
+                best_bytes = total;
+            }
+        }
+        const auto threshold = static_cast<std::uint64_t>(
+            std::ceil(config_.migrateFactor *
+                      static_cast<double>(heat.footprint)));
+        if (best_bytes >= std::max<std::uint64_t>(threshold, 1) &&
+            best != heat.from) {
+            events.push_back(
+                {it->first, heat.from, best, heat.footprint});
+            it = heat_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Hash-map iteration order is unspecified: sort so the event
+    // stream (and any trace built on it) is reproducible.
+    std::sort(events.begin(), events.end(),
+              [](const MigrationEvent &a, const MigrationEvent &b) {
+                  return a.id < b.id;
+              });
+    return events;
+}
+
+void
+DynamicPlacement::forget(SetId id) const
+{
+    heat_.erase(id);
 }
 
 std::shared_ptr<const LocalityPlacement>

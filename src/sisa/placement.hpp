@@ -19,12 +19,31 @@
  *                       arcs of the workload (co-locate each
  *                       neighborhood set with its highest-traffic
  *                       partners, seeded from the oriented graph's
- *                       arc structure).
+ *                       arc structure);
+ *  - DynamicPlacement:  a re-placement controller wrapping any base
+ *                       policy: it ingests the observed cross-vault
+ *                       transfers at each dispatch barrier and asks
+ *                       the SCU to migrate sets that keep being
+ *                       fetched into the same remote vault (the
+ *                       migration itself is priced as an explicit
+ *                       b_L transfer; counter scu.migrations).
  *
  * Policies are pure functions of the set id (and their frozen build
  * state): deterministic, thread-safe after construction, and
  * functionally invisible -- placement only moves cycle charges and
- * the cross-vault byte counters, never results.
+ * the cross-vault byte counters, never results. The authoritative
+ * set-to-vault map is Scu::vaultOf, which consults its result/
+ * migration overlay first and falls back to the installed policy;
+ * policies that return placesResults() == true additionally have
+ * adopted result sets pinned (via that overlay) to the vault that
+ * produced them, so recursion intermediates (BK, k-clique) stay
+ * local instead of falling back to the hash assignment.
+ *
+ * DynamicPlacement is the one deliberate exception to the frozen-
+ * state rule: its observation tables mutate through const methods
+ * (the Scu only holds policies by const pointer). That mutation
+ * happens exclusively on the dispatching thread at batch barriers,
+ * so a policy instance must not be shared between Scus.
  */
 
 #ifndef SISA_SISA_PLACEMENT_HPP
@@ -33,6 +52,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sisa/isa.hpp"
@@ -56,6 +76,16 @@ class PlacementPolicy
 
     /** Vault holding @p id; must return a value in [0, vaults()). */
     virtual std::uint32_t vaultOf(SetId id) const = 0;
+
+    /**
+     * Whether the SCU should pin adopted result sets to the vault
+     * that produced them (kept in the SCU's placement overlay).
+     * Pure id-hash policies decline: their assignment IS the model
+     * being studied. Table-backed policies accept, so dynamically
+     * created intermediates stay where they materialized instead of
+     * falling back to the hash assignment.
+     */
+    virtual bool placesResults() const { return false; }
 
     std::uint32_t vaults() const { return vaults_; }
 
@@ -116,6 +146,7 @@ class LocalityPlacement final : public PlacementPolicy
 
     const char *name() const override { return "locality"; }
     std::uint32_t vaultOf(SetId id) const override;
+    bool placesResults() const override { return true; }
 
     /** Pin @p id to @p vault (clamped into range). */
     void assign(SetId id, std::uint32_t vault);
@@ -125,6 +156,97 @@ class LocalityPlacement final : public PlacementPolicy
   private:
     std::unordered_map<SetId, std::uint32_t> table_;
     HashPlacement fallback_;
+};
+
+/** Tuning knobs of DynamicPlacement's migration rule. */
+struct DynamicPlacementConfig
+{
+    /**
+     * Migrate a set once the bytes observed moving into one remote
+     * vault reach migrateFactor times the set's footprint. Moving
+     * costs one footprint transfer, so the default pays for itself
+     * by the first post-migration dispatch that would have fetched
+     * the set again.
+     */
+    double migrateFactor = 2.0;
+};
+
+/** One migration decision: move @p id (at @p from) to @p to. */
+struct MigrationEvent
+{
+    SetId id = invalid_set;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint64_t bytes = 0; ///< Footprint priced as one b_L transfer.
+};
+
+/**
+ * Dynamic re-placement from observed cross-vault traffic. Wraps a
+ * base policy (its vaultOf is the wrapped assignment -- the SCU's
+ * overlay holds every deviation): at each dispatch barrier the SCU
+ * feeds it the charged remote-operand transfers (observe) and then
+ * collects the sets whose accumulated traffic into one vault crossed
+ * the migrateFactor threshold (collectMigrations). The SCU applies
+ * each migration to its overlay and charges the set's footprint as
+ * an explicit b_L interconnect transfer (scu.migrations /
+ * setops.migration_bytes).
+ *
+ * The observation tables are mutable state behind const methods (see
+ * the file comment); all mutation happens on the dispatching thread
+ * at barriers. Heat resets on migration, so a set must earn another
+ * migrateFactor x footprint of traffic before it moves again
+ * (ping-pong damping). Deterministic: decisions depend only on the
+ * observation sequence, never on hash iteration order.
+ */
+class DynamicPlacement final : public PlacementPolicy
+{
+  public:
+    explicit DynamicPlacement(
+        std::shared_ptr<const PlacementPolicy> base,
+        DynamicPlacementConfig config = {});
+
+    const char *name() const override { return "dynamic"; }
+    std::uint32_t vaultOf(SetId id) const override
+    {
+        return base_->vaultOf(id);
+    }
+    bool placesResults() const override { return true; }
+
+    const PlacementPolicy &base() const { return *base_; }
+    const DynamicPlacementConfig &config() const { return config_; }
+
+    /**
+     * Record one charged remote-operand transfer: @p id (currently
+     * homed in @p from) was pulled into @p into, moving @p bytes.
+     */
+    void observe(SetId id, std::uint32_t from, std::uint32_t into,
+                 std::uint64_t bytes) const;
+
+    /**
+     * Drain the sets whose observed traffic crossed the migration
+     * threshold, sorted by id (deterministic order). Their heat
+     * records are erased.
+     */
+    std::vector<MigrationEvent> collectMigrations() const;
+
+    /** Drop all state for @p id (the set was destroyed/recycled). */
+    void forget(SetId id) const;
+
+    /** Number of sets currently carrying heat (introspection). */
+    std::uint64_t trackedSets() const { return heat_.size(); }
+
+  private:
+    struct Heat
+    {
+        std::uint32_t from = 0;      ///< Home vault at last observation.
+        std::uint64_t footprint = 0; ///< Bytes at last observation.
+        /** Observed bytes per destination vault (small, flat). */
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> perVault;
+    };
+
+    std::shared_ptr<const PlacementPolicy> base_;
+    DynamicPlacementConfig config_;
+    mutable std::unordered_map<SetId, Heat> heat_;
 };
 
 /**

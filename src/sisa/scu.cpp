@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 
 #include "support/bits.hpp"
 #include "support/logging.hpp"
@@ -223,7 +224,7 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
             // charge nothing beyond decode + metadata.
             out.payload = SortedArraySet();
             out.shortCircuited = true;
-            out.readsCoOperand = false;
+            out.readsA = out.readsB = false;
             break;
         }
         if (a_dense && b_dense) {
@@ -257,10 +258,11 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
       case BatchOpKind::Union: {
         if (card_a == 0 || card_b == 0) {
             // A cup {} degenerates to a copy of the live operand;
-            // only the {} cup B case streams B's payload.
+            // only that operand's payload is read.
             copySet(card_a == 0 ? b : a);
             out.shortCircuited = true;
-            out.readsCoOperand = card_a == 0;
+            out.readsA = card_a != 0;
+            out.readsB = card_a == 0;
             break;
         }
         if (a_dense && b_dense) {
@@ -300,13 +302,13 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
         if (card_a == 0) {
             out.payload = SortedArraySet();
             out.shortCircuited = true;
-            out.readsCoOperand = false;
+            out.readsA = out.readsB = false;
             break;
         }
         if (card_b == 0) {
             copySet(a);
             out.shortCircuited = true;
-            out.readsCoOperand = false;
+            out.readsB = false;
             break;
         }
         if (a_dense && b_dense) {
@@ -348,7 +350,7 @@ Scu::executeBinary(BatchOpKind kind, SetId a, SetId b,
         if (card_a == 0 || card_b == 0) {
             out.scalar = 0;
             out.shortCircuited = true;
-            out.readsCoOperand = false;
+            out.readsA = out.readsB = false;
         } else if (a_dense && b_dense) {
             out.scalar = sets::intersectCardDbDb(store_.db(a),
                                                  store_.db(b), out.work);
@@ -420,9 +422,23 @@ Scu::applyOutcome(sim::SimContext &ctx, sim::ThreadId tid,
                   const OpOutcome &outcome)
 {
     chargeOutcome(ctx, tid, outcome);
-    lastBackend_ = outcome.numCharges
-                       ? outcome.charges[outcome.numCharges - 1].backend
-                       : Backend::None;
+    // Metadata-only outcomes executed on no backend: lastBackend_
+    // keeps reporting the last op that actually charged one, exactly
+    // like dispatchBatch's backward scan -- serial and batched issue
+    // of the same sequence always agree.
+    if (outcome.numCharges) {
+        lastBackend_ =
+            outcome.charges[outcome.numCharges - 1].backend;
+    }
+}
+
+SetId
+Scu::adoptPlacedOutcome(OpOutcome &&outcome, SetId a, SetId b)
+{
+    const SetId result = adoptOutcome(std::move(outcome));
+    if (placement_->placesResults())
+        placeResult(result, resolveRoute(a, b).vault);
+    return result;
 }
 
 SetId
@@ -453,7 +469,7 @@ Scu::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
 
     OpOutcome out = executeBinary(BatchOpKind::Intersect, a, b, variant);
     applyOutcome(ctx, tid, out);
-    const SetId result = adoptOutcome(std::move(out));
+    const SetId result = adoptPlacedOutcome(std::move(out), a, b);
     traceOp(variant, result, a, b);
     return result;
 }
@@ -490,6 +506,7 @@ Scu::intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
                   static_cast<std::uint32_t>(
                       std::max<std::size_t>(dense.size() - 1, 1)));
         acc = store_.adopt(std::move(bits));
+        forgetPlacement(acc); // Recycled slots may carry pins.
     }
     for (SetId id : sparse) {
         if (acc == invalid_set) {
@@ -497,6 +514,7 @@ Scu::intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
             const auto span = store_.sa(id).elements();
             acc = store_.adopt(SortedArraySet(
                 std::vector<Element>(span.begin(), span.end())));
+            forgetPlacement(acc);
             chargePnmStream(ctx, tid, store_.cardinality(id));
             continue;
         }
@@ -512,6 +530,7 @@ Scu::intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
                 store_.sa(acc), store_.sa(id), work));
             chargePnmStream(ctx, tid, std::max(card_acc, card_id));
         }
+        forgetPlacement(next);
         store_.destroy(acc);
         acc = next;
         if (store_.cardinality(acc) == 0)
@@ -536,7 +555,7 @@ Scu::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
 
     OpOutcome out = executeBinary(BatchOpKind::Union, a, b, variant);
     applyOutcome(ctx, tid, out);
-    const SetId result = adoptOutcome(std::move(out));
+    const SetId result = adoptPlacedOutcome(std::move(out), a, b);
     traceOp(variant, result, a, b);
     return result;
 }
@@ -553,7 +572,7 @@ Scu::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
 
     OpOutcome out = executeBinary(BatchOpKind::Difference, a, b, variant);
     applyOutcome(ctx, tid, out);
-    const SetId result = adoptOutcome(std::move(out));
+    const SetId result = adoptPlacedOutcome(std::move(out), a, b);
     traceOp(variant, result, a, b);
     return result;
 }
@@ -599,28 +618,94 @@ Scu::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b)
 std::uint32_t
 Scu::vaultOf(SetId id) const
 {
-    // Delegate to the placement policy (HashPlacement's splitmix64
-    // finalizer by default); clamp defensively in case the installed
-    // policy was built for a different vault count.
-    return placement_->vaultOf(id) %
-           std::max<std::uint32_t>(config_.pim.vaults, 1);
+    // Overlay first (results pinned where they materialized, sets
+    // moved by dynamic re-placement), then the installed policy.
+    // setPlacement guarantees the policy's width matches pim.vaults,
+    // so no modulo folding is needed (the old defensive clamp
+    // silently skewed mismatched policies).
+    const auto it = overlay_.find(id);
+    if (it != overlay_.end())
+        return it->second;
+    return placement_->vaultOf(id);
+}
+
+std::uint32_t
+Scu::routeVault(const BatchOp &op) const
+{
+    return resolveRoute(op.a, op.b).vault;
+}
+
+Scu::OpRoute
+Scu::resolveRoute(SetId a, SetId b) const
+{
+    const std::uint32_t vault_a = vaultOf(a);
+    const std::uint32_t vault_b = vaultOf(b);
+    if (vault_a == vault_b)
+        return {vault_a, invalid_set, 0, true};
+    if (config_.routing == Routing::MinBytes) {
+        // Run where the bigger operand lives; only the smaller
+        // co-operand crosses the interconnect. Weights are the bytes
+        // the operand would actually move: a zero-cardinality
+        // operand is never read (every short-circuit copies the
+        // OTHER side), so it weighs nothing even as a dense
+        // bitvector with a full-row footprint -- {} cup B always
+        // executes in B's vault for free. Ties keep a's vault, so
+        // Primary behavior is the exact tie-break fallback.
+        const std::uint64_t bytes_a =
+            store_.cardinality(a) ? operandBytes(a) : 0;
+        const std::uint64_t bytes_b =
+            store_.cardinality(b) ? operandBytes(b) : 0;
+        if (bytes_a < bytes_b)
+            return {vault_b, a, operandBytes(a), false};
+    }
+    return {vault_a, b, operandBytes(b), true};
 }
 
 void
 Scu::setPlacement(std::shared_ptr<const PlacementPolicy> policy)
 {
+    const std::uint32_t vaults =
+        std::max<std::uint32_t>(config_.pim.vaults, 1);
+    if (policy && policy->vaults() != vaults) {
+        // A policy built for a different vault count would previously
+        // be folded by modulo, silently skewing the assignment it was
+        // constructed to produce. Reject it and rebuild the hash
+        // fallback at the correct width instead.
+        sisa_warn("placement policy '", policy->name(), "' built for ",
+                  policy->vaults(), " vaults installed on a ", vaults,
+                  "-vault SCU; falling back to hash placement");
+        policy = nullptr;
+    }
     placement_ = policy ? std::move(policy)
-                        : std::make_shared<HashPlacement>(
-                              std::max<std::uint32_t>(
-                                  config_.pim.vaults, 1));
+                        : std::make_shared<HashPlacement>(vaults);
+    dynamic_ =
+        std::dynamic_pointer_cast<const DynamicPlacement>(placement_);
+    overlay_.clear();
+}
+
+void
+Scu::placeResult(SetId id, std::uint32_t vault)
+{
+    if (id == invalid_set)
+        return;
+    if (placement_->placesResults())
+        overlay_[id] = vault;
+    else
+        overlay_.erase(id); // Scrub a recycled slot's stale entry.
+}
+
+void
+Scu::forgetPlacement(SetId id)
+{
+    overlay_.erase(id);
+    if (dynamic_)
+        dynamic_->forget(id);
 }
 
 std::uint64_t
 Scu::operandBytes(SetId id) const
 {
-    return store_.isDense(id)
-               ? store_.denseBytes()
-               : store_.cardinality(id) * sizeof(Element);
+    return store_.payloadBytes(id);
 }
 
 std::uint64_t
@@ -674,24 +759,23 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         ctx.recordSetSize(tid, store_.cardinality(op.b));
     }
 
-    // Route operations to vaults (placement of the primary operand)
-    // and build one serial queue per touched vault ("lane"). The
-    // scratch vault->lane table persists across dispatches;
-    // laneVault_ lists the entries to reset afterwards. Operations
-    // whose co-operand the policy placed in a different vault must
+    // Route operations to their execution vaults (resolveRoute: the
+    // primary operand's vault, or the bigger operand's under
+    // Routing::MinBytes) and build one serial queue per touched
+    // vault ("lane"). The scratch vault->lane table persists across
+    // dispatches; laneVault_ lists the entries to reset afterwards.
+    // Operations whose co-operand stayed in a different vault must
     // first pull its bytes over the interconnect (charged in the
     // worker, once per (vault, operand) pair -- the vault buffers the
     // remote operand for the dispatch's duration).
     vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
                       UINT32_MAX);
     laneVault_.clear();
-    if (xferBytes_.size() < n)
-        xferBytes_.resize(n);
+    if (routes_.size() < n)
+        routes_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint32_t vault = vaultOf(batch.ops[i].a);
-        xferBytes_[i] = vaultOf(batch.ops[i].b) != vault
-                            ? operandBytes(batch.ops[i].b)
-                            : 0;
+        routes_[i] = resolveRoute(batch.ops[i].a, batch.ops[i].b);
+        const std::uint32_t vault = routes_[i].vault;
         std::uint32_t lane = vaultLane_[vault];
         if (lane == UINT32_MAX) {
             lane = static_cast<std::uint32_t>(laneVault_.size());
@@ -699,7 +783,10 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             laneVault_.push_back(vault);
             if (laneOps_.size() <= lane)
                 laneOps_.emplace_back();
+            if (laneFetched_.size() <= lane)
+                laneFetched_.emplace_back();
             laneOps_[lane].clear();
+            laneFetched_[lane].clear();
         }
         laneOps_[lane].push_back(i);
     }
@@ -726,27 +813,45 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     if (outcomes_.size() < n)
         outcomes_.resize(n);
     std::vector<OpOutcome> &outcomes = outcomes_;
+    const std::vector<OpRoute> &routes = routes_;
+    const bool record_fetches = dynamic_ != nullptr;
     const auto run_worker = [&](std::uint32_t w) {
         sim::SimContext &wctx = worker_ctx[w];
+        // Remote operands already pulled into this vault during the
+        // current lane's dispatch slice (fetched once, reused by
+        // later ops). A hash set replaces the old per-op O(k) linear
+        // scan, which made large single-vault batches quadratic; the
+        // bucket array is reused across the worker's lanes, and the
+        // batched_dispatch_1vault_* bench row guards the large
+        // single-vault case.
+        std::unordered_set<SetId> fetched;
         for (std::uint32_t l = w; l < lanes; l += workers) {
             const sim::ThreadId lane_tid = l / workers;
-            // Remote operands already pulled into this vault during
-            // this dispatch (fetched once, reused by later ops).
-            std::vector<SetId> fetched;
+            fetched.clear();
             for (const std::uint32_t i : lane_ops[l]) {
                 const BatchOp &op = batch.ops[i];
                 outcomes[i] =
                     executeBinary(op.kind, op.a, op.b, op.variant);
-                if (xferBytes_[i] && outcomes[i].readsCoOperand &&
-                    std::find(fetched.begin(), fetched.end(), op.b) ==
-                        fetched.end()) {
-                    fetched.push_back(op.b);
-                    wctx.chargeBusy(lane_tid,
-                                    mem::interconnectCycles(
-                                        config_.pim, xferBytes_[i]));
-                    wctx.bumpCounter("scu.xvault_transfers");
-                    wctx.bumpCounter("setops.xvault_bytes",
-                                     xferBytes_[i]);
+                const OpRoute &route = routes[i];
+                const bool reads_remote = route.remoteIsB
+                                              ? outcomes[i].readsB
+                                              : outcomes[i].readsA;
+                if (route.bytes && reads_remote) {
+                    if (fetched.insert(route.remote).second) {
+                        wctx.chargeBusy(
+                            lane_tid,
+                            mem::interconnectCycles(config_.pim,
+                                                    route.bytes));
+                        wctx.bumpCounter("scu.xvault_transfers");
+                        wctx.bumpCounter("setops.xvault_bytes",
+                                         route.bytes);
+                        if (record_fetches) {
+                            // Each lane has exactly one owning
+                            // worker: no contention.
+                            laneFetched_[l].emplace_back(
+                                route.remote, route.bytes);
+                        }
+                    }
                 }
                 chargeOutcome(wctx, lane_tid, outcomes[i]);
             }
@@ -820,14 +925,28 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             ctx.bumpCounter(name, value);
     }
 
-    if (const OpOutcome &last = outcomes[n - 1]; last.numCharges) {
-        lastBackend_ = last.charges[last.numCharges - 1].backend;
-    } else {
-        lastBackend_ = Backend::None;
+    // Dynamic re-placement closes the barrier: feed the observed
+    // transfers to the policy and charge/apply its migrations.
+    if (dynamic_)
+        replaceAtBarrier(ctx, tid, lanes);
+
+    // lastBackend_ reports the last operation (in request = serial
+    // order) that actually charged a backend; a batch whose tail ops
+    // were all metadata-only leaves the previous value in place,
+    // exactly as issuing them serially would (applyOutcome).
+    for (std::uint32_t i = static_cast<std::uint32_t>(n); i-- > 0;) {
+        if (outcomes[i].numCharges) {
+            lastBackend_ =
+                outcomes[i].charges[outcomes[i].numCharges - 1].backend;
+            break;
+        }
     }
 
     // Materialize results in request order (ids deterministic and
-    // identical to a serial issue of the same operations).
+    // identical to a serial issue of the same operations). Adopted
+    // results are pinned to the vault that produced them when the
+    // policy places results, so recursion over intermediates stays
+    // local.
     for (std::uint32_t i = 0; i < n; ++i) {
         const BatchOp &op = batch.ops[i];
         BatchEntry &entry = result.entries[i];
@@ -836,6 +955,7 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                 outcomes[i].payload)) {
             entry.set = adoptOutcome(std::move(outcomes[i]));
             entry.value = store_.cardinality(entry.set);
+            placeResult(entry.set, routes[i].vault);
         }
         SisaOp traced = op.variant;
         if (op.kind == BatchOpKind::IntersectCard)
@@ -845,7 +965,67 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         traceOp(traced, entry.set == invalid_set ? 0 : entry.set, op.a,
                 op.b);
     }
+    maybeShrinkScratch(n);
     return result;
+}
+
+void
+Scu::replaceAtBarrier(sim::SimContext &ctx, sim::ThreadId tid,
+                      std::uint32_t lanes)
+{
+    // Feed the transfers the workers recorded (exactly the charged
+    // ones) to the policy in deterministic lane order: heat can
+    // never drift from what was billed.
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        for (const auto &[remote, bytes] : laneFetched_[l]) {
+            dynamic_->observe(remote, vaultOf(remote), laneVault_[l],
+                              bytes);
+        }
+    }
+
+    // Each migration moves the set's footprint once over the
+    // interconnect, serialized on the issuing thread at the barrier
+    // (the SCU re-homes the set between dispatches), and re-pins the
+    // set in the overlay so subsequent routing finds it local.
+    for (const MigrationEvent &event : dynamic_->collectMigrations()) {
+        overlay_[event.id] = event.to;
+        ctx.chargeBusy(tid, mem::interconnectCycles(config_.pim,
+                                                    event.bytes));
+        ctx.bumpCounter("scu.migrations");
+        ctx.bumpCounter("setops.migration_bytes", event.bytes);
+    }
+}
+
+void
+Scu::maybeShrinkScratch(std::size_t n)
+{
+    scratchPeak_ = std::max(scratchPeak_, n);
+    if (++scratchDispatches_ < scratch_window)
+        return;
+    // A window of dispatches never needed more than scratchPeak_
+    // entries: release capacity beyond twice that watermark so a
+    // one-off burst batch does not pin its allocation for the whole
+    // process lifetime (long-running services stay flat).
+    const auto shrink = [](auto &vec, std::size_t keep) {
+        if (vec.capacity() > 2 * std::max<std::size_t>(keep, 1)) {
+            // Never grow: shrinking a short vector to the watermark
+            // would append value-initialized live entries.
+            vec.resize(std::min(vec.size(), keep));
+            vec.shrink_to_fit();
+        }
+    };
+    shrink(outcomes_, scratchPeak_);
+    shrink(routes_, scratchPeak_);
+    shrink(laneResultBytes_, scratchPeak_);
+    shrink(laneVault_, scratchPeak_);
+    for (auto &lane : laneOps_)
+        shrink(lane, scratchPeak_);
+    shrink(laneOps_, scratchPeak_);
+    for (auto &lane : laneFetched_)
+        shrink(lane, scratchPeak_);
+    shrink(laneFetched_, scratchPeak_);
+    scratchDispatches_ = 0;
+    scratchPeak_ = n;
 }
 
 std::uint64_t
@@ -909,6 +1089,7 @@ Scu::create(sim::SimContext &ctx, sim::ThreadId tid,
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     const std::uint64_t count = elems.size();
     const SetId id = store_.createFromSorted(std::move(elems), repr);
+    forgetPlacement(id); // The slot may recycle a pinned set's id.
     if (repr == SetRepr::DenseBitvector) {
         chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // Zero.
         if (count)
@@ -932,6 +1113,7 @@ Scu::createFull(sim::SimContext &ctx, sim::ThreadId tid)
 {
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     const SetId id = store_.createFull();
+    forgetPlacement(id);
     chargePum(ctx, tid, store_.universe(), /*row_ops=*/1);
     chargeMetadata(ctx, tid, id);
     return id;
@@ -943,6 +1125,7 @@ Scu::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     const SetId id = store_.clone(a);
+    forgetPlacement(id);
     if (store_.isDense(a)) {
         chargePum(ctx, tid, store_.universe(), /*row_ops=*/1); // RowClone.
     } else {
@@ -959,6 +1142,7 @@ Scu::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     traceOp(SisaOp::DeleteSet, 0, a);
+    forgetPlacement(a);
     store_.destroy(a);
 }
 

@@ -21,8 +21,11 @@
 #define SISA_SISA_SCU_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -38,6 +41,19 @@
 #include "sisa/vault_pool.hpp"
 
 namespace sisa::isa {
+
+/**
+ * Execution-vault routing rule for batched operations.
+ *
+ *  - Primary:  run every op in the vault of operand `a` (the
+ *              historical behavior): a remote `b` crosses the
+ *              interconnect regardless of how large it is.
+ *  - MinBytes: run the op where the BIGGER operand (by footprint)
+ *              lives and move only the smaller co-operand -- the
+ *              data-movement-minimizing rule; ties keep `a`'s vault
+ *              so Primary remains a strict subset of the behavior.
+ */
+enum class Routing : std::uint8_t { Primary, MinBytes };
 
 /** SCU configuration (Sections 8.2, 8.4, 9.1). */
 struct ScuConfig
@@ -66,10 +82,15 @@ struct ScuConfig
     /**
      * Set-to-vault placement policy consulted by dispatchBatch.
      * nullptr selects HashPlacement over pim.vaults (the historical
-     * behavior). The policy's vault count should match pim.vaults;
-     * out-of-range results are clamped by modulo.
+     * behavior). The policy's vault count MUST match pim.vaults:
+     * setPlacement rejects a mismatched policy (with a warning) and
+     * rebuilds the hash fallback at the correct width instead of
+     * silently folding out-of-range vaults by modulo, which skewed
+     * the placement distribution.
      */
     std::shared_ptr<const PlacementPolicy> placement;
+    /** Execution-vault routing rule for batched dispatch. */
+    Routing routing = Routing::Primary;
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -122,14 +143,15 @@ class Scu
      * Execute every operation of @p batch as ONE dispatch: a single
      * decode, one metadata round per operand, then concurrent
      * execution across the vaults. Each operation is routed to the
-     * vault the placement policy assigns its primary operand;
+     * execution vault routeVault() picks (the primary operand's
+     * vault, or the bigger operand's under Routing::MinBytes);
      * operations on the same vault serialize, vaults run in parallel,
      * and the calling simulated thread is charged the makespan of the
      * slowest vault (merged at the barrier from per-worker
      * SimContexts) plus the cross-vault result reduction tree.
      *
      * Cross-vault traffic model: when an operation's co-operand
-     * resolves to a DIFFERENT vault than its primary operand, the
+     * resolves to a DIFFERENT vault than its execution vault, the
      * co-operand's bytes first cross the interconnect at b_L
      * (mem::interconnectCycles), charged into that vault's lane --
      * once per (vault, remote operand) pair per dispatch, since the
@@ -139,26 +161,53 @@ class Scu
      * scu.xvault_transfers, setops.xvault_bytes,
      * setops.xvault_reduce_bytes. Metadata-only short circuits
      * (empty results, zero cardinalities) never touch the
-     * interconnect; a degenerate copy still moves data, so {} cup B
-     * with a remote B pays B's transfer and its result reduces.
+     * interconnect; a degenerate copy still moves the operand it
+     * reads, so {} cup B with a remote B pays B's transfer (under
+     * MinBytes it instead executes in B's vault for free) and its
+     * result reduces.
+     *
+     * Dispatch barriers close with dynamic re-placement when a
+     * DynamicPlacement policy is installed: the charged transfers
+     * are fed to the policy as observations, and each migration it
+     * returns moves the set's footprint once over the interconnect
+     * (serialized on the issuing thread; counters scu.migrations,
+     * setops.migration_bytes) and repins the set in the placement
+     * overlay, so later dispatches find it local.
      *
      * Functional results and total setops.{streamed,probes,words,
      * output} counters are identical to issuing the same operations
-     * serially, under every placement policy.
+     * serially, under every placement policy and routing rule; so is
+     * lastBackend() (both paths track the last operation that
+     * actually charged a backend).
      */
     BatchResult dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                               const BatchRequest &batch);
 
-    /** Simulated vault holding @p id (placement-policy assignment). */
+    /**
+     * Simulated vault holding @p id: the result/migration overlay
+     * first, then the installed placement policy.
+     */
     std::uint32_t vaultOf(SetId id) const;
+
+    /**
+     * Execution vault for one batched operation under the configured
+     * routing rule: vaultOf(a) for Routing::Primary, the vault of
+     * the larger-footprint operand (ties keep a's vault) for
+     * Routing::MinBytes.
+     */
+    std::uint32_t routeVault(const BatchOp &op) const;
 
     /** The active placement policy (never null). */
     const PlacementPolicy &placement() const { return *placement_; }
 
     /**
      * Install @p policy for subsequent dispatches (nullptr resets to
-     * HashPlacement). Placement affects cycle charges and xvault
-     * counters only, never functional results.
+     * HashPlacement). A policy built for a different vault count
+     * than config().pim.vaults is rejected with a warning and
+     * replaced by a correct-width HashPlacement (never folded by
+     * modulo). Clears the result/migration overlay. Placement
+     * affects cycle charges and xvault counters only, never
+     * functional results.
      */
     void setPlacement(std::shared_ptr<const PlacementPolicy> policy);
 
@@ -193,8 +242,23 @@ class Scu
     /** Destroy a set. */
     void destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a);
 
-    /** Last dispatch decision (introspection for tests/benches). */
+    /**
+     * Last dispatch decision (introspection for tests/benches): the
+     * backend of the most recent operation that actually charged a
+     * backend. Metadata-only short circuits leave it untouched, and
+     * batched dispatch scans back to the last charging op of the
+     * batch, so serial and batched issue of the same operation
+     * sequence always agree.
+     */
     Backend lastBackend() const { return lastBackend_; }
+
+    /**
+     * Capacity of the per-op dispatch scratch (test introspection
+     * for the shrink-to-high-watermark policy: after a one-off burst
+     * batch, a window of small dispatches releases the burst's
+     * allocation instead of holding it forever).
+     */
+    std::size_t scratchCapacity() const { return outcomes_.capacity(); }
 
     /**
      * Attach an instruction trace: every subsequently issued set
@@ -230,13 +294,16 @@ class Scu
         std::uint32_t numCharges = 0;
         bool shortCircuited = false; ///< Zero-cardinality fast path.
         /**
-         * Whether executing the op pulls operand B's payload into
-         * the vault (so a remote B pays the b_L transfer). False for
-         * metadata-only short circuits AND for degenerate copies of
-         * A; true for everything else including the degenerate copy
-         * of B ({} cup B streams B's bytes).
+         * Whether executing the op pulls the given operand's payload
+         * into the execution vault (so that operand, when remote,
+         * pays the b_L transfer). Metadata-only short circuits read
+         * neither; a degenerate copy reads only the operand it
+         * copies ({} cup B streams B's bytes but never touches A).
+         * Which flag matters per op depends on the routing decision:
+         * the co-operand left remote may be A or B.
          */
-        bool readsCoOperand = true;
+        bool readsA = true;
+        bool readsB = true;
 
         void
         addCharge(Backend backend, mem::Cycles cycles)
@@ -267,6 +334,57 @@ class Scu
 
     /** Adopt the payload (if any) into the store. */
     SetId adoptOutcome(OpOutcome &&outcome);
+
+    /**
+     * adoptOutcome + result pinning for serial binary ops: under a
+     * result-placing policy the result pins to the vault
+     * resolveRoute(a, b) picks (routing is not worth resolving
+     * otherwise -- the overlay is provably empty).
+     */
+    SetId adoptPlacedOutcome(OpOutcome &&outcome, SetId a, SetId b);
+
+    /**
+     * One routing decision: the execution vault plus the co-operand
+     * (if any) that stayed remote and would have to cross the
+     * interconnect before the vault can execute.
+     */
+    struct OpRoute
+    {
+        std::uint32_t vault = 0;
+        SetId remote = invalid_set; ///< Remote co-operand or invalid.
+        std::uint64_t bytes = 0;    ///< Its footprint (0 = co-located).
+        bool remoteIsB = true;      ///< Which read flag gates the transfer.
+    };
+
+    /** Routing under config().routing; pure, metadata-only. */
+    OpRoute resolveRoute(SetId a, SetId b) const;
+
+    /**
+     * Register an adopted result set at the vault that produced it
+     * (policies with placesResults()), or scrub a stale overlay
+     * entry for the recycled slot otherwise.
+     */
+    void placeResult(SetId id, std::uint32_t vault);
+
+    /** Drop overlay/heat state for a recycled or destroyed id. */
+    void forgetPlacement(SetId id);
+
+    /**
+     * Barrier step of dynamic re-placement: feed the transfers the
+     * workers recorded in laneFetched_ (exactly the charged ones, in
+     * deterministic lane order) to the DynamicPlacement policy and
+     * apply + charge the migrations it returns.
+     */
+    void replaceAtBarrier(sim::SimContext &ctx, sim::ThreadId tid,
+                          std::uint32_t lanes);
+
+    /**
+     * Shrink-to-high-watermark policy for the dispatch scratch:
+     * every scratch_window dispatches, capacities far above the
+     * window's peak batch size are released so a one-off burst does
+     * not pin its allocation for the process lifetime.
+     */
+    void maybeShrinkScratch(std::size_t n);
 
     // --- Pure Section 8.3 cost predictors (no side effects) -----------
 
@@ -342,6 +460,16 @@ class Scu
     SetStore &store_;
     ScuConfig config_;
     std::shared_ptr<const PlacementPolicy> placement_;
+    /** Non-null iff placement_ is a DynamicPlacement (same object). */
+    std::shared_ptr<const DynamicPlacement> dynamic_;
+    /**
+     * Result/migration overlay over the placement policy: adopted
+     * intermediates pinned to the vault that produced them (policies
+     * with placesResults()) and sets moved by dynamic re-placement.
+     * Consulted by vaultOf before the policy; entries die with their
+     * set (destroy) or the policy (setPlacement).
+     */
+    std::unordered_map<SetId, std::uint32_t> overlay_;
     std::vector<std::unique_ptr<mem::Cache>> smbs_;
     Backend lastBackend_ = Backend::None;
     InstructionTrace *trace_ = nullptr;
@@ -349,13 +477,26 @@ class Scu
 
     // Scratch reused across dispatchBatch calls so a small batch does
     // not pay fresh allocations (instruction issue on one SCU is not
-    // reentrant, like the SMB state above).
+    // reentrant, like the SMB state above). Bounded by the shrink-to-
+    // high-watermark policy in maybeShrinkScratch.
     std::vector<std::uint32_t> vaultLane_; ///< vault -> lane or ~0u.
     std::vector<std::uint32_t> laneVault_; ///< lane -> vault (reset list).
     std::vector<std::vector<std::uint32_t>> laneOps_;
     std::vector<OpOutcome> outcomes_;
-    std::vector<std::uint64_t> xferBytes_; ///< op -> remote-operand bytes (0 = local).
+    std::vector<OpRoute> routes_; ///< op -> routing decision.
     std::vector<std::uint64_t> laneResultBytes_;
+    /**
+     * Per-lane (remote operand, bytes) transfers the workers charged
+     * this dispatch, recorded only while a DynamicPlacement policy
+     * is installed -- the barrier feeds them to the policy verbatim,
+     * so heat can never drift from what was billed. Each lane is
+     * written by exactly one worker.
+     */
+    std::vector<std::vector<std::pair<SetId, std::uint64_t>>>
+        laneFetched_;
+    std::size_t scratchPeak_ = 0;       ///< Max batch size this window.
+    std::uint32_t scratchDispatches_ = 0;
+    static constexpr std::uint32_t scratch_window = 32;
 };
 
 } // namespace sisa::isa

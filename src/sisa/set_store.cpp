@@ -13,6 +13,13 @@ SetStore::denseBytes() const
     return support::ceilDiv(universe_, 8);
 }
 
+std::uint64_t
+SetStore::payloadBytes(SetId id) const
+{
+    return isDense(id) ? denseBytes()
+                       : cardinality(id) * sizeof(Element);
+}
+
 SetId
 SetStore::allocateSlot()
 {

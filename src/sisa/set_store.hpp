@@ -55,6 +55,14 @@ class SetStore
      */
     std::uint64_t denseBytes() const;
 
+    /**
+     * Memory footprint of @p id's payload as it moves between vaults
+     * (interconnect transfers, migrations): 4 B per SA element,
+     * denseBytes() for a DB. The single source of truth for operand
+     * footprints in the cross-vault cost model.
+     */
+    std::uint64_t payloadBytes(SetId id) const;
+
     /** Create a set from sorted unique elements in @p repr. */
     SetId createFromSorted(std::vector<Element> elems, SetRepr repr);
 

@@ -736,10 +736,12 @@ TEST(CostModel, ZeroCardinalityOperandShortCircuits)
               (std::vector<sisa::sets::Element>{1, 2, 3, 4, 5}));
     EXPECT_EQ(scu.lastBackend(), Backend::PnmStream);
 
-    // {} \ A is empty without touching a vault.
+    // {} \ A is empty without touching a vault; lastBackend keeps
+    // reporting the last op that actually charged one (the streamed
+    // copy above), matching batched dispatch's backward scan.
     const SetId none = scu.difference(ctx, 0, empty, full);
     EXPECT_EQ(store.cardinality(none), 0u);
-    EXPECT_EQ(scu.lastBackend(), Backend::None);
+    EXPECT_EQ(scu.lastBackend(), Backend::PnmStream);
 
     // {} cup A copies A.
     const SetId uni = scu.setUnion(ctx, 0, empty, full);

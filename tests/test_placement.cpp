@@ -1,0 +1,763 @@
+/**
+ * @file
+ * Routing + dynamic re-placement suites (the `placement` CTest
+ * label): size-aware dual-operand routing (ScuConfig.routing =
+ * min-bytes), DynamicPlacement migration charges, result-set
+ * placement, the vault-count validation of setPlacement, the
+ * lastBackend_ mode-agreement contract, remote-operand dedup, and
+ * the dispatch-scratch shrink policy. The differential suite runs
+ * every policy x routing combination under forced 1-worker and
+ * 2-vault configurations as well as the defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/common.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "core/cpu_set_engine.hpp"
+#include "core/set_graph.hpp"
+#include "core/sisa_engine.hpp"
+#include "graph/generators.hpp"
+#include "mem/pim.hpp"
+#include "sisa/placement.hpp"
+#include "sisa/scu.hpp"
+#include "sisa/set_store.hpp"
+
+namespace {
+
+using namespace sisa;
+using namespace sisa::isa;
+using sisa::sets::Element;
+using sisa::sets::SetRepr;
+using sisa::sim::SimContext;
+
+/** n consecutive elements starting at @p base. */
+std::vector<Element>
+iota(Element base, Element n)
+{
+    std::vector<Element> out;
+    for (Element e = 0; e < n; ++e)
+        out.push_back(base + e);
+    return out;
+}
+
+/** Identical random set pools in twin stores (incl. empty sets). */
+std::vector<SetId>
+makePool(SetStore &store, std::uint32_t count, Element universe,
+         std::uint64_t seed)
+{
+    std::vector<SetId> ids;
+    std::uint64_t state = seed;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (std::uint32_t s = 0; s < count; ++s) {
+        std::vector<Element> elems;
+        const std::uint64_t size = next() % 60;
+        for (std::uint64_t e = 0; e < size; ++e)
+            elems.push_back(static_cast<Element>(next() % universe));
+        std::sort(elems.begin(), elems.end());
+        elems.erase(std::unique(elems.begin(), elems.end()),
+                    elems.end());
+        ids.push_back(store.createFromSorted(
+            elems, next() % 3 == 0 ? SetRepr::DenseBitvector
+                                   : SetRepr::SparseArray));
+    }
+    return ids;
+}
+
+BatchRequest
+makeRequest(const std::vector<SetId> &pool, std::uint32_t count,
+            std::uint64_t seed)
+{
+    BatchRequest req;
+    std::uint64_t state = seed;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const SetId a = pool[next() % pool.size()];
+        const SetId b = pool[next() % pool.size()];
+        switch (next() % 5) {
+          case 0: req.intersect(a, b); break;
+          case 1: req.setUnion(a, b); break;
+          case 2: req.difference(a, b); break;
+          case 3: req.intersectCard(a, b); break;
+          default: req.unionCard(a, b); break;
+        }
+    }
+    return req;
+}
+
+// --- Size-aware routing (ScuConfig.routing = min-bytes) --------------------
+
+TEST(Routing, MinBytesMovesOnlyTheSmallerOperand)
+{
+    // a (100 elems, 400 B) in vault 0, b (200 elems, 800 B) in vault
+    // 1. Primary routing executes in a's vault and drags b's 800 B
+    // across; min-bytes executes in b's vault and moves only a's
+    // 400 B. The cycle difference is EXACTLY the transfer delta.
+    ScuConfig primary_cfg, minbytes_cfg;
+    minbytes_cfg.routing = Routing::MinBytes;
+    SetStore store_p(4096), store_m(4096);
+    Scu scu_p(store_p, primary_cfg, 1);
+    Scu scu_m(store_m, minbytes_cfg, 1);
+
+    const auto build = [&](SetStore &store, Scu &scu) {
+        const SetId a = store.createFromSorted(iota(0, 100),
+                                               SetRepr::SparseArray);
+        const SetId b = store.createFromSorted(iota(0, 200),
+                                               SetRepr::SparseArray);
+        auto placement = std::make_shared<LocalityPlacement>(
+            scu.config().pim.vaults);
+        placement->assign(a, 0);
+        placement->assign(b, 1);
+        scu.setPlacement(placement);
+        BatchRequest req;
+        req.intersectCard(a, b);
+        return req;
+    };
+    const BatchRequest req_p = build(store_p, scu_p);
+    const BatchRequest req_m = build(store_m, scu_m);
+
+    EXPECT_EQ(scu_p.routeVault(req_p.ops[0]), 0u);
+    EXPECT_EQ(scu_m.routeVault(req_m.ops[0]), 1u);
+
+    SimContext ctx_p(1), ctx_m(1);
+    const BatchResult res_p = scu_p.dispatchBatch(ctx_p, 0, req_p);
+    const BatchResult res_m = scu_m.dispatchBatch(ctx_m, 0, req_m);
+    EXPECT_EQ(res_p.entries[0].value, res_m.entries[0].value);
+
+    EXPECT_EQ(ctx_p.counter("setops.xvault_bytes"), 800u);
+    EXPECT_EQ(ctx_m.counter("setops.xvault_bytes"), 400u);
+    EXPECT_EQ(ctx_p.counter("scu.xvault_transfers"), 1u);
+    EXPECT_EQ(ctx_m.counter("scu.xvault_transfers"), 1u);
+    EXPECT_EQ(ctx_p.threadBusy(0) - ctx_m.threadBusy(0),
+              mem::interconnectCycles(primary_cfg.pim, 800) -
+                  mem::interconnectCycles(primary_cfg.pim, 400));
+}
+
+TEST(Routing, TiesKeepThePrimaryVault)
+{
+    // Equal footprints: min-bytes must fall back to a's vault, so
+    // Primary remains a strict subset of the behavior.
+    ScuConfig config;
+    config.routing = Routing::MinBytes;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(200, 100),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(a, 2);
+    placement->assign(b, 5);
+    scu.setPlacement(placement);
+
+    BatchRequest req;
+    req.intersectCard(a, b);
+    EXPECT_EQ(scu.routeVault(req.ops[0]), 2u);
+
+    SimContext ctx(1);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 400u); // b moved.
+}
+
+TEST(Routing, DegenerateUnionCopyRunsWhereTheDataLives)
+{
+    // {} cup B with a remote, bigger B: primary routing pays B's
+    // transfer into the empty set's vault; min-bytes executes in B's
+    // vault and never touches the interconnect.
+    ScuConfig config;
+    config.routing = Routing::MinBytes;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId empty =
+        store.createFromSorted({}, SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(empty, 0);
+    placement->assign(b, 1);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.setUnion(empty, b);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(res.entries[0].value, 100u);
+    EXPECT_EQ(scu.routeVault(req.ops[0]), 1u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 0u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 0u);
+
+    // A DENSE empty operand carries a full-row footprint but is
+    // still never read: routing must weigh it at zero, not at
+    // denseBytes(), or the degenerate copy would drag B into the
+    // empty set's vault.
+    const SetId dense_empty =
+        store.createFromSorted({}, SetRepr::DenseBitvector);
+    placement->assign(dense_empty, 0);
+    scu.setPlacement(placement);
+    BatchRequest dense_req;
+    dense_req.setUnion(dense_empty, b);
+    EXPECT_EQ(scu.routeVault(dense_req.ops[0]), 1u);
+    SimContext dense_ctx(1);
+    const BatchResult dense_res =
+        scu.dispatchBatch(dense_ctx, 0, dense_req);
+    EXPECT_EQ(dense_res.entries[0].value, 100u);
+    EXPECT_EQ(dense_ctx.counter("scu.xvault_transfers"), 0u);
+
+    // Mirror case: A \ dense-empty copies only A, so the op must
+    // stay in A's vault with no transfer either.
+    BatchRequest diff_req;
+    diff_req.difference(b, dense_empty);
+    EXPECT_EQ(scu.routeVault(diff_req.ops[0]), 1u);
+    SimContext diff_ctx(1);
+    scu.dispatchBatch(diff_ctx, 0, diff_req);
+    EXPECT_EQ(diff_ctx.counter("scu.xvault_transfers"), 0u);
+}
+
+TEST(Routing, DenseOperandFootprintUsesDenseBytes)
+{
+    // A tiny DB still weighs ceil(universe / 8) bytes: min-bytes
+    // routing must run in the DB's vault and move the SA.
+    ScuConfig config;
+    config.routing = Routing::MinBytes;
+    SetStore store(4096); // denseBytes() = 512 > 100 * 4.
+    Scu scu(store, config, 1);
+    const SetId sa = store.createFromSorted(iota(0, 100),
+                                            SetRepr::SparseArray);
+    const SetId db = store.createFromSorted({1, 2, 3},
+                                            SetRepr::DenseBitvector);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(sa, 0);
+    placement->assign(db, 1);
+    scu.setPlacement(placement);
+
+    BatchRequest req;
+    req.intersectCard(sa, db);
+    EXPECT_EQ(scu.routeVault(req.ops[0]), 1u);
+    SimContext ctx(1);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 400u); // The SA.
+}
+
+// --- Dynamic re-placement ---------------------------------------------------
+
+TEST(Replacement, MigratesHotRemoteSetAndChargesOneTransfer)
+{
+    // a (100 elems) in vault 0, b (200 elems, 800 B) in vault 1,
+    // primary routing: every dispatch of intersectCard(a, b) pulls b
+    // into vault 0. With migrateFactor 2.0 the second observed fetch
+    // (1600 B >= 2 x 800 B) triggers the migration: b re-homes to
+    // vault 0 priced as ONE explicit b_L transfer of its footprint,
+    // and the third dispatch finds it local.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 200),
+                                           SetRepr::SparseArray);
+    auto base =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    base->assign(a, 0);
+    base->assign(b, 1);
+    auto dynamic = std::make_shared<DynamicPlacement>(base);
+    scu.setPlacement(dynamic);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(a, b);
+
+    scu.dispatchBatch(ctx, 0, req); // Observe 800 B: below threshold.
+    EXPECT_EQ(ctx.counter("scu.migrations"), 0u);
+    EXPECT_EQ(scu.vaultOf(b), 1u);
+
+    const auto busy_before_2 = ctx.threadBusy(0);
+    scu.dispatchBatch(ctx, 0, req); // 1600 B >= threshold: migrate.
+    const auto delta_2 = ctx.threadBusy(0) - busy_before_2;
+    EXPECT_EQ(ctx.counter("scu.migrations"), 1u);
+    EXPECT_EQ(ctx.counter("setops.migration_bytes"), 800u);
+    EXPECT_EQ(scu.vaultOf(b), 0u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 2u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 1600u);
+
+    const auto busy_before_3 = ctx.threadBusy(0);
+    scu.dispatchBatch(ctx, 0, req); // Local now: no transfer.
+    const auto delta_3 = ctx.threadBusy(0) - busy_before_3;
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 2u);
+    EXPECT_EQ(ctx.counter("scu.migrations"), 1u);
+
+    // Dispatch 2 = dispatch 3 + one operand transfer + the migration
+    // (metadata is SMB-hot from dispatch 1 in both): the migration is
+    // priced EXACTLY as one more b_L transfer of b's footprint.
+    EXPECT_EQ(delta_2 - delta_3,
+              2 * mem::interconnectCycles(config.pim, 800));
+}
+
+TEST(Replacement, HeatResetDampsPingPong)
+{
+    // After b migrates toward a1's vault, traffic from a competing
+    // vault must re-earn the full threshold before b moves again.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a1 = store.createFromSorted(iota(0, 100),
+                                            SetRepr::SparseArray);
+    const SetId a2 = store.createFromSorted(iota(50, 100),
+                                            SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 200),
+                                           SetRepr::SparseArray);
+    auto base =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    base->assign(a1, 0);
+    base->assign(a2, 2);
+    base->assign(b, 1);
+    auto dynamic = std::make_shared<DynamicPlacement>(base);
+    scu.setPlacement(dynamic);
+
+    SimContext ctx(1);
+    BatchRequest toward_0;
+    toward_0.intersectCard(a1, b);
+    scu.dispatchBatch(ctx, 0, toward_0);
+    scu.dispatchBatch(ctx, 0, toward_0);
+    EXPECT_EQ(scu.vaultOf(b), 0u); // Migrated to vault 0.
+    EXPECT_EQ(ctx.counter("scu.migrations"), 1u);
+
+    BatchRequest toward_2;
+    toward_2.intersectCard(a2, b);
+    scu.dispatchBatch(ctx, 0, toward_2); // 800 B toward vault 2 only.
+    EXPECT_EQ(scu.vaultOf(b), 0u);       // Heat was reset: stays.
+    EXPECT_EQ(ctx.counter("scu.migrations"), 1u);
+    scu.dispatchBatch(ctx, 0, toward_2); // Earned the threshold again.
+    EXPECT_EQ(scu.vaultOf(b), 2u);
+    EXPECT_EQ(ctx.counter("scu.migrations"), 2u);
+}
+
+TEST(Replacement, DestroyedSetForgetsOverlayAndHeat)
+{
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 200),
+                                           SetRepr::SparseArray);
+    auto base =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    base->assign(a, 0);
+    base->assign(b, 1);
+    auto dynamic = std::make_shared<DynamicPlacement>(base);
+    scu.setPlacement(dynamic);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(a, b);
+    scu.dispatchBatch(ctx, 0, req);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(scu.vaultOf(b), 0u); // Overlay entry from migration.
+    EXPECT_EQ(dynamic->trackedSets(), 0u);
+
+    scu.destroy(ctx, 0, b);
+    // The recycled id must not inherit the dead set's pin.
+    const SetId reborn = store.createFromSorted(
+        iota(0, 5), SetRepr::SparseArray);
+    EXPECT_EQ(reborn, b);
+    EXPECT_EQ(scu.vaultOf(reborn), base->vaultOf(reborn));
+}
+
+// --- Result-set placement ---------------------------------------------------
+
+TEST(ResultPlacement, AdoptedResultsStayInTheProducingVault)
+{
+    // Under a result-placing policy (locality), a batch-produced
+    // intersection is pinned to the vault that executed it instead of
+    // falling back to the hash assignment -- the property that keeps
+    // BK / k-clique recursion local.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(50, 100),
+                                           SetRepr::SparseArray);
+    // Pick a target vault that provably differs from the hash
+    // fallback of the (deterministic) result id.
+    const HashPlacement hash(config.pim.vaults);
+    const SetId expected_result = 2; // Two sets created above.
+    const std::uint32_t target =
+        (hash.vaultOf(expected_result) + 1) % config.pim.vaults;
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(a, target);
+    placement->assign(b, target);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersect(a, b);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    ASSERT_EQ(res.entries[0].set, expected_result);
+    EXPECT_EQ(scu.vaultOf(res.entries[0].set), target);
+    EXPECT_NE(scu.vaultOf(res.entries[0].set),
+              hash.vaultOf(res.entries[0].set));
+
+    // Serial issue registers its result the same way.
+    const SetId serial = scu.intersect(ctx, 0, a, b);
+    EXPECT_EQ(scu.vaultOf(serial), target);
+
+    // Destroy releases the pin: the id falls back to the policy.
+    scu.destroy(ctx, 0, serial);
+    const SetId recycled = store.createFromSorted(
+        iota(0, 3), SetRepr::SparseArray);
+    EXPECT_EQ(recycled, serial);
+    EXPECT_EQ(scu.vaultOf(recycled), placement->vaultOf(recycled));
+}
+
+TEST(ResultPlacement, PureHashPoliciesDoNotPinResults)
+{
+    // Hash/range placement is the assignment under study: results
+    // keep following the policy, bit-for-bit as before.
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(50, 100),
+                                           SetRepr::SparseArray);
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersect(a, b);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    const HashPlacement ref(config.pim.vaults);
+    EXPECT_EQ(scu.vaultOf(res.entries[0].set),
+              ref.vaultOf(res.entries[0].set));
+}
+
+// --- setPlacement vault-count validation ------------------------------------
+
+TEST(PlacementValidation, MismatchedVaultCountFallsBackToCorrectHash)
+{
+    // A RangePlacement built for 2x the SCU's vault count used to be
+    // silently folded by modulo, skewing the distribution it was
+    // constructed to produce. It is now rejected and the hash
+    // fallback is rebuilt at the correct width.
+    ScuConfig config;
+    config.pim.vaults = 4;
+    SetStore store(256);
+    Scu scu(store, config, 1);
+    scu.setPlacement(std::make_shared<RangePlacement>(8, 1));
+    EXPECT_STREQ(scu.placement().name(), "hash");
+    const HashPlacement ref(4);
+    for (SetId id = 0; id < 512; ++id) {
+        EXPECT_EQ(scu.vaultOf(id), ref.vaultOf(id));
+        EXPECT_LT(scu.vaultOf(id), 4u);
+    }
+    // A correct-width policy installs normally.
+    scu.setPlacement(std::make_shared<RangePlacement>(4, 1));
+    EXPECT_STREQ(scu.placement().name(), "range");
+}
+
+// --- lastBackend_ mode agreement --------------------------------------------
+
+TEST(LastBackend, BatchTailShortCircuitAgreesWithSerial)
+{
+    // A batch whose LAST op is metadata-only must leave lastBackend()
+    // exactly where the serial issue of the same sequence leaves it:
+    // at the last op that actually charged a backend.
+    SetStore store_b(512), store_s(512);
+    Scu scu_b(store_b, ScuConfig{}, 1);
+    Scu scu_s(store_s, ScuConfig{}, 1);
+    SimContext ctx_b(1), ctx_s(1);
+
+    const auto build = [](SetStore &store) {
+        const SetId full = store.createFromSorted(
+            iota(0, 64), SetRepr::SparseArray);
+        const SetId other = store.createFromSorted(
+            iota(32, 64), SetRepr::SparseArray);
+        const SetId empty =
+            store.createFromSorted({}, SetRepr::SparseArray);
+        return std::tuple{full, other, empty};
+    };
+    const auto [full_b, other_b, empty_b] = build(store_b);
+    const auto [full_s, other_s, empty_s] = build(store_s);
+
+    BatchRequest req;
+    req.intersectCard(full_b, other_b); // Charges PnmStream.
+    req.intersectCard(empty_b, full_b); // Metadata-only tail.
+    scu_b.dispatchBatch(ctx_b, 0, req);
+
+    scu_s.intersectCard(ctx_s, 0, full_s, other_s);
+    scu_s.intersectCard(ctx_s, 0, empty_s, full_s);
+
+    EXPECT_EQ(scu_b.lastBackend(), Backend::PnmStream);
+    EXPECT_EQ(scu_b.lastBackend(), scu_s.lastBackend());
+
+    // An all-metadata batch leaves the previous decision untouched,
+    // again matching serial issue.
+    BatchRequest all_short;
+    all_short.intersectCard(empty_b, full_b);
+    all_short.intersectCard(empty_b, other_b);
+    scu_b.dispatchBatch(ctx_b, 0, all_short);
+    scu_s.intersectCard(ctx_s, 0, empty_s, full_s);
+    scu_s.intersectCard(ctx_s, 0, empty_s, other_s);
+    EXPECT_EQ(scu_b.lastBackend(), Backend::PnmStream);
+    EXPECT_EQ(scu_b.lastBackend(), scu_s.lastBackend());
+}
+
+// --- Remote-operand dedup ---------------------------------------------------
+
+TEST(RemoteDedup, ChargesOncePerVaultOperandPairUnderInterleaving)
+{
+    // Interleaved repeats of two remote co-operands in one lane: the
+    // per-worker fetch set must still charge each operand exactly
+    // once regardless of arrival order (b2, b1, b2, b1).
+    ScuConfig config;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a1 = store.createFromSorted(iota(0, 50),
+                                            SetRepr::SparseArray);
+    const SetId a2 = store.createFromSorted(iota(10, 50),
+                                            SetRepr::SparseArray);
+    const SetId b1 = store.createFromSorted(iota(0, 100),
+                                            SetRepr::SparseArray);
+    const SetId b2 = store.createFromSorted(iota(0, 150),
+                                            SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(a1, 0);
+    placement->assign(a2, 0);
+    placement->assign(b1, 1);
+    placement->assign(b2, 2);
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    BatchRequest req;
+    req.intersectCard(a1, b2);
+    req.intersectCard(a1, b1);
+    req.intersectCard(a2, b2);
+    req.intersectCard(a2, b1);
+    scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 2u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"),
+              100u * 4 + 150u * 4);
+}
+
+// --- Scratch shrink-to-high-watermark ---------------------------------------
+
+TEST(ScratchShrink, BurstAllocationReleasedAfterSmallDispatchWindow)
+{
+    ScuConfig config;
+    config.batchWorkers = 1;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    SimContext ctx(1);
+    const auto pool = makePool(store, 16, 4096, 11);
+
+    const BatchRequest burst = makeRequest(pool, 2048, 3);
+    scu.dispatchBatch(ctx, 0, burst);
+    EXPECT_GE(scu.scratchCapacity(), 2048u);
+
+    // Two full shrink windows of small batches: the first window
+    // still saw the burst's watermark, the second one releases.
+    const BatchRequest small = makeRequest(pool, 4, 5);
+    for (int i = 0; i < 64; ++i)
+        scu.dispatchBatch(ctx, 0, small);
+    EXPECT_LT(scu.scratchCapacity(), 64u);
+
+    // The shrunk scratch still serves a follow-up burst correctly.
+    const BatchResult res = scu.dispatchBatch(ctx, 0, burst);
+    EXPECT_EQ(res.size(), burst.size());
+}
+
+// --- Differential: policy x routing x engine, forced worker/vault configs ---
+
+std::shared_ptr<const PlacementPolicy>
+buildPolicy(std::string_view name, std::uint32_t vaults,
+            const BatchRequest &req)
+{
+    if (name == "range")
+        return std::make_shared<RangePlacement>(vaults, 4);
+    if (name == "locality" || name == "dynamic") {
+        std::vector<TrafficArc> arcs;
+        for (const BatchOp &op : req.ops)
+            arcs.push_back({op.a, op.b, 1});
+        auto locality = greedyLocalityPlacement(vaults, arcs);
+        if (name == "locality")
+            return locality;
+        return std::make_shared<DynamicPlacement>(std::move(locality));
+    }
+    return std::make_shared<HashPlacement>(vaults);
+}
+
+class RoutingDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, const char *>>
+{
+};
+
+TEST_P(RoutingDifferential, BatchedBitIdenticalToSerialEverywhere)
+{
+    // The acceptance contract: for every placement policy x routing
+    // rule, batched dispatch stays bit-identical to serial issue in
+    // results, result ids, the functional setops.* totals, and
+    // lastBackend() -- under the default configuration AND under
+    // forced 1-worker / 2-vault configurations. Three rounds of the
+    // same request let dynamic re-placement migrate between
+    // dispatches without breaking the contract.
+    const auto [policy_name, routing_name] = GetParam();
+    const Element universe = 1024;
+
+    for (const std::uint32_t workers : {1u, 4u}) {
+        for (const std::uint32_t vaults : {2u, 0u}) {
+            ScuConfig config;
+            config.batchWorkers = workers;
+            if (vaults)
+                config.pim.vaults = vaults;
+            if (std::string_view(routing_name) == "min-bytes")
+                config.routing = Routing::MinBytes;
+
+            SetStore store_b(universe), store_s(universe);
+            Scu scu_b(store_b, config, 1);
+            Scu scu_s(store_s, config, 1);
+            const auto pool_b = makePool(store_b, 32, universe, 77);
+            makePool(store_s, 32, universe, 77);
+            const BatchRequest req = makeRequest(pool_b, 120, 13);
+            scu_b.setPlacement(buildPolicy(
+                policy_name, config.pim.vaults, req));
+
+            SimContext ctx_b(1), ctx_s(1);
+            for (int round = 0; round < 3; ++round) {
+                const BatchResult res =
+                    scu_b.dispatchBatch(ctx_b, 0, req);
+                ASSERT_EQ(res.size(), req.size());
+                for (std::size_t i = 0; i < req.size(); ++i) {
+                    const BatchOp &op = req.ops[i];
+                    SetId serial = invalid_set;
+                    std::uint64_t value = 0;
+                    switch (op.kind) {
+                      case BatchOpKind::Intersect:
+                        serial =
+                            scu_s.intersect(ctx_s, 0, op.a, op.b);
+                        break;
+                      case BatchOpKind::Union:
+                        serial =
+                            scu_s.setUnion(ctx_s, 0, op.a, op.b);
+                        break;
+                      case BatchOpKind::Difference:
+                        serial =
+                            scu_s.difference(ctx_s, 0, op.a, op.b);
+                        break;
+                      case BatchOpKind::IntersectCard:
+                        value = scu_s.intersectCard(ctx_s, 0, op.a,
+                                                    op.b);
+                        break;
+                      case BatchOpKind::UnionCard:
+                        value =
+                            scu_s.unionCard(ctx_s, 0, op.a, op.b);
+                        break;
+                    }
+                    if (serial != invalid_set) {
+                        EXPECT_EQ(res.entries[i].set, serial);
+                        EXPECT_EQ(
+                            store_b.elementsOf(res.entries[i].set),
+                            store_s.elementsOf(serial));
+                    } else {
+                        EXPECT_EQ(res.entries[i].value, value);
+                    }
+                }
+                EXPECT_EQ(scu_b.lastBackend(), scu_s.lastBackend())
+                    << policy_name << "/" << routing_name
+                    << " workers=" << workers << " vaults=" << vaults
+                    << " round=" << round;
+            }
+            for (const char *name :
+                 {"setops.streamed", "setops.probes", "setops.words",
+                  "setops.output", "scu.pum_ops",
+                  "scu.pnm_stream_ops", "scu.pnm_random_ops",
+                  "scu.short_circuits"}) {
+                EXPECT_EQ(ctx_b.counter(name), ctx_s.counter(name))
+                    << name << " " << policy_name << "/"
+                    << routing_name << " workers=" << workers
+                    << " vaults=" << vaults;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByRouting, RoutingDifferential,
+    ::testing::Combine(::testing::Values("hash", "range", "locality",
+                                         "dynamic"),
+                       ::testing::Values("primary", "min-bytes")));
+
+// --- Acceptance: min-bytes + dynamic beat the PR 3 locality baseline --------
+
+TEST(RoutingAcceptance, MinBytesPlusDynamicCutXvaultBytesOnRmat9)
+{
+    // The acceptance bar: on fixed-seed RMAT-9 triangle counting,
+    // min-bytes routing plus dynamic re-placement move measurably
+    // fewer interconnect bytes than the PR 3 locality baseline
+    // (primary routing, static locality placement) -- counting the
+    // migrations' own traffic against the tuned configuration --
+    // while every functional output stays bit-identical.
+    graph::RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 8;
+    const graph::Graph g = graph::rmat(params, 42);
+
+    const auto run = [&](Routing routing, bool dynamic) {
+        ScuConfig config;
+        config.routing = routing;
+        core::SisaEngine eng(g.numVertices(), config, 4);
+        SimContext ctx(4);
+        ctx.setPatternCutoff(0);
+        algorithms::OrientedSetGraph osg(g, eng);
+        std::shared_ptr<const PlacementPolicy> policy =
+            greedyLocalityPlacement(config.pim.vaults,
+                                    core::placementArcs(*osg.sets));
+        if (dynamic) {
+            policy = std::make_shared<DynamicPlacement>(
+                std::move(policy));
+        }
+        eng.scu().setPlacement(std::move(policy));
+        const std::uint64_t tri = algorithms::triangleCount(osg, ctx);
+        return std::tuple{tri, ctx.counter("setops.xvault_bytes"),
+                          ctx.counter("setops.migration_bytes"),
+                          ctx.counter("setops.streamed"),
+                          ctx.counter("setops.probes"),
+                          ctx.counter("setops.words"),
+                          ctx.counter("setops.output")};
+    };
+
+    const auto [tri_base, bytes_base, mig_base, st_b, pr_b, wo_b,
+                out_b] = run(Routing::Primary, false);
+    const auto [tri_tuned, bytes_tuned, mig_tuned, st_t, pr_t, wo_t,
+                out_t] = run(Routing::MinBytes, true);
+
+    EXPECT_EQ(tri_base, tri_tuned);
+    EXPECT_EQ(st_b, st_t);
+    EXPECT_EQ(pr_b, pr_t);
+    EXPECT_EQ(wo_b, wo_t);
+    EXPECT_EQ(out_b, out_t);
+    EXPECT_EQ(mig_base, 0u);
+    EXPECT_GT(bytes_base, 0u);
+    // "Measurably": at least a 5% cut, with the migrations' own
+    // footprint transfers charged against the tuned side.
+    EXPECT_LT(bytes_tuned + mig_tuned,
+              bytes_base - bytes_base / 20);
+}
+
+} // namespace

@@ -4,7 +4,8 @@
  * dataset, mode) cell with chosen thread count and pattern cutoff,
  * and print the simulated outcome plus the hardware counters.
  *
- *   sisa_run <problem> <dataset> <mode> [threads] [cutoff] [placement]
+ *   sisa_run <problem> <dataset> <mode> [threads] [cutoff]
+ *            [placement] [routing] [replace]
  *
  *   problem:   tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
  *              cl-jac | cl-ovr | cl-tot
@@ -14,6 +15,13 @@
  *              cross-vault traffic lands in the scu.xvault_transfers /
  *              setops.xvault_bytes / setops.xvault_reduce_bytes
  *              counters printed below.
+ *   routing:   primary | min-bytes (sisa mode; default primary) --
+ *              min-bytes runs each batched op where the bigger
+ *              operand lives and moves only the smaller co-operand.
+ *   replace:   none | dynamic (sisa mode; default none) -- dynamic
+ *              re-placement migrates sets that keep being fetched
+ *              into the same remote vault (scu.migrations /
+ *              setops.migration_bytes).
  */
 
 #include <cstdio>
@@ -47,8 +55,13 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <problem> <dataset> <mode> [threads] "
-                 "[cutoff] [placement]\n       %s --list\n"
+                 "[cutoff] [placement] [routing] [replace]\n"
+                 "       %s --list\n"
                  "       placement: hash | range | locality "
+                 "(sisa mode only)\n"
+                 "       routing:   primary | min-bytes "
+                 "(sisa mode only)\n"
+                 "       replace:   none | dynamic "
                  "(sisa mode only)\n",
                  argv0, argv0);
     return 2;
@@ -94,18 +107,46 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (argc > 7) {
+        config.routing = argv[7];
+        if (config.routing != "primary" &&
+            config.routing != "min-bytes")
+            return usage(argv[0]);
+        if (mode != Mode::Sisa) {
+            std::fprintf(stderr,
+                         "routing is only meaningful in sisa mode\n");
+            return usage(argv[0]);
+        }
+    }
+    if (argc > 8) {
+        const std::string replace = argv[8];
+        if (replace != "none" && replace != "dynamic")
+            return usage(argv[0]);
+        config.replace = replace == "dynamic";
+        if (config.replace && mode != Mode::Sisa) {
+            std::fprintf(stderr,
+                         "replace is only meaningful in sisa mode\n");
+            return usage(argv[0]);
+        }
+    }
     if (problem == "si-4s-L")
         config.labels = 3;
 
     const graph::Graph g = graph::makeDataset(dataset);
     std::printf("dataset: %s\n", g.describe().c_str());
     std::printf("running %s in %s mode, T=%u, cutoff=%llu, "
-                "placement=%s\n",
+                "placement=%s, routing=%s, replace=%s\n",
                 problem.c_str(), modeName(mode), config.threads,
                 static_cast<unsigned long long>(config.cutoff),
                 mode != Mode::Sisa ? "n/a"
                 : config.placement.empty() ? "hash"
-                                           : config.placement.c_str());
+                                           : config.placement.c_str(),
+                mode != Mode::Sisa ? "n/a"
+                : config.routing.empty() ? "primary"
+                                         : config.routing.c_str(),
+                mode != Mode::Sisa      ? "n/a"
+                : config.replace        ? "dynamic"
+                                        : "none");
 
     const RunOutcome outcome = runProblem(problem, g, mode, config);
 
