@@ -75,9 +75,11 @@ struct RunConfig
     std::string placement{};
     /**
      * Execution-vault routing for Sisa mode: "primary" (default, the
-     * a-operand's vault) or "min-bytes" (run where the bigger
-     * operand lives and move only the smaller co-operand). Cycle
-     * charges and xvault counters only; results are invariant.
+     * a-operand's vault), "min-bytes" (run where the bigger operand
+     * lives and move only the smaller co-operand), or "balanced"
+     * (makespan-driven LPT batch scheduling against per-vault load,
+     * transfer-aware). Cycle charges and xvault counters only;
+     * results are invariant.
      */
     std::string routing{};
     /**
@@ -192,11 +194,13 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
             isa::ScuConfig scu_cfg = config.scu;
             if (config.routing == "min-bytes") {
                 scu_cfg.routing = isa::Routing::MinBytes;
+            } else if (config.routing == "balanced") {
+                scu_cfg.routing = isa::Routing::Balanced;
             } else {
                 sisa_assert(config.routing.empty() ||
                                 config.routing == "primary",
                             "unknown routing rule "
-                            "(primary | min-bytes)");
+                            "(primary | min-bytes | balanced)");
             }
             auto sisa = std::make_unique<core::SisaEngine>(
                 g->numVertices(), scu_cfg, config.threads);

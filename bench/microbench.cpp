@@ -449,6 +449,30 @@ runKernelSweep(const std::string &json_path)
         add("replace_tc_rmat9_cycles", g.numVertices(),
             static_cast<double>(locality.cycles),
             static_cast<double>(dynamic.cycles), "cycles");
+        // Makespan-driven balanced scheduling (LPT + rider-lane byte
+        // harvesting) vs the same PR 3 locality/primary baseline:
+        // the sched_* acceptance rows. Balanced must hold most of
+        // min-bytes' byte cut while keeping cycles at primary level
+        // (erasing the PR 4 trade-off).
+        const PlacementRun balanced =
+            run("locality", "balanced", false);
+        add("sched_tc_rmat9_xvault_bytes", g.numVertices(),
+            static_cast<double>(locality.moved_bytes),
+            static_cast<double>(balanced.moved_bytes), "bytes");
+        add("sched_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(locality.cycles),
+            static_cast<double>(balanced.cycles), "cycles");
+        // ... and composed with dynamic re-placement (migration
+        // traffic included), the full tuned stack.
+        const PlacementRun balanced_dynamic =
+            run("locality", "balanced", true);
+        add("sched_replace_tc_rmat9_xvault_bytes", g.numVertices(),
+            static_cast<double>(locality.moved_bytes),
+            static_cast<double>(balanced_dynamic.moved_bytes),
+            "bytes");
+        add("sched_replace_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(locality.cycles),
+            static_cast<double>(balanced_dynamic.cycles), "cycles");
     }
 
     // Remote-operand dedup guard: one vault serializing 512 ops whose

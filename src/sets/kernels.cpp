@@ -248,10 +248,16 @@ setUnion(std::span<const Element> a, std::span<const Element> b,
     const Element *pa = a.data(), *pb = b.data();
     const std::size_t na = a.size(), nb = b.size();
     std::size_t i = 0, j = 0, o = 0;
-    // A branchy merge beats a cmov one here: every element is stored
-    // anyway, so speculation across predicted branches buys
-    // memory-level parallelism that a serialized cmov chain cannot.
-    // The win over the seed loop is raw stores plus memcpy tails.
+    // Deliberately scalar -- union is store-bound (see the full
+    // rationale in sets/operations.hpp): every element is written
+    // out regardless, so a blocked compare tier cannot filter work
+    // the way it does for intersection/difference, and a bitonic
+    // merge network would trade predicted branches for shuffle
+    // latency at parity (union_kernel_* ~= 1.0x in
+    // BENCH_kernels.json). A branchy merge beats a cmov one here:
+    // speculation across predicted branches buys memory-level
+    // parallelism that a serialized cmov chain cannot. The win over
+    // the seed loop is raw stores plus memcpy tails.
     while (i < na && j < nb) {
         const Element x = pa[i], y = pb[j];
         if (x < y) {

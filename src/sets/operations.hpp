@@ -42,6 +42,25 @@
  * materializing twins (the logical result size) so set-size statistics
  * are comparable across variants.
  *
+ * Why unionMerge stays on the scalar kernel while intersection and
+ * difference are SIMD (kernels::setUnion): union is STORE-bound, not
+ * compare-bound. Every input element is written to the output
+ * (nA + nB stores, minus duplicates), so throughput is limited by
+ * store bandwidth that a vector compress path cannot raise -- the
+ * blocked all-pairs compare + VPERMD compress that gives
+ * intersection ~10x only helps when most elements are FILTERED
+ * (intersection keeps ~|A cap B|, difference ~|A \ B|). A compress
+ * store also cannot emit the two-source sorted interleaving in one
+ * step: merging blocks needs a bitonic network (min/max + shuffle
+ * per lane pair) plus a cross-block dedup pass, whose shuffle
+ * latency replaces perfectly predicted branches and raw stores. The
+ * measured union_kernel_* rows in BENCH_kernels.json sit at ~1.0x
+ * (store-bound parity, union_kernel_64k ~=0.99) and the branchy loop
+ * additionally wins memcpy tails for the exhausted side, so the
+ * vectorized merge-network path is deliberately NOT built -- this
+ * note gates it off until a workload shows union on the critical
+ * path with small outputs (where a gallop copy already applies).
+ *
  * Cycle-charge conventions on top of these work counters (the SCU's
  * Section 8.3 pricing; see sisa/scu.cpp):
  *
@@ -70,8 +89,21 @@
  * vault the placement policy (sisa/placement.hpp) assigns operand A;
  * MinBytes executes where the LARGER operand (by footprint: SA 4 |S|
  * bytes, DB ceil(universe / 8) bytes) lives and moves only the
- * smaller co-operand, with ties keeping A's vault. Routing, like
- * placement, moves only cycles and xvault counters.
+ * smaller co-operand, with ties keeping A's vault. Balanced
+ * schedules the whole batch against per-vault load: operations are
+ * executed functionally first (caching their exact charges), an LPT
+ * sweep assigns each -- most expensive first -- to the candidate
+ * vault minimizing lane_depth + exec + interconnect(moved
+ * co-operand), and a second sweep re-routes ops to byte-lighter
+ * candidates (including "rider" lanes that already fetched the
+ * co-operand this dispatch) whenever completion stays under
+ * LPT-makespan x (1 + balancedSlack). Scheduler-estimated vs charged
+ * cycles: there is NO divergence by construction -- the scheduler
+ * consumes the very OpOutcome charges the lanes later bill, and its
+ * transfer dedup is the same once-per-(vault, operand) rule the
+ * charge path applies, so the scheduled lane depths equal the
+ * charged lane cycles exactly (pinned in tests/test_placement.cpp).
+ * Routing, like placement, moves only cycles and xvault counters.
  *
  * Cross-vault charges on top (batched dispatch only; priced with
  * mem::interconnectCycles(bytes) = l_M + ceil(bytes / b_L)):

@@ -3,9 +3,10 @@
  * Batched SISA instruction dispatch (the SISA-PNM throughput model of
  * Sections 5-6). A BatchRequest carries N independent binary set
  * operations that the SCU decodes ONCE and executes concurrently
- * across its vaults: each operation is routed to the execution vault
- * Scu::routeVault picks (its primary operand's vault by default, or
- * the bigger operand's vault under ScuConfig.routing = MinBytes),
+ * across its vaults: each operation is routed to an execution vault
+ * by ScuConfig.routing (its primary operand's vault by default, the
+ * bigger operand's vault under MinBytes, or the vault the
+ * makespan-driven LPT batch scheduler picks under Balanced),
  * operations mapped to the same vault serialize, and the batch's
  * simulated cost is the makespan of the slowest vault -- exactly the
  * cross-vault load-balance behaviour the paper's evaluation studies. Engines expose this through
@@ -44,7 +45,11 @@ enum class BatchOpKind : std::uint8_t
  * and ops on the same vault serialize. When a loop batches many ops
  * against one shared set, pass the VARYING set as `a` (the symmetric
  * ops -- intersect*, union* -- don't care about order) so the batch
- * spreads across vaults instead of piling onto one.
+ * spreads across vaults instead of piling onto one. Routing::
+ * Balanced makes that guidance soft -- its scheduler weighs both
+ * operands' vaults (and rider lanes already holding the shared
+ * co-operand) against per-vault load -- but ties still favor `a`,
+ * so the convention remains worth following.
  */
 struct BatchOp
 {

@@ -106,6 +106,31 @@ DynamicPlacement::collectMigrations() const
 }
 
 void
+DynamicPlacement::decayBarrier() const
+{
+    if (config_.decayHalfLife == 0)
+        return;
+    if (++barriersSinceDecay_ < config_.decayHalfLife)
+        return;
+    barriersSinceDecay_ = 0;
+    for (auto it = heat_.begin(); it != heat_.end();) {
+        Heat &heat = it->second;
+        for (auto &[vault, total] : heat.perVault)
+            total /= 2;
+        heat.perVault.erase(
+            std::remove_if(heat.perVault.begin(), heat.perVault.end(),
+                           [](const auto &entry) {
+                               return entry.second == 0;
+                           }),
+            heat.perVault.end());
+        if (heat.perVault.empty())
+            it = heat_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
 DynamicPlacement::forget(SetId id) const
 {
     heat_.erase(id);

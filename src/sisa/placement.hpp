@@ -26,7 +26,11 @@
  *                       the SCU to migrate sets that keep being
  *                       fetched into the same remote vault (the
  *                       migration itself is priced as an explicit
- *                       b_L transfer; counter scu.migrations).
+ *                       b_L transfer; counter scu.migrations). Heat
+ *                       ages out: every decayHalfLife barriers the
+ *                       accumulated observations halve, so stale
+ *                       traffic cannot trigger migrations in long
+ *                       runs whose access pattern has moved on.
  *
  * Policies are pure functions of the set id (and their frozen build
  * state): deterministic, thread-safe after construction, and
@@ -169,6 +173,18 @@ struct DynamicPlacementConfig
      * the set again.
      */
     double migrateFactor = 2.0;
+    /**
+     * Observation half-life in dispatch barriers: every
+     * decayHalfLife barriers all accumulated per-(set, vault) heat
+     * is halved (and zeroed records dropped), so traffic observed
+     * long ago stops counting toward the migration threshold. A
+     * long-running service whose access pattern drifts no longer
+     * migrates sets on the strength of stale heat -- only traffic
+     * sustained within a few half-lives can reach migrateFactor x
+     * footprint. 0 disables decay (heat accumulates forever, the
+     * pre-decay behavior).
+     */
+    std::uint32_t decayHalfLife = 64;
 };
 
 /** One migration decision: move @p id (at @p from) to @p to. */
@@ -229,6 +245,14 @@ class DynamicPlacement final : public PlacementPolicy
      */
     std::vector<MigrationEvent> collectMigrations() const;
 
+    /**
+     * Close one dispatch barrier: after decayHalfLife barriers, halve
+     * every accumulated heat record and drop the ones that decayed to
+     * zero. Called by the SCU once per dispatch (after migrations are
+     * collected, so the barrier's own observations count in full).
+     */
+    void decayBarrier() const;
+
     /** Drop all state for @p id (the set was destroyed/recycled). */
     void forget(SetId id) const;
 
@@ -247,6 +271,63 @@ class DynamicPlacement final : public PlacementPolicy
     std::shared_ptr<const PlacementPolicy> base_;
     DynamicPlacementConfig config_;
     mutable std::unordered_map<SetId, Heat> heat_;
+    mutable std::uint32_t barriersSinceDecay_ = 0;
+};
+
+/**
+ * Per-vault load accumulator for makespan-driven batch scheduling
+ * (ScuConfig.routing = Balanced): the scheduler tracks how many
+ * modeled cycles it has already queued on each vault within the
+ * current dispatch and assigns every operation to the candidate vault
+ * with the smallest completion time. Reset is sparse (only vaults
+ * touched since the last reset are cleared), so the tracker is O(ops)
+ * per dispatch even with 512 vaults, and the backing array is reused
+ * across dispatches.
+ */
+class VaultLoads
+{
+  public:
+    /** Clear all loads; (re)size the table to @p vaults entries. */
+    void
+    reset(std::uint32_t vaults)
+    {
+        if (loads_.size() != vaults) {
+            loads_.assign(vaults, 0);
+        } else {
+            for (const std::uint32_t v : touched_)
+                loads_[v] = 0;
+        }
+        touched_.clear();
+        max_ = 0;
+    }
+
+    /** Cycles queued on vault @p v this dispatch. */
+    std::uint64_t of(std::uint32_t v) const { return loads_[v]; }
+
+    /**
+     * Deepest queued vault so far -- the scheduler's running
+     * makespan estimate: assignments that stay at or below it are
+     * free with respect to the batch's modeled completion time.
+     */
+    std::uint64_t max() const { return max_; }
+
+    /** Queue @p cycles more work on vault @p v. */
+    void
+    add(std::uint32_t v, std::uint64_t cycles)
+    {
+        if (cycles == 0)
+            return;
+        if (loads_[v] == 0)
+            touched_.push_back(v);
+        loads_[v] += cycles;
+        if (loads_[v] > max_)
+            max_ = loads_[v];
+    }
+
+  private:
+    std::vector<std::uint64_t> loads_;
+    std::vector<std::uint32_t> touched_;
+    std::uint64_t max_ = 0;
 };
 
 /**

@@ -642,8 +642,10 @@ Scu::resolveRoute(SetId a, SetId b) const
     const std::uint32_t vault_b = vaultOf(b);
     if (vault_a == vault_b)
         return {vault_a, invalid_set, 0, true};
-    if (config_.routing == Routing::MinBytes) {
-        // Run where the bigger operand lives; only the smaller
+    if (config_.routing != Routing::Primary) {
+        // MinBytes (and Balanced outside a batch context, where the
+        // LPT greedy over empty lanes reduces to exactly this rule):
+        // run where the bigger operand lives; only the smaller
         // co-operand crosses the interconnect. Weights are the bytes
         // the operand would actually move: a zero-cardinality
         // operand is never read (every short-circuit copies the
@@ -737,6 +739,232 @@ Scu::pool()
     return *pool_;
 }
 
+mem::Cycles
+Scu::outcomeCycles(const OpOutcome &outcome)
+{
+    mem::Cycles total = 0;
+    for (std::uint32_t i = 0; i < outcome.numCharges; ++i)
+        total += outcome.charges[i].cycles;
+    return total;
+}
+
+void
+Scu::preExecuteOutcomes(const BatchRequest &batch)
+{
+    const std::size_t n = batch.size();
+    const auto chunks = static_cast<std::uint32_t>(
+        std::min<std::size_t>(batchWorkerCount(), n));
+    if (chunks <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const BatchOp &op = batch.ops[i];
+            outcomes_[i] =
+                executeBinary(op.kind, op.a, op.b, op.variant);
+        }
+        return;
+    }
+    // One block-partitioned pseudo-queue per worker; stealing
+    // rebalances whatever the even split gets wrong (op costs are
+    // data-dependent). No charging happens here -- the scheduler
+    // has not assigned vaults yet.
+    laneSizes_.resize(chunks);
+    std::vector<std::size_t> base(chunks);
+    for (std::uint32_t j = 0; j < chunks; ++j) {
+        const std::size_t begin = j * n / chunks;
+        base[j] = begin;
+        laneSizes_[j] =
+            static_cast<std::uint32_t>((j + 1) * n / chunks - begin);
+    }
+    pool().runQueues(
+        laneSizes_, chunks,
+        [&](std::uint32_t chunk, std::uint32_t pos) {
+            const std::size_t i = base[chunk] + pos;
+            const BatchOp &op = batch.ops[i];
+            outcomes_[i] =
+                executeBinary(op.kind, op.a, op.b, op.variant);
+        },
+        [](std::uint32_t, std::uint32_t, std::uint32_t) {},
+        /*steal=*/true);
+}
+
+void
+Scu::scheduleBalanced(const BatchRequest &batch)
+{
+    const std::size_t n = batch.size();
+    schedLoads_.reset(std::max<std::uint32_t>(config_.pim.vaults, 1));
+    schedFetched_.clear();
+    schedOrder_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        schedOrder_[i] = i;
+    // LPT order: most expensive operations choose their vault first
+    // (stable, so equal-cost ops keep request order -- deterministic).
+    std::stable_sort(schedOrder_.begin(), schedOrder_.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                         return outcomeCycles(outcomes_[x]) >
+                                outcomeCycles(outcomes_[y]);
+                     });
+
+    const auto fetch_key = [](std::uint32_t vault, SetId id) {
+        return (static_cast<std::uint64_t>(vault) << 32) | id;
+    };
+    // Pass 1 -- LPT list scheduling on completion time alone: each
+    // op goes to whichever operand vault finishes it first,
+    // lane_depth + exec + interconnect(co-operand left remote), with
+    // the once-per-(vault, operand) transfer dedup the charge path
+    // applies priced in (so the scheduled depths equal the billed
+    // lane cycles exactly). This pass only SIMULATES loads to
+    // establish the makespan M* a balanced schedule achieves; every
+    // route is written by pass 2, which re-runs the sweep with byte
+    // harvesting under the M*-derived cap.
+    for (const std::uint32_t i : schedOrder_) {
+        const BatchOp &op = batch.ops[i];
+        const OpOutcome &out = outcomes_[i];
+        const mem::Cycles exec = outcomeCycles(out);
+        const std::uint32_t va = vaultOf(op.a);
+        const std::uint32_t vb = vaultOf(op.b);
+        if (va == vb) {
+            schedLoads_.add(va, exec);
+            continue;
+        }
+        // The transfer each assignment would pay NOW: the co-operand
+        // footprint's interconnect cost, unless the operand is never
+        // read (short circuits, degenerate copies) or an already-
+        // scheduled op pulled it into that vault.
+        const std::uint64_t bytes_b =
+            out.readsB ? operandBytes(op.b) : 0;
+        const std::uint64_t bytes_a =
+            out.readsA ? operandBytes(op.a) : 0;
+        const mem::Cycles xfer_at_a =
+            bytes_b && !schedFetched_.count(fetch_key(va, op.b))
+                ? mem::interconnectCycles(config_.pim, bytes_b)
+                : 0;
+        const mem::Cycles xfer_at_b =
+            bytes_a && !schedFetched_.count(fetch_key(vb, op.a))
+                ? mem::interconnectCycles(config_.pim, bytes_a)
+                : 0;
+        if (schedLoads_.of(vb) + exec + xfer_at_b <
+            schedLoads_.of(va) + exec + xfer_at_a) {
+            schedLoads_.add(vb, exec + xfer_at_b);
+            if (xfer_at_b)
+                schedFetched_.insert(fetch_key(vb, op.a));
+        } else {
+            schedLoads_.add(va, exec + xfer_at_a);
+            if (xfer_at_a)
+                schedFetched_.insert(fetch_key(va, op.b));
+        }
+    }
+    const mem::Cycles lpt_makespan = schedLoads_.max();
+
+    // Pass 2 -- transfer-aware byte harvesting: re-run the greedy
+    // sweep, but among every candidate vault whose completion time
+    // stays under M* x (1 + balancedSlack), pick the one putting the
+    // FEWEST new bytes on the interconnect (cost, then a-first order
+    // break remaining ties); only when no candidate fits the cap
+    // does pure completion time decide. Candidates are the two
+    // operand vaults plus every "rider" vault that is already paying
+    // the co-operand's transfer this dispatch: an op sharing set B
+    // can run in any lane B was fetched into, moving only its own
+    // (usually small) A -- that is how a batch full of ops against
+    // one shared set spreads across several lanes at MinBytes-grade
+    // traffic instead of serializing in B's home vault. Ops the cap
+    // rejects keep their completion-time-optimal vault, so the final
+    // makespan is at most max(cap, unavoidable single-op costs).
+    // Both passes reuse the cached outcomes; nothing re-executes,
+    // and the scheduled depths stay exactly the cycles the lanes
+    // later charge.
+    const auto cap = static_cast<mem::Cycles>(
+        static_cast<double>(lpt_makespan) *
+        (1.0 + std::max(config_.balancedSlack, 0.0)));
+    schedLoads_.reset(std::max<std::uint32_t>(config_.pim.vaults, 1));
+    schedFetched_.clear();
+    schedFetchedVaults_.clear();
+    const auto pay_transfer = [&](std::uint32_t vault, SetId operand) {
+        if (schedFetched_.insert(fetch_key(vault, operand)).second)
+            schedFetchedVaults_[operand].push_back(vault);
+    };
+    struct Candidate
+    {
+        std::uint32_t vault = 0;
+        mem::Cycles cost = 0;
+        std::uint64_t newBytes = 0;
+        mem::Cycles xfer = 0;
+        SetId remote = invalid_set;
+        bool remoteIsB = true;
+    };
+    for (const std::uint32_t i : schedOrder_) {
+        const BatchOp &op = batch.ops[i];
+        const OpOutcome &out = outcomes_[i];
+        const mem::Cycles exec = outcomeCycles(out);
+        const std::uint32_t va = vaultOf(op.a);
+        const std::uint32_t vb = vaultOf(op.b);
+        if (va == vb) {
+            routes_[i] = {va, invalid_set, 0, true};
+            schedLoads_.add(va, exec);
+            continue;
+        }
+        const std::uint64_t bytes_b =
+            out.readsB ? operandBytes(op.b) : 0;
+        const std::uint64_t bytes_a =
+            out.readsA ? operandBytes(op.a) : 0;
+        const auto make_candidate =
+            [&](std::uint32_t vault, SetId moved,
+                std::uint64_t moved_bytes,
+                bool moved_is_b) -> Candidate {
+            const mem::Cycles xfer =
+                moved_bytes &&
+                        !schedFetched_.count(fetch_key(vault, moved))
+                    ? mem::interconnectCycles(config_.pim,
+                                              moved_bytes)
+                    : 0;
+            return {vault, schedLoads_.of(vault) + exec + xfer,
+                    xfer ? moved_bytes : 0, xfer, moved, moved_is_b};
+        };
+        // Deterministic candidate order: a's vault, b's vault, then
+        // rider vaults in first-fetch order. Selection prefers (in
+        // lexicographic order) under-cap, fewer new bytes, lower
+        // cost, earlier candidate -- so ties keep a's vault and a
+        // one-op batch reproduces the MinBytes rule exactly.
+        const mem::Cycles cap_eff = std::max(cap, schedLoads_.max());
+        Candidate best = make_candidate(va, op.b, bytes_b, true);
+        bool best_under = best.cost <= cap_eff;
+        const auto consider = [&](const Candidate &cand) {
+            const bool under = cand.cost <= cap_eff;
+            if (under != best_under) {
+                if (under) {
+                    best = cand;
+                    best_under = true;
+                }
+                return;
+            }
+            if (under
+                    ? (cand.newBytes < best.newBytes ||
+                       (cand.newBytes == best.newBytes &&
+                        cand.cost < best.cost))
+                    : cand.cost < best.cost) {
+                best = cand;
+            }
+        };
+        consider(make_candidate(vb, op.a, bytes_a, false));
+        if (out.readsA && out.readsB) {
+            // Rider lanes already hold b; only a would move. (Vaults
+            // already holding a are never cheaper than vb for this
+            // op's bytes, so indexing b's fetches suffices.)
+            const auto it = schedFetchedVaults_.find(op.b);
+            if (it != schedFetchedVaults_.end()) {
+                for (const std::uint32_t v : it->second) {
+                    if (v != va && v != vb)
+                        consider(
+                            make_candidate(v, op.a, bytes_a, false));
+                }
+            }
+        }
+        routes_[i] = {best.vault, best.remote,
+                      operandBytes(best.remote), best.remoteIsB};
+        schedLoads_.add(best.vault, exec + best.xfer);
+        if (best.xfer)
+            pay_transfer(best.vault, best.remote);
+    }
+}
+
 BatchResult
 Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                    const BatchRequest &batch)
@@ -759,22 +987,33 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         ctx.recordSetSize(tid, store_.cardinality(op.b));
     }
 
-    // Route operations to their execution vaults (resolveRoute: the
-    // primary operand's vault, or the bigger operand's under
-    // Routing::MinBytes) and build one serial queue per touched
-    // vault ("lane"). The scratch vault->lane table persists across
-    // dispatches; laneVault_ lists the entries to reset afterwards.
-    // Operations whose co-operand stayed in a different vault must
-    // first pull its bytes over the interconnect (charged in the
-    // worker, once per (vault, operand) pair -- the vault buffers the
-    // remote operand for the dispatch's duration).
+    // Route operations to their execution vaults and build one
+    // serial queue per touched vault ("lane"). Primary/MinBytes
+    // resolve each op independently from metadata (resolveRoute);
+    // Balanced executes the whole batch functionally first and runs
+    // the LPT scheduler over the exact cycle charges, so its routes
+    // reflect per-vault load. The scratch vault->lane table persists
+    // across dispatches; laneVault_ lists the entries to reset
+    // afterwards. Operations whose co-operand stayed in a different
+    // vault must first pull its bytes over the interconnect (charged
+    // once per (vault, operand) pair -- the vault buffers the remote
+    // operand for the dispatch's duration).
+    const bool balanced = config_.routing == Routing::Balanced;
+    if (outcomes_.size() < n)
+        outcomes_.resize(n);
+    if (routes_.size() < n)
+        routes_.resize(n);
+    if (balanced) {
+        preExecuteOutcomes(batch);
+        scheduleBalanced(batch);
+    } else {
+        for (std::uint32_t i = 0; i < n; ++i)
+            routes_[i] = resolveRoute(batch.ops[i].a, batch.ops[i].b);
+    }
     vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
                       UINT32_MAX);
     laneVault_.clear();
-    if (routes_.size() < n)
-        routes_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-        routes_[i] = resolveRoute(batch.ops[i].a, batch.ops[i].b);
         const std::uint32_t vault = routes_[i].vault;
         std::uint32_t lane = vaultLane_[vault];
         if (lane == UINT32_MAX) {
@@ -810,61 +1049,80 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         worker_ctx.emplace_back(own);
     }
 
-    if (outcomes_.size() < n)
-        outcomes_.resize(n);
     std::vector<OpOutcome> &outcomes = outcomes_;
     const std::vector<OpRoute> &routes = routes_;
     const bool record_fetches = dynamic_ != nullptr;
-    const auto run_worker = [&](std::uint32_t w) {
-        sim::SimContext &wctx = worker_ctx[w];
-        // Remote operands already pulled into this vault during the
-        // current lane's dispatch slice (fetched once, reused by
-        // later ops). A hash set replaces the old per-op O(k) linear
-        // scan, which made large single-vault batches quadratic; the
-        // bucket array is reused across the worker's lanes, and the
-        // batched_dispatch_1vault_* bench row guards the large
-        // single-vault case.
+    laneSizes_.resize(lanes);
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        laneSizes_[l] = static_cast<std::uint32_t>(lane_ops[l].size());
+
+    // The functional half of one op: any thread may run it (workers
+    // steal it from deep queues), it writes only the op's own outcome
+    // slot. Balanced batches were already executed by the scheduler.
+    const auto execute_op = [&](std::uint32_t l, std::uint32_t pos) {
+        if (balanced)
+            return;
+        const std::uint32_t i = lane_ops[l][pos];
+        const BatchOp &op = batch.ops[i];
+        outcomes[i] = executeBinary(op.kind, op.a, op.b, op.variant);
+    };
+
+    // The accounting half: only the lane's owning worker runs it, in
+    // lane-op order, into its private SimContext -- deterministic no
+    // matter who executed the op. The per-worker `fetched` hash set
+    // dedups remote operands already pulled into the current lane
+    // (fetched once, reused by later ops; the batched_dispatch_
+    // 1vault_* bench row guards the large single-vault case). Owners
+    // visit their lanes in index order, so lane changes reset it.
+    struct LaneChargeState
+    {
         std::unordered_set<SetId> fetched;
-        for (std::uint32_t l = w; l < lanes; l += workers) {
-            const sim::ThreadId lane_tid = l / workers;
-            fetched.clear();
-            for (const std::uint32_t i : lane_ops[l]) {
-                const BatchOp &op = batch.ops[i];
-                outcomes[i] =
-                    executeBinary(op.kind, op.a, op.b, op.variant);
-                const OpRoute &route = routes[i];
-                const bool reads_remote = route.remoteIsB
-                                              ? outcomes[i].readsB
-                                              : outcomes[i].readsA;
-                if (route.bytes && reads_remote) {
-                    if (fetched.insert(route.remote).second) {
-                        wctx.chargeBusy(
-                            lane_tid,
+        std::uint32_t lane = UINT32_MAX;
+    };
+    std::vector<LaneChargeState> charge_state(workers);
+    const auto charge_op = [&](std::uint32_t w, std::uint32_t l,
+                               std::uint32_t pos) {
+        sim::SimContext &wctx = worker_ctx[w];
+        const sim::ThreadId lane_tid = l / workers;
+        LaneChargeState &cs = charge_state[w];
+        if (cs.lane != l) {
+            cs.fetched.clear();
+            cs.lane = l;
+        }
+        const std::uint32_t i = lane_ops[l][pos];
+        const OpRoute &route = routes[i];
+        const bool reads_remote = route.remoteIsB ? outcomes[i].readsB
+                                                  : outcomes[i].readsA;
+        if (route.bytes && reads_remote &&
+            cs.fetched.insert(route.remote).second) {
+            wctx.chargeBusy(lane_tid,
                             mem::interconnectCycles(config_.pim,
                                                     route.bytes));
-                        wctx.bumpCounter("scu.xvault_transfers");
-                        wctx.bumpCounter("setops.xvault_bytes",
-                                         route.bytes);
-                        if (record_fetches) {
-                            // Each lane has exactly one owning
-                            // worker: no contention.
-                            laneFetched_[l].emplace_back(
-                                route.remote, route.bytes);
-                        }
-                    }
-                }
-                chargeOutcome(wctx, lane_tid, outcomes[i]);
+            wctx.bumpCounter("scu.xvault_transfers");
+            wctx.bumpCounter("setops.xvault_bytes", route.bytes);
+            if (record_fetches) {
+                // Each lane has exactly one owning worker: no
+                // contention on the lane's fetch log.
+                laneFetched_[l].emplace_back(route.remote,
+                                             route.bytes);
             }
         }
+        chargeOutcome(wctx, lane_tid, outcomes[i]);
     };
+
     if (workers <= 1) {
-        run_worker(0);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            for (std::uint32_t pos = 0; pos < laneSizes_[l]; ++pos) {
+                execute_op(l, pos);
+                charge_op(0, l, pos);
+            }
+        }
     } else {
-        VaultWorkerPool &workers_pool = pool();
-        workers_pool.run([&](std::uint32_t w) {
-            if (w < workers)
-                run_worker(w);
-        });
+        // Per-vault queues with work stealing: owners charge, idle
+        // workers execute ops from the deepest queue (no stealing
+        // when the batch is pre-executed -- charging can't move).
+        pool().runQueues(laneSizes_, workers, execute_op, charge_op,
+                         /*steal=*/!balanced);
     }
 
     // Barrier: vaults ran concurrently, so the issuing thread pays
@@ -994,6 +1252,11 @@ Scu::replaceAtBarrier(sim::SimContext &ctx, sim::ThreadId tid,
         ctx.bumpCounter("scu.migrations");
         ctx.bumpCounter("setops.migration_bytes", event.bytes);
     }
+
+    // Age the remaining heat AFTER this barrier's decisions, so the
+    // observations just fed in count in full and only genuinely
+    // stale traffic decays away.
+    dynamic_->decayBarrier();
 }
 
 void
@@ -1016,7 +1279,9 @@ Scu::maybeShrinkScratch(std::size_t n)
     };
     shrink(outcomes_, scratchPeak_);
     shrink(routes_, scratchPeak_);
+    shrink(schedOrder_, scratchPeak_);
     shrink(laneResultBytes_, scratchPeak_);
+    shrink(laneSizes_, scratchPeak_);
     shrink(laneVault_, scratchPeak_);
     for (auto &lane : laneOps_)
         shrink(lane, scratchPeak_);
@@ -1024,6 +1289,19 @@ Scu::maybeShrinkScratch(std::size_t n)
     for (auto &lane : laneFetched_)
         shrink(lane, scratchPeak_);
     shrink(laneFetched_, scratchPeak_);
+    // The balanced scheduler's hash tables hold at most one entry
+    // per op: clear() keeps their bucket arrays, so they need the
+    // same burst release as the vectors (swap-with-fresh is the only
+    // portable way to shrink them).
+    if (schedFetched_.bucket_count() >
+        2 * std::max<std::size_t>(scratchPeak_, 16)) {
+        std::unordered_set<std::uint64_t>().swap(schedFetched_);
+    }
+    if (schedFetchedVaults_.bucket_count() >
+        2 * std::max<std::size_t>(scratchPeak_, 16)) {
+        std::unordered_map<SetId, std::vector<std::uint32_t>>().swap(
+            schedFetchedVaults_);
+    }
     scratchDispatches_ = 0;
     scratchPeak_ = n;
 }

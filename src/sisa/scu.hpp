@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -52,8 +53,22 @@ namespace sisa::isa {
  *              lives and move only the smaller co-operand -- the
  *              data-movement-minimizing rule; ties keep `a`'s vault
  *              so Primary remains a strict subset of the behavior.
+ *  - Balanced: makespan-driven batch scheduling. dispatchBatch first
+ *              executes every operation functionally (caching the
+ *              exact cycle charges), then runs an LPT list scheduler
+ *              over them: operations are taken in descending cost
+ *              order and each is assigned to whichever of its two
+ *              operand vaults completes it earlier --
+ *              lane_depth + exec + interconnect(co-operand left
+ *              remote), with the once-per-(vault, operand) transfer
+ *              dedup priced in. Ties keep `a`'s vault, so a single
+ *              op degenerates to the MinBytes rule. Because the
+ *              scheduler consumes the very charges that are later
+ *              billed, estimate and charge can never diverge. This
+ *              is the knob that erases MinBytes' lane-concentration
+ *              cycle regression while keeping most of its byte cut.
  */
-enum class Routing : std::uint8_t { Primary, MinBytes };
+enum class Routing : std::uint8_t { Primary, MinBytes, Balanced };
 
 /** SCU configuration (Sections 8.2, 8.4, 9.1). */
 struct ScuConfig
@@ -91,6 +106,15 @@ struct ScuConfig
     std::shared_ptr<const PlacementPolicy> placement;
     /** Execution-vault routing rule for batched dispatch. */
     Routing routing = Routing::Primary;
+    /**
+     * Balanced routing's bytes-vs-makespan knob: after the LPT pass
+     * establishes the best achievable batch makespan M*, the byte-
+     * harvesting pass may deepen a lane up to M* x (1 +
+     * balancedSlack) to keep an operation at its byte-lighter vault.
+     * 0 harvests only bytes that are strictly free; larger values
+     * approach MinBytes' byte cut at MinBytes' concentration cost.
+     */
+    double balancedSlack = 0.5;
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -142,13 +166,19 @@ class Scu
     /**
      * Execute every operation of @p batch as ONE dispatch: a single
      * decode, one metadata round per operand, then concurrent
-     * execution across the vaults. Each operation is routed to the
-     * execution vault routeVault() picks (the primary operand's
-     * vault, or the bigger operand's under Routing::MinBytes);
-     * operations on the same vault serialize, vaults run in parallel,
-     * and the calling simulated thread is charged the makespan of the
-     * slowest vault (merged at the barrier from per-worker
-     * SimContexts) plus the cross-vault result reduction tree.
+     * execution across the vaults. Each operation is routed to an
+     * execution vault by the configured Routing rule (the primary
+     * operand's vault; the bigger operand's under MinBytes; the
+     * vault the LPT batch scheduler picks under Balanced -- see the
+     * Routing enum); operations on the same vault serialize, vaults
+     * run in parallel, and the calling simulated thread is charged
+     * the makespan of the slowest vault (merged at the barrier from
+     * per-worker SimContexts) plus the cross-vault result reduction
+     * tree. On the host, the per-vault queues run on the worker pool
+     * with work stealing (VaultWorkerPool::runQueues): idle workers
+     * execute ops of the deepest queue while the owner retains all
+     * cycle charging, so wall-clock tracks the balanced makespan
+     * without disturbing the deterministic modeled accounting.
      *
      * Cross-vault traffic model: when an operation's co-operand
      * resolves to a DIFFERENT vault than its execution vault, the
@@ -193,7 +223,10 @@ class Scu
      * Execution vault for one batched operation under the configured
      * routing rule: vaultOf(a) for Routing::Primary, the vault of
      * the larger-footprint operand (ties keep a's vault) for
-     * Routing::MinBytes.
+     * Routing::MinBytes. Routing::Balanced schedules whole batches
+     * against per-vault load, which a single-op query cannot see;
+     * with empty lanes its greedy choice IS the MinBytes rule, so
+     * that is what this (and serial issue) report for it.
      */
     std::uint32_t routeVault(const BatchOp &op) const;
 
@@ -360,6 +393,29 @@ class Scu
     OpRoute resolveRoute(SetId a, SetId b) const;
 
     /**
+     * Balanced-routing phase 1: execute every batch operation
+     * functionally into outcomes_ (in parallel on the worker pool,
+     * with stealing) WITHOUT charging anything -- the scheduler needs
+     * the exact per-op cycle charges before it can assign vaults.
+     */
+    void preExecuteOutcomes(const BatchRequest &batch);
+
+    /**
+     * Balanced-routing phase 2: LPT list scheduling over the cached
+     * outcomes. Operations are assigned in descending execution-cost
+     * order; each goes to whichever of its two operand vaults
+     * minimizes lane_depth + exec + interconnect(co-operand left
+     * remote), with the once-per-(vault, operand) transfer dedup the
+     * charge path applies priced in (so the scheduled lane depths
+     * equal the cycles later charged, exactly). Ties keep a's vault.
+     * Fills routes_ for the normal lane-building/charging path.
+     */
+    void scheduleBalanced(const BatchRequest &batch);
+
+    /** Total cycles @p outcome will charge (the scheduler's cost). */
+    static mem::Cycles outcomeCycles(const OpOutcome &outcome);
+
+    /**
      * Register an adopted result set at the vault that produced it
      * (policies with placesResults()), or scrub a stale overlay
      * entry for the recycled slot otherwise.
@@ -482,9 +538,23 @@ class Scu
     std::vector<std::uint32_t> vaultLane_; ///< vault -> lane or ~0u.
     std::vector<std::uint32_t> laneVault_; ///< lane -> vault (reset list).
     std::vector<std::vector<std::uint32_t>> laneOps_;
+    std::vector<std::uint32_t> laneSizes_; ///< lane -> op count.
     std::vector<OpOutcome> outcomes_;
     std::vector<OpRoute> routes_; ///< op -> routing decision.
     std::vector<std::uint64_t> laneResultBytes_;
+    /** Balanced scheduler state: per-vault queued cycles ... */
+    VaultLoads schedLoads_;
+    /** ... op indices in LPT (descending cost) order ... */
+    std::vector<std::uint32_t> schedOrder_;
+    /** ... and (vault << 32 | operand) pairs already paid for. */
+    std::unordered_set<std::uint64_t> schedFetched_;
+    /**
+     * Reverse index of schedFetched_ for the byte-harvesting pass:
+     * operand -> vaults already paying its transfer this dispatch
+     * (the candidate "rider" lanes for ops sharing the operand).
+     */
+    std::unordered_map<SetId, std::vector<std::uint32_t>>
+        schedFetchedVaults_;
     /**
      * Per-lane (remote operand, bytes) transfers the workers charged
      * this dispatch, recorded only while a DynamicPlacement policy

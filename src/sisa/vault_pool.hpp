@@ -1,13 +1,21 @@
 /**
  * @file
  * Host-side worker pool backing the SCU's batched dispatch. The pool
- * owns a fixed set of std::thread workers, each pinned to a disjoint
- * slice of the simulated vaults (vault v belongs to worker
- * v % size()), so per-vault state never needs synchronization: a
- * worker is the only thread that touches its vaults' operations and
- * cycle accumulators. run() hands every worker the same job and
- * blocks at a barrier until all of them finish, mirroring the SCU
- * waiting for the slowest vault.
+ * owns a fixed set of std::thread workers. run() hands every worker
+ * the same job and blocks at a barrier until all of them finish,
+ * mirroring the SCU waiting for the slowest vault.
+ *
+ * runQueues() layers the SCU's per-vault ("lane") operation queues on
+ * top with work stealing: lane l is OWNED by worker l % owners, and
+ * the owner is the only thread that charges the lane's modeled cycles
+ * -- in exact lane-op order, so per-lane accounting stays
+ * deterministic no matter which thread executed an operation. Workers
+ * that run out of owned work steal whole operations from the back of
+ * the deepest remaining queue and execute them functionally; the
+ * owner then only waits for the result instead of recomputing it.
+ * Stealing therefore moves HOST work only: modeled cycles, counters,
+ * and results are bit-identical with stealing on or off, and
+ * invariant under the worker count.
  *
  * The pool is purely an execution vehicle for the host simulator; all
  * *modeled* parallelism (per-vault cycle accounting, cross-vault
@@ -20,10 +28,12 @@
 #ifndef SISA_SISA_VAULT_POOL_HPP
 #define SISA_SISA_VAULT_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -58,8 +68,43 @@ class VaultWorkerPool
      */
     void run(const std::function<void(std::uint32_t)> &job);
 
+    /**
+     * Execute one dispatch's per-lane operation queues across the
+     * pool with work stealing. Lane l (of lane_sizes.size() lanes,
+     * lane_sizes[l] operations each) is owned by worker l % owners
+     * for owners = min(@p owners, lanes): the owner walks its lanes
+     * in index order and their operations front to back, calling
+     * @p execute(lane, pos) for each operation it claims and
+     * @p charge(worker, lane, pos) for EVERY operation of its lanes,
+     * in order, after that operation's execute() completed. Workers
+     * without owned work left (including pool workers beyond
+     * @p owners) steal: they claim single operations from the back
+     * of the queue with the most unclaimed operations and run only
+     * execute() -- the owner still does the charging, so per-lane
+     * accounting order is deterministic. Each operation's execute()
+     * runs exactly once, on exactly one thread, and its effects are
+     * visible to the charging owner (release/acquire on the per-op
+     * claim state).
+     *
+     * @p steal false disables thieving -- used when execute() is a
+     * no-op (pre-executed batches) and all remaining work is
+     * owner-side charging, which cannot be stolen.
+     */
+    void runQueues(
+        const std::vector<std::uint32_t> &lane_sizes,
+        std::uint32_t owners,
+        const std::function<void(std::uint32_t lane, std::uint32_t pos)>
+            &execute,
+        const std::function<void(std::uint32_t worker,
+                                 std::uint32_t lane, std::uint32_t pos)>
+            &charge,
+        bool steal);
+
   private:
     void workerLoop(std::uint32_t index);
+
+    /** Claim lifecycle of one queued operation. */
+    enum : std::uint8_t { op_free = 0, op_claimed = 1, op_done = 2 };
 
     std::vector<std::thread> threads_;
     std::mutex mutex_;
@@ -70,6 +115,15 @@ class VaultWorkerPool
     std::uint32_t remaining_ = 0;
     bool shutdown_ = false;
     std::vector<std::exception_ptr> errors_;
+
+    // runQueues scratch, reused across dispatches (runQueues is not
+    // reentrant -- one batch at a time, like the SCU that calls it).
+    std::vector<std::size_t> queueOffsets_; ///< lane -> flat op base.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> opState_;
+    std::size_t opStateCapacity_ = 0;
+    /** Per-lane count of claimed ops (the thieves' depth estimate). */
+    std::unique_ptr<std::atomic<std::uint32_t>[]> laneClaimed_;
+    std::size_t laneClaimedCapacity_ = 0;
 };
 
 } // namespace sisa::isa

@@ -2,17 +2,21 @@
  * @file
  * Routing + dynamic re-placement suites (the `placement` CTest
  * label): size-aware dual-operand routing (ScuConfig.routing =
- * min-bytes), DynamicPlacement migration charges, result-set
+ * min-bytes), makespan-driven balanced batch scheduling (routing =
+ * balanced: LPT-order exact-cycle pins, rider-lane byte harvesting),
+ * DynamicPlacement migration charges and heat decay, result-set
  * placement, the vault-count validation of setPlacement, the
  * lastBackend_ mode-agreement contract, remote-operand dedup, and
  * the dispatch-scratch shrink policy. The differential suite runs
  * every policy x routing combination under forced 1-worker and
- * 2-vault configurations as well as the defaults.
+ * 2-vault configurations as well as the defaults (multi-worker runs
+ * exercise the vault pool's work stealing).
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <string_view>
 #include <tuple>
@@ -582,6 +586,204 @@ TEST(ScratchShrink, BurstAllocationReleasedAfterSmallDispatchWindow)
     EXPECT_EQ(res.size(), burst.size());
 }
 
+// --- Balanced routing (ScuConfig.routing = balanced) ------------------------
+
+TEST(BalancedRouting, SingleOpDegeneratesToMinBytes)
+{
+    // With empty lanes the LPT greedy picks exactly the MinBytes
+    // vault: a (100 elems) in vault 0 against b (200 elems) in vault
+    // 1 executes in b's vault and moves only a's 400 B. routeVault
+    // (the batchless query) reports the same choice.
+    ScuConfig config;
+    config.routing = Routing::Balanced;
+    SetStore store(4096);
+    Scu scu(store, config, 1);
+    const SetId a = store.createFromSorted(iota(0, 100),
+                                           SetRepr::SparseArray);
+    const SetId b = store.createFromSorted(iota(0, 200),
+                                           SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(a, 0);
+    placement->assign(b, 1);
+    scu.setPlacement(placement);
+
+    BatchRequest req;
+    req.intersectCard(a, b);
+    EXPECT_EQ(scu.routeVault(req.ops[0]), 1u);
+    SimContext ctx(1);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(res.entries[0].value, 100u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"), 400u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 1u);
+}
+
+TEST(BalancedRouting, LptSchedulesAcrossVaultsExactCycles)
+{
+    // Three operand pairs split across vaults 0 and 1, with equal
+    // footprints inside each pair (so byte harvesting is moot and
+    // pure LPT decides), request-ordered 300, 400, 500 elements.
+    // LPT takes them DESCENDING: 500 -> vault 0 (tie keeps a), 400
+    // -> vault 1, 300 -> vault 1 (load 520 < 620). Lanes: v0 = E500
+    // + T500 = 620, v1 = (E400 + T400) + (E300 + T300) = 940, plus
+    // one reduction-tree transfer of the second-touched lane's 8 B
+    // scalar result. Primary routing serializes all three in vault 0
+    // with the same transfers (1560, one lane, no reduction). The
+    // busy-cycle difference between twin SCUs pins the schedule
+    // EXACTLY; a request-order greedy would land at 1040-cycle
+    // lanes instead.
+    ScuConfig primary_cfg, balanced_cfg;
+    balanced_cfg.routing = Routing::Balanced;
+    SetStore store_p(8192), store_b(8192);
+    Scu scu_p(store_p, primary_cfg, 1);
+    Scu scu_b(store_b, balanced_cfg, 1);
+
+    const auto build = [](SetStore &store, Scu &scu) {
+        BatchRequest req;
+        auto placement = std::make_shared<LocalityPlacement>(
+            scu.config().pim.vaults);
+        for (const Element size : {300u, 400u, 500u}) {
+            const SetId x = store.createFromSorted(
+                iota(0, size), SetRepr::SparseArray);
+            const SetId y = store.createFromSorted(
+                iota(0, size), SetRepr::SparseArray);
+            placement->assign(x, 0);
+            placement->assign(y, 1);
+            req.intersectCard(x, y);
+        }
+        scu.setPlacement(placement);
+        return req;
+    };
+    const BatchRequest req_p = build(store_p, scu_p);
+    const BatchRequest req_b = build(store_b, scu_b);
+
+    SimContext ctx_p(1), ctx_b(1);
+    const BatchResult res_p = scu_p.dispatchBatch(ctx_p, 0, req_p);
+    const BatchResult res_b = scu_b.dispatchBatch(ctx_b, 0, req_b);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(res_p.entries[i].value, res_b.entries[i].value);
+
+    // Identical transfers (equal-footprint pairs move the same bytes
+    // whichever side executes), so the busy delta is purely the
+    // makespan difference.
+    EXPECT_EQ(ctx_p.counter("setops.xvault_bytes"), 4800u);
+    EXPECT_EQ(ctx_b.counter("setops.xvault_bytes"), 4800u);
+
+    const mem::PimParams &pim = primary_cfg.pim;
+    const auto lane_cost = [&](Element size) {
+        return mem::pnmStreamCycles(pim, size, 4) +
+               mem::interconnectCycles(pim, 4ull * size);
+    };
+    const mem::Cycles primary_makespan =
+        lane_cost(300) + lane_cost(400) + lane_cost(500);
+    const mem::Cycles balanced_makespan =
+        lane_cost(300) + lane_cost(400) + // Vault 1's lane (deepest).
+        mem::interconnectCycles(pim, 8);  // Reduce v0's scalar.
+    EXPECT_EQ(ctx_p.threadBusy(0) - ctx_b.threadBusy(0),
+              primary_makespan - balanced_makespan);
+}
+
+TEST(BalancedRouting, RiderLaneReusesFetchedCoOperand)
+{
+    // One shared 1000-element set b (vault 5) against: a1 (2000
+    // elems, vault 1) plus four 100-element sets in vaults 2, 3, 4,
+    // 6. Pass 1 (pure LPT) puts a1's op in vault 1 (moving b is
+    // cheaper than moving a1) for M* = 1620, cap = 1.5 x M* = 2430.
+    // Pass 2 in LPT order: a1's op stays in vault 1 and fetches b
+    // there (4000 B -- lighter than moving a1's 8000 B); the small
+    // ops then ride into b's home vault 5 (400 B each) until its
+    // lane would exceed the cap (670 + 3 x 670 fits, a 4th does
+    // not); the last op instead RIDES INTO VAULT 1 -- not an operand
+    // home of its own -- where b is already fetched, paying only its
+    // own 400 B. Total: one 4000 B fetch + four 400 B co-operands =
+    // 5600 B over 5 transfers. Without rider lanes the last op would
+    // have dragged another 4000 B copy of b into vault 6.
+    ScuConfig config;
+    config.routing = Routing::Balanced;
+    SetStore store(8192);
+    Scu scu(store, config, 1);
+    const SetId b = store.createFromSorted(iota(0, 1000),
+                                           SetRepr::SparseArray);
+    const SetId a1 = store.createFromSorted(iota(0, 2000),
+                                            SetRepr::SparseArray);
+    auto placement =
+        std::make_shared<LocalityPlacement>(config.pim.vaults);
+    placement->assign(b, 5);
+    placement->assign(a1, 1);
+    BatchRequest req;
+    req.intersectCard(a1, b);
+    const std::uint32_t small_vaults[] = {2, 3, 4, 6};
+    for (const std::uint32_t v : small_vaults) {
+        const SetId a = store.createFromSorted(iota(0, 100),
+                                               SetRepr::SparseArray);
+        placement->assign(a, v);
+        req.intersectCard(a, b);
+    }
+    scu.setPlacement(placement);
+
+    SimContext ctx(1);
+    const BatchResult res = scu.dispatchBatch(ctx, 0, req);
+    EXPECT_EQ(res.entries[0].value, 1000u);
+    for (std::size_t i = 1; i < 5; ++i)
+        EXPECT_EQ(res.entries[i].value, 100u);
+    EXPECT_EQ(ctx.counter("scu.xvault_transfers"), 5u);
+    EXPECT_EQ(ctx.counter("setops.xvault_bytes"),
+              4000u + 4 * 400u);
+}
+
+// --- DynamicPlacement heat decay ---------------------------------------------
+
+TEST(Replacement, DecayedHeatDoesNotMigrate)
+{
+    // decayHalfLife = 1: heat halves at every barrier, so repeated
+    // 800 B observations toward vault 0 converge to 800 + 800/2 +
+    // 800/4 + ... < 1600 = the migration threshold -- the set never
+    // moves. With decay disabled the second observation reaches
+    // 1600 exactly and migrates (the PR 4 behavior).
+    auto base = std::make_shared<LocalityPlacement>(8);
+    base->assign(7, 1);
+    {
+        DynamicPlacementConfig cfg;
+        cfg.decayHalfLife = 1;
+        DynamicPlacement dyn(base, cfg);
+        for (int round = 0; round < 8; ++round) {
+            dyn.observe(7, 1, 0, 800);
+            EXPECT_TRUE(dyn.collectMigrations().empty())
+                << "round " << round;
+            dyn.decayBarrier();
+        }
+        EXPECT_EQ(dyn.trackedSets(), 1u);
+    }
+    {
+        DynamicPlacementConfig cfg;
+        cfg.decayHalfLife = 0; // Disabled: stale heat accumulates.
+        DynamicPlacement dyn(base, cfg);
+        dyn.observe(7, 1, 0, 800);
+        EXPECT_TRUE(dyn.collectMigrations().empty());
+        dyn.decayBarrier();
+        dyn.observe(7, 1, 0, 800);
+        const auto events = dyn.collectMigrations();
+        ASSERT_EQ(events.size(), 1u);
+        EXPECT_EQ(events[0].id, 7u);
+        EXPECT_EQ(events[0].to, 0u);
+    }
+}
+
+TEST(Replacement, DecayDropsFullyAgedRecords)
+{
+    // A record halved down to zero disappears entirely, so a long
+    // quiet stretch leaves no stale bookkeeping behind.
+    auto base = std::make_shared<LocalityPlacement>(8);
+    DynamicPlacementConfig cfg;
+    cfg.decayHalfLife = 1;
+    DynamicPlacement dyn(base, cfg);
+    dyn.observe(3, 1, 0, 5);
+    EXPECT_EQ(dyn.trackedSets(), 1u);
+    for (int i = 0; i < 4; ++i)
+        dyn.decayBarrier();
+    EXPECT_EQ(dyn.trackedSets(), 0u);
+}
+
 // --- Differential: policy x routing x engine, forced worker/vault configs ---
 
 std::shared_ptr<const PlacementPolicy>
@@ -628,6 +830,8 @@ TEST_P(RoutingDifferential, BatchedBitIdenticalToSerialEverywhere)
                 config.pim.vaults = vaults;
             if (std::string_view(routing_name) == "min-bytes")
                 config.routing = Routing::MinBytes;
+            else if (std::string_view(routing_name) == "balanced")
+                config.routing = Routing::Balanced;
 
             SetStore store_b(universe), store_s(universe);
             Scu scu_b(store_b, config, 1);
@@ -701,7 +905,8 @@ INSTANTIATE_TEST_SUITE_P(
     PolicyByRouting, RoutingDifferential,
     ::testing::Combine(::testing::Values("hash", "range", "locality",
                                          "dynamic"),
-                       ::testing::Values("primary", "min-bytes")));
+                       ::testing::Values("primary", "min-bytes",
+                                         "balanced")));
 
 // --- Acceptance: min-bytes + dynamic beat the PR 3 locality baseline --------
 
@@ -758,6 +963,70 @@ TEST(RoutingAcceptance, MinBytesPlusDynamicCutXvaultBytesOnRmat9)
     // footprint transfers charged against the tuned side.
     EXPECT_LT(bytes_tuned + mig_tuned,
               bytes_base - bytes_base / 20);
+}
+
+// --- Acceptance: balanced scheduling erases the min-bytes cycle regression --
+
+TEST(SchedulingAcceptance, BalancedHoldsBytesAndRestoresCyclesOnRmat9)
+{
+    // The PR 5 acceptance bar. On fixed-seed RMAT-9 triangle
+    // counting over static locality placement, min-bytes routing cut
+    // cross-vault bytes ~16% below the locality/primary baseline but
+    // paid ~12% more modeled cycles by piling ops onto big-operand
+    // vaults. Balanced routing must keep a >= 12% byte cut while
+    // bringing cycles back to within 2% of primary -- and every
+    // functional output must stay bit-identical across all three
+    // rules.
+    graph::RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 8;
+    const graph::Graph g = graph::rmat(params, 42);
+
+    struct Run
+    {
+        std::uint64_t triangles;
+        std::uint64_t cycles;
+        std::uint64_t moved; ///< xvault + migration bytes.
+        std::array<std::uint64_t, 4> work;
+    };
+    const auto run = [&](Routing routing) {
+        ScuConfig config;
+        config.routing = routing;
+        core::SisaEngine eng(g.numVertices(), config, 4);
+        SimContext ctx(4);
+        ctx.setPatternCutoff(0);
+        algorithms::OrientedSetGraph osg(g, eng);
+        eng.scu().setPlacement(greedyLocalityPlacement(
+            config.pim.vaults, core::placementArcs(*osg.sets)));
+        const std::uint64_t tri = algorithms::triangleCount(osg, ctx);
+        return Run{tri, ctx.makespan(),
+                   ctx.counter("setops.xvault_bytes") +
+                       ctx.counter("setops.migration_bytes"),
+                   {ctx.counter("setops.streamed"),
+                    ctx.counter("setops.probes"),
+                    ctx.counter("setops.words"),
+                    ctx.counter("setops.output")}};
+    };
+
+    const Run primary = run(Routing::Primary);
+    const Run minbytes = run(Routing::MinBytes);
+    const Run balanced = run(Routing::Balanced);
+
+    EXPECT_EQ(primary.triangles, balanced.triangles);
+    EXPECT_EQ(minbytes.triangles, balanced.triangles);
+    EXPECT_EQ(primary.work, balanced.work);
+    EXPECT_EQ(minbytes.work, balanced.work);
+
+    // >= 12% fewer interconnect bytes than the locality baseline
+    // (the PR 3 configuration: locality placement, primary routing).
+    EXPECT_LE(balanced.moved,
+              primary.moved - (primary.moved * 12) / 100);
+    // ... while modeled cycles stay within 2% of primary routing --
+    // the PR 4 min-bytes regression is gone.
+    EXPECT_LE(balanced.cycles,
+              primary.cycles + (primary.cycles * 2) / 100);
+    // And the byte cut should be competitive with min-bytes itself.
+    EXPECT_LT(minbytes.moved, primary.moved);
 }
 
 } // namespace

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Sanity-check a BENCH_kernels.json emitted by bench_microbench.
+
+Fails (exit 1) when the file is malformed: missing top-level fields,
+rows without the required keys or with the wrong types, unknown units,
+speedup values that do not match scalar/vector, or missing required
+rows (the sched_* balanced-scheduling acceptance rows added in PR 5).
+CI runs this against the sweep's freshly emitted JSON and against the
+committed copy at the repo root, so a refactor that silently drops or
+garbles a row breaks the build instead of the perf trajectory.
+
+Usage: check_bench_json.py BENCH_kernels.json [more.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = {"tier": str, "block_elems": int, "host_threads": int,
+                "benchmarks": list}
+REQUIRED_ROW = {"name": str, "size": int, "unit": str,
+                "scalar_ns": (int, float), "vector_ns": (int, float),
+                "speedup": (int, float)}
+VALID_UNITS = {"ns", "bytes", "cycles"}
+REQUIRED_ROWS = (
+    # The balanced-scheduling acceptance rows (PR 5).
+    "sched_tc_rmat9_xvault_bytes",
+    "sched_tc_rmat9_cycles",
+    "sched_replace_tc_rmat9_xvault_bytes",
+    "sched_replace_tc_rmat9_cycles",
+    # Earlier PRs' trajectory rows a regression must not drop.
+    "placement_tc_rmat9_xvault_bytes",
+    "routing_tc_rmat9_xvault_bytes",
+    "replace_tc_rmat9_xvault_bytes",
+    "intersect_kernel_64k",
+    "union_kernel_64k",
+    "batched_dispatch_1vault_512x64",
+)
+
+
+def check(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot parse: {exc}"]
+
+    for key, typ in REQUIRED_TOP.items():
+        if key not in doc:
+            errors.append(f"{path}: missing top-level key '{key}'")
+        elif not isinstance(doc[key], typ):
+            errors.append(f"{path}: '{key}' is not {typ.__name__}")
+    rows = doc.get("benchmarks", [])
+
+    seen = set()
+    for idx, row in enumerate(rows):
+        where = f"{path}: benchmarks[{idx}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key, typ in REQUIRED_ROW.items():
+            if key not in row:
+                errors.append(f"{where}: missing '{key}'")
+            elif not isinstance(row[key], typ) or isinstance(
+                    row[key], bool):
+                errors.append(f"{where}: '{key}' has wrong type")
+        name = row.get("name")
+        if isinstance(name, str):
+            if name in seen:
+                errors.append(f"{where}: duplicate row '{name}'")
+            seen.add(name)
+        if row.get("unit") not in VALID_UNITS:
+            errors.append(
+                f"{where}: unit {row.get('unit')!r} not in "
+                f"{sorted(VALID_UNITS)}")
+        scalar, vector, speedup = (row.get("scalar_ns"),
+                                   row.get("vector_ns"),
+                                   row.get("speedup"))
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in (scalar, vector, speedup)):
+            if scalar <= 0 or vector <= 0:
+                errors.append(f"{where}: non-positive measurement")
+            elif abs(speedup - scalar / vector) > max(
+                    0.01, 0.01 * speedup):
+                errors.append(
+                    f"{where}: speedup {speedup} != scalar/vector "
+                    f"{scalar / vector:.3f}")
+
+    for name in REQUIRED_ROWS:
+        if name not in seen:
+            errors.append(f"{path}: required row '{name}' missing")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for path in argv[1:]:
+        failures.extend(check(path))
+    for message in failures:
+        print(f"error: {message}", file=sys.stderr)
+    if not failures:
+        print(f"ok: {len(argv) - 1} file(s) well-formed, all "
+              f"{len(REQUIRED_ROWS)} required rows present")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

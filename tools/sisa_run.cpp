@@ -15,9 +15,12 @@
  *              cross-vault traffic lands in the scu.xvault_transfers /
  *              setops.xvault_bytes / setops.xvault_reduce_bytes
  *              counters printed below.
- *   routing:   primary | min-bytes (sisa mode; default primary) --
- *              min-bytes runs each batched op where the bigger
- *              operand lives and moves only the smaller co-operand.
+ *   routing:   primary | min-bytes | balanced (sisa mode; default
+ *              primary) -- min-bytes runs each batched op where the
+ *              bigger operand lives and moves only the smaller
+ *              co-operand; balanced schedules each batch with a
+ *              makespan-driven LPT rule against per-vault load
+ *              (transfer-aware, exact-cost).
  *   replace:   none | dynamic (sisa mode; default none) -- dynamic
  *              re-placement migrates sets that keep being fetched
  *              into the same remote vault (scu.migrations /
@@ -59,7 +62,7 @@ usage(const char *argv0)
                  "       %s --list\n"
                  "       placement: hash | range | locality "
                  "(sisa mode only)\n"
-                 "       routing:   primary | min-bytes "
+                 "       routing:   primary | min-bytes | balanced "
                  "(sisa mode only)\n"
                  "       replace:   none | dynamic "
                  "(sisa mode only)\n",
@@ -110,7 +113,8 @@ main(int argc, char **argv)
     if (argc > 7) {
         config.routing = argv[7];
         if (config.routing != "primary" &&
-            config.routing != "min-bytes")
+            config.routing != "min-bytes" &&
+            config.routing != "balanced")
             return usage(argv[0]);
         if (mode != Mode::Sisa) {
             std::fprintf(stderr,
