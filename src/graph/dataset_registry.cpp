@@ -124,16 +124,25 @@ allDatasets()
     return all;
 }
 
-const DatasetSpec &
-findDataset(const std::string &name)
+const DatasetSpec *
+findDatasetOrNull(const std::string &name)
 {
     for (const auto *suite : {&fig6Suite(), &fig1Suite(), &largeSuite()}) {
         for (const auto &spec : *suite) {
             if (spec.name == name)
-                return spec;
+                return &spec;
         }
     }
-    sisa_fatal("unknown dataset '", name, "'");
+    return nullptr;
+}
+
+const DatasetSpec &
+findDataset(const std::string &name)
+{
+    const DatasetSpec *spec = findDatasetOrNull(name);
+    if (!spec)
+        sisa_fatal("unknown dataset '", name, "'");
+    return *spec;
 }
 
 Graph

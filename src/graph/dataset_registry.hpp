@@ -61,6 +61,13 @@ std::vector<DatasetSpec> allDatasets();
 const DatasetSpec &findDataset(const std::string &name);
 
 /**
+ * Find a spec by name, or nullptr when unknown -- the non-fatal
+ * lookup for callers (the CLI driver) that report the error
+ * themselves instead of dying inside library code.
+ */
+const DatasetSpec *findDatasetOrNull(const std::string &name);
+
+/**
  * Synthesize the graph for @p spec. Deterministic: the seed is derived
  * from the dataset name, so every run and every binary sees the same
  * graph.

@@ -121,6 +121,13 @@ SimContext::bumpCounter(const std::string &name, std::uint64_t delta)
     counters_[name] += delta;
 }
 
+void
+SimContext::absorbCounters(const SimContext &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
 std::uint64_t
 SimContext::counter(const std::string &name) const
 {

@@ -109,6 +109,14 @@ class SimContext
     /** Accumulate a named statistic (e.g. "sisa.pum_ops"). */
     void bumpCounter(const std::string &name, std::uint64_t delta = 1);
 
+    /**
+     * Merge every named counter of @p other into this context -- the
+     * barrier step of batched dispatch, where per-worker private
+     * contexts fold their tallies into the issuing thread's context.
+     * Cycles never merge (the caller charges the makespan instead).
+     */
+    void absorbCounters(const SimContext &other);
+
     std::uint64_t counter(const std::string &name) const;
 
     const std::map<std::string, std::uint64_t> &counters() const

@@ -116,10 +116,29 @@ struct BatchEntry
     std::uint64_t value = 0;
 };
 
+/**
+ * Fault-recovery accounting of one dispatch (sisa/faults.hpp). All
+ * zero when the injector is disabled or nothing fired; recoverable
+ * faults never change the functional entries, only this summary and
+ * the cycle/counter charges.
+ */
+struct BatchFaultSummary
+{
+    /** Transient re-executions plus transfer retransmissions. */
+    std::uint64_t retries = 0;
+    /** Injected lane-stall events. */
+    std::uint64_t laneStalls = 0;
+    /** Vaults newly quarantined during this dispatch. */
+    std::uint32_t quarantinedVaults = 0;
+    /** Retransmitted plus evacuated bytes (setops.recovery_bytes). */
+    std::uint64_t recoveryBytes = 0;
+};
+
 /** Results of one batch dispatch, entry i matching request op i. */
 struct BatchResult
 {
     std::vector<BatchEntry> entries;
+    BatchFaultSummary faults;
 
     std::size_t size() const { return entries.size(); }
 };

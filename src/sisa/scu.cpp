@@ -16,6 +16,9 @@ Scu::Scu(SetStore &store, const ScuConfig &config,
     : store_(store), config_(config)
 {
     setPlacement(config_.placement);
+    quarantine_.reset(std::max<std::uint32_t>(config_.pim.vaults, 1));
+    if (config_.faults.enabled)
+        faults_ = std::make_unique<FaultInjector>(config_.faults);
     if (config_.smbEnabled) {
         // The SMB is a small associative scratchpad over SM entries;
         // model it as a 4-way cache with 16-byte lines (one entry).
@@ -414,6 +417,13 @@ Scu::chargeOutcome(sim::SimContext &ctx, sim::ThreadId tid,
     }
     if (outcome.shortCircuited)
         ctx.bumpCounter("scu.short_circuits");
+    if (outcome.faultRetries) {
+        // The retry penalty executeOp accumulated (wasted executions,
+        // failed verifies, backoff) lands on the lane that owns the
+        // op -- pure delay, never extra setops.* work.
+        ctx.chargeBusy(tid, outcome.faultCycles);
+        ctx.bumpCounter("scu.retries", outcome.faultRetries);
+    }
     recordWork(ctx, outcome.work);
 }
 
@@ -624,9 +634,16 @@ Scu::vaultOf(SetId id) const
     // so no modulo folding is needed (the old defensive clamp
     // silently skewed mismatched policies).
     const auto it = overlay_.find(id);
-    if (it != overlay_.end())
-        return it->second;
-    return placement_->vaultOf(id);
+    const std::uint32_t vault =
+        it != overlay_.end() ? it->second : placement_->vaultOf(id);
+    // Quarantined vaults are out of service: every assignment that
+    // still resolves there (a policy hash, a stale overlay pin)
+    // deterministically remaps to the next live vault, so routing,
+    // the balanced scheduler, and migrations can never target a dead
+    // vault. A no-op (one counter test) while nothing is quarantined.
+    if (quarantine_.any())
+        return quarantine_.remap(vault);
+    return vault;
 }
 
 std::uint32_t
@@ -748,17 +765,115 @@ Scu::outcomeCycles(const OpOutcome &outcome)
     return total;
 }
 
+// --- Fault injection, detection, recovery ---------------------------------
+
+mem::Cycles
+Scu::verifyCycles(std::uint64_t bytes) const
+{
+    return mem::pnmStreamBytesCycles(config_.pim, bytes);
+}
+
+std::uint64_t
+Scu::outcomeChecksum(const OpOutcome &outcome)
+{
+    if (std::holds_alternative<SortedArraySet>(outcome.payload)) {
+        const auto elems =
+            std::get<SortedArraySet>(outcome.payload).elements();
+        return fnvChecksum32(elems.data(), elems.size());
+    }
+    if (std::holds_alternative<DenseBitset>(outcome.payload)) {
+        const auto words =
+            std::get<DenseBitset>(outcome.payload).words();
+        return fnvChecksum64(words.data(), words.size());
+    }
+    return fnvChecksum64(&outcome.scalar, 1);
+}
+
+Scu::OpOutcome
+Scu::executeOp(std::uint64_t dispatch, std::uint32_t op_index,
+               const BatchOp &op) const
+{
+    OpOutcome out = executeBinary(op.kind, op.a, op.b, op.variant);
+    // Metadata-only short circuits never executed in a vault, so a
+    // transient vault fault has nothing to corrupt.
+    if (!faults_ || out.numCharges == 0)
+        return out;
+    mem::Cycles penalty = 0;
+    std::uint32_t attempt = 0;
+    while (faults_->corruptsResult(dispatch, op_index, attempt)) {
+        if (attempt >= faults_->config().maxRetries) {
+            throw UnrecoverableFaultError(
+                "result of op " + std::to_string(op_index) +
+                " in dispatch " + std::to_string(dispatch) +
+                " still corrupt after " + std::to_string(attempt) +
+                " retries");
+        }
+        // The vault computed a result whose payload flipped a bit in
+        // flight: the checksum it shipped disagrees with the one the
+        // SCU recomputes on adoption, which is the detection event.
+        const std::uint64_t recomputed = outcomeChecksum(out);
+        const std::uint64_t shipped =
+            recomputed ^ (1ULL << (attempt % 64));
+        sisa_assert(shipped != recomputed,
+                    "corrupted payload must fail its checksum");
+        // Charge the wasted execution, the failed verify, and the
+        // exponential backoff, then re-execute. executeBinary is
+        // deterministic, so the surviving clean attempt reproduces
+        // `out` bit for bit -- no host recompute, and the setops.*
+        // work counters stay those of exactly one execution.
+        penalty += outcomeCycles(out) + verifyCycles(resultBytes(out)) +
+                   faults_->backoff(attempt);
+        ++attempt;
+    }
+    out.faultRetries = attempt;
+    out.faultCycles = penalty;
+    return out;
+}
+
 void
-Scu::preExecuteOutcomes(const BatchRequest &batch)
+Scu::quarantineVault(sim::SimContext &ctx, sim::ThreadId tid,
+                     std::uint32_t vault)
+{
+    if (quarantine_.contains(vault))
+        return;
+    // Collect the residents BEFORE the quarantine takes effect:
+    // vaultOf must still report the dying vault as their home.
+    std::vector<SetId> evacuees;
+    store_.forEachLive([&](SetId id) {
+        if (vaultOf(id) == vault)
+            evacuees.push_back(id);
+    });
+    quarantine_.add(vault); // Throws when no live vault would remain.
+    ctx.bumpCounter("scu.quarantines");
+    const std::uint32_t target = quarantine_.remap(vault);
+    for (const SetId id : evacuees) {
+        // Emergency migration: the payload streams once over the
+        // interconnect to the remap target, serialized on the issuing
+        // thread (the SCU drives the repair). The overlay pin makes
+        // the move explicit; vaultOf's remap would resolve the same
+        // vault, but dynamic re-placement heat stays coherent this
+        // way. Empty payloads move no bytes.
+        overlay_[id] = target;
+        const std::uint64_t bytes = store_.payloadBytes(id);
+        if (bytes) {
+            ctx.chargeBusy(tid,
+                           mem::interconnectCycles(config_.pim, bytes));
+            ctx.bumpCounter("setops.recovery_bytes", bytes);
+        }
+    }
+}
+
+void
+Scu::preExecuteOutcomes(const BatchRequest &batch,
+                        std::uint64_t dispatch)
 {
     const std::size_t n = batch.size();
     const auto chunks = static_cast<std::uint32_t>(
         std::min<std::size_t>(batchWorkerCount(), n));
     if (chunks <= 1) {
         for (std::size_t i = 0; i < n; ++i) {
-            const BatchOp &op = batch.ops[i];
-            outcomes_[i] =
-                executeBinary(op.kind, op.a, op.b, op.variant);
+            outcomes_[i] = executeOp(
+                dispatch, static_cast<std::uint32_t>(i), batch.ops[i]);
         }
         return;
     }
@@ -778,9 +893,8 @@ Scu::preExecuteOutcomes(const BatchRequest &batch)
         laneSizes_, chunks,
         [&](std::uint32_t chunk, std::uint32_t pos) {
             const std::size_t i = base[chunk] + pos;
-            const BatchOp &op = batch.ops[i];
-            outcomes_[i] =
-                executeBinary(op.kind, op.a, op.b, op.variant);
+            outcomes_[i] = executeOp(
+                dispatch, static_cast<std::uint32_t>(i), batch.ops[i]);
         },
         [](std::uint32_t, std::uint32_t, std::uint32_t) {},
         /*steal=*/true);
@@ -975,6 +1089,22 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     if (n == 0)
         return result;
 
+    // The dispatch coordinate fault points address; maintained even
+    // with the injector off (an integer increment) so enabling faults
+    // mid-run addresses the same dispatches either way.
+    const std::uint64_t dispatch_idx = dispatchCounter_++;
+    // Recovery accounting baseline for BatchResult.faults.
+    std::uint64_t base_retries = 0;
+    std::uint64_t base_stalls = 0;
+    std::uint64_t base_recovery = 0;
+    std::uint32_t base_dead = 0;
+    if (faults_) {
+        base_retries = ctx.counter("scu.retries");
+        base_stalls = ctx.counter("scu.lane_stalls");
+        base_recovery = ctx.counter("setops.recovery_bytes");
+        base_dead = quarantine_.deadCount();
+    }
+
     // One decode for the whole batch, then one serial metadata round
     // per operand on the SCU front end (the SMB is shared state).
     ctx.chargeBusy(tid, config_.pim.scuDelay);
@@ -1004,7 +1134,7 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     if (routes_.size() < n)
         routes_.resize(n);
     if (balanced) {
-        preExecuteOutcomes(batch);
+        preExecuteOutcomes(batch, dispatch_idx);
         scheduleBalanced(batch);
     } else {
         for (std::uint32_t i = 0; i < n; ++i)
@@ -1038,6 +1168,34 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     const std::uint32_t workers =
         std::min(batchWorkerCount(), lanes);
 
+    // Permanent vault failures striking this dispatch: their lanes
+    // fail-stop (nobody executes or charges them; heartbeats stay at
+    // zero) and the recovery pass below re-routes the stranded ops.
+    failedVaults_.clear();
+    if (faults_) {
+        faults_->failuresAt(dispatch_idx, failedVaults_);
+        std::erase_if(failedVaults_, [&](std::uint32_t v) {
+            // Out-of-range points are config typos; an already-
+            // quarantined vault failed at an earlier dispatch and
+            // routing no longer targets it.
+            return v >= quarantine_.vaults() || quarantine_.contains(v);
+        });
+    }
+    const bool have_failures = !failedVaults_.empty();
+    std::vector<char> lane_is_dead;
+    if (have_failures) {
+        lane_is_dead.resize(lanes);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            lane_is_dead[l] =
+                std::binary_search(failedVaults_.begin(),
+                                   failedVaults_.end(), laneVault_[l])
+                    ? 1
+                    : 0;
+        }
+    }
+    const std::function<bool(std::uint32_t)> lane_dead_fn =
+        [&](std::uint32_t l) { return lane_is_dead[l] != 0; };
+
     // Worker w executes lanes l with l % workers == w, charging
     // modeled cycles into its private SimContext (one logical thread
     // per lane) -- no shared mutable state until the barrier.
@@ -1063,11 +1221,96 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         if (balanced)
             return;
         const std::uint32_t i = lane_ops[l][pos];
-        const BatchOp &op = batch.ops[i];
-        outcomes[i] = executeBinary(op.kind, op.a, op.b, op.variant);
+        outcomes[i] = executeOp(dispatch_idx, i, batch.ops[i]);
     };
 
-    // The accounting half: only the lane's owning worker runs it, in
+    // The accounting half of op i on lane l, charging modeled thread
+    // lane_tid of wctx, with `fetched` deduping the lane's remote
+    // operand pulls. Shared between the worker charge path below and
+    // the recovery pass, so a re-routed op is billed by exactly the
+    // same rule as a healthy one. The fault hooks (transfer-drop
+    // retransmits, operand/result checksum verifies, lane stalls) all
+    // sit behind the faults_ gate -- with the injector off this body
+    // is bit-identical to the fault-free charge path.
+    const auto charge_lane_op = [&](sim::SimContext &wctx,
+                                    sim::ThreadId lane_tid,
+                                    std::unordered_set<SetId> &fetched,
+                                    std::uint32_t l, std::uint32_t i) {
+        const OpRoute &route = routes[i];
+        const bool reads_remote = route.remoteIsB ? outcomes[i].readsB
+                                                  : outcomes[i].readsA;
+        if (route.bytes && reads_remote &&
+            fetched.insert(route.remote).second) {
+            if (faults_) {
+                // Interconnect drops: every lost transfer pays its
+                // full b_L crossing plus the retry backoff, then
+                // retransmits; the payload lands only on the attempt
+                // that survives. The retransmitted bytes are recovery
+                // traffic, never setops.xvault_bytes -- functional
+                // accounting stays fault-free-identical.
+                std::uint32_t attempt = 0;
+                while (faults_->dropsTransfer(dispatch_idx,
+                                              laneVault_[l],
+                                              route.remote, attempt)) {
+                    if (attempt >= faults_->config().maxRetries) {
+                        throw UnrecoverableFaultError(
+                            "transfer of set " +
+                            std::to_string(route.remote) +
+                            " into vault " +
+                            std::to_string(laneVault_[l]) +
+                            " dropped past the retry budget");
+                    }
+                    wctx.chargeBusy(
+                        lane_tid,
+                        mem::interconnectCycles(config_.pim,
+                                                route.bytes) +
+                            faults_->backoff(attempt));
+                    wctx.bumpCounter("scu.retries");
+                    wctx.bumpCounter("setops.recovery_bytes",
+                                     route.bytes);
+                    ++attempt;
+                }
+            }
+            wctx.chargeBusy(lane_tid,
+                            mem::interconnectCycles(config_.pim,
+                                                    route.bytes));
+            wctx.bumpCounter("scu.xvault_transfers");
+            wctx.bumpCounter("setops.xvault_bytes", route.bytes);
+            if (faults_ && faults_->config().verifyChecksums) {
+                // Operand integrity: the receiving vault streams the
+                // fetched payload once through its checksum unit.
+                wctx.chargeBusy(lane_tid, verifyCycles(route.bytes));
+                wctx.bumpCounter("scu.checksum_verifies");
+            }
+            if (record_fetches) {
+                // Each lane has exactly one charging thread: no
+                // contention on the lane's fetch log.
+                laneFetched_[l].emplace_back(route.remote,
+                                             route.bytes);
+            }
+        }
+        if (faults_) {
+            const mem::Cycles stall =
+                faults_->stallCycles(dispatch_idx, i);
+            if (stall) {
+                // A transient lane hiccup (queue arbitration glitch,
+                // refresh collision): pure stall cycles, no work.
+                wctx.chargeStall(lane_tid, stall);
+                wctx.bumpCounter("scu.lane_stalls");
+            }
+        }
+        chargeOutcome(wctx, lane_tid, outcomes[i]);
+        if (faults_ && faults_->config().verifyChecksums &&
+            outcomes[i].numCharges) {
+            // Result integrity: checksum the result as it streams out
+            // of the vault (the SCU compares on adoption).
+            wctx.chargeBusy(lane_tid,
+                            verifyCycles(resultBytes(outcomes[i])));
+            wctx.bumpCounter("scu.checksum_verifies");
+        }
+    };
+
+    // Worker wrapper: only the lane's owning worker charges, in
     // lane-op order, into its private SimContext -- deterministic no
     // matter who executed the op. The per-worker `fetched` hash set
     // dedups remote operands already pulled into the current lane
@@ -1082,36 +1325,19 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     std::vector<LaneChargeState> charge_state(workers);
     const auto charge_op = [&](std::uint32_t w, std::uint32_t l,
                                std::uint32_t pos) {
-        sim::SimContext &wctx = worker_ctx[w];
-        const sim::ThreadId lane_tid = l / workers;
         LaneChargeState &cs = charge_state[w];
         if (cs.lane != l) {
             cs.fetched.clear();
             cs.lane = l;
         }
-        const std::uint32_t i = lane_ops[l][pos];
-        const OpRoute &route = routes[i];
-        const bool reads_remote = route.remoteIsB ? outcomes[i].readsB
-                                                  : outcomes[i].readsA;
-        if (route.bytes && reads_remote &&
-            cs.fetched.insert(route.remote).second) {
-            wctx.chargeBusy(lane_tid,
-                            mem::interconnectCycles(config_.pim,
-                                                    route.bytes));
-            wctx.bumpCounter("scu.xvault_transfers");
-            wctx.bumpCounter("setops.xvault_bytes", route.bytes);
-            if (record_fetches) {
-                // Each lane has exactly one owning worker: no
-                // contention on the lane's fetch log.
-                laneFetched_[l].emplace_back(route.remote,
-                                             route.bytes);
-            }
-        }
-        chargeOutcome(wctx, lane_tid, outcomes[i]);
+        charge_lane_op(worker_ctx[w], l / workers, cs.fetched, l,
+                       lane_ops[l][pos]);
     };
 
     if (workers <= 1) {
         for (std::uint32_t l = 0; l < lanes; ++l) {
+            if (have_failures && lane_is_dead[l])
+                continue;
             for (std::uint32_t pos = 0; pos < laneSizes_[l]; ++pos) {
                 execute_op(l, pos);
                 charge_op(0, l, pos);
@@ -1122,7 +1348,8 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         // workers execute ops from the deepest queue (no stealing
         // when the batch is pre-executed -- charging can't move).
         pool().runQueues(laneSizes_, workers, execute_op, charge_op,
-                         /*steal=*/!balanced);
+                         /*steal=*/!balanced,
+                         have_failures ? &lane_dead_fn : nullptr);
     }
 
     // Barrier: vaults ran concurrently, so the issuing thread pays
@@ -1131,6 +1358,161 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     for (const sim::SimContext &wctx : worker_ctx) {
         for (sim::ThreadId lane = 0; lane < wctx.numThreads(); ++lane)
             makespan = std::max(makespan, wctx.threadCycles(lane));
+    }
+
+    // Permanent-failure recovery. The dead vaults' lanes never beat
+    // (runQueues skipped them), so the SCU's watchdog detects the
+    // failures one heartbeat timeout after the healthy barrier; it
+    // then quarantines the vaults, emergency-migrates their resident
+    // sets, and replays the stranded operations on live vaults --
+    // re-routed through the SAME placement/scheduling rules (vaultOf
+    // now remaps dead vaults away) and billed by the SAME
+    // charge_lane_op, so a recovered dispatch is bit-identical to a
+    // fault-free one in results, ids, and setops.* work counters.
+    std::uint32_t total_lanes = lanes;
+    if (have_failures) {
+        makespan += faults_->config().heartbeatTimeout;
+        for (const std::uint32_t v : failedVaults_)
+            quarantineVault(ctx, tid, v);
+
+        // Strand list in deterministic lane/op order, then empty the
+        // dead lanes: downstream phases (reduction, adoption) walk
+        // the extended lane set and must not see an op twice.
+        recoveredOps_.clear();
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            if (!lane_is_dead[l])
+                continue;
+            for (const std::uint32_t i : laneOps_[l])
+                recoveredOps_.push_back(i);
+            laneOps_[l].clear();
+            laneSizes_[l] = 0;
+        }
+
+        if (!recoveredOps_.empty()) {
+            if (balanced) {
+                // The balanced scheduler's LPT rule applied to just
+                // the recovery window: stranded ops in descending
+                // cost order, each to whichever operand vault (both
+                // remapped off the quarantine) finishes it first on
+                // fresh loads, transfer dedup priced in -- the
+                // recovery lanes start empty because the healthy
+                // lanes already drained at the barrier.
+                std::stable_sort(
+                    recoveredOps_.begin(), recoveredOps_.end(),
+                    [&](std::uint32_t x, std::uint32_t y) {
+                        return outcomeCycles(outcomes_[x]) >
+                               outcomeCycles(outcomes_[y]);
+                    });
+                schedLoads_.reset(
+                    std::max<std::uint32_t>(config_.pim.vaults, 1));
+                schedFetched_.clear();
+                const auto fetch_key = [](std::uint32_t vault,
+                                          SetId id) {
+                    return (static_cast<std::uint64_t>(vault) << 32) |
+                           id;
+                };
+                for (const std::uint32_t i : recoveredOps_) {
+                    const BatchOp &op = batch.ops[i];
+                    const OpOutcome &out = outcomes_[i];
+                    const mem::Cycles exec = outcomeCycles(out);
+                    const std::uint32_t va = vaultOf(op.a);
+                    const std::uint32_t vb = vaultOf(op.b);
+                    if (va == vb) {
+                        routes_[i] = {va, invalid_set, 0, true};
+                        schedLoads_.add(va, exec);
+                        continue;
+                    }
+                    const std::uint64_t bytes_b =
+                        out.readsB ? operandBytes(op.b) : 0;
+                    const std::uint64_t bytes_a =
+                        out.readsA ? operandBytes(op.a) : 0;
+                    const mem::Cycles xfer_at_a =
+                        bytes_b &&
+                                !schedFetched_.count(fetch_key(va, op.b))
+                            ? mem::interconnectCycles(config_.pim,
+                                                      bytes_b)
+                            : 0;
+                    const mem::Cycles xfer_at_b =
+                        bytes_a &&
+                                !schedFetched_.count(fetch_key(vb, op.a))
+                            ? mem::interconnectCycles(config_.pim,
+                                                      bytes_a)
+                            : 0;
+                    if (schedLoads_.of(vb) + exec + xfer_at_b <
+                        schedLoads_.of(va) + exec + xfer_at_a) {
+                        routes_[i] = {vb, op.a, operandBytes(op.a),
+                                      false};
+                        schedLoads_.add(vb, exec + xfer_at_b);
+                        if (xfer_at_b)
+                            schedFetched_.insert(fetch_key(vb, op.a));
+                    } else {
+                        routes_[i] = {va, op.b, operandBytes(op.b),
+                                      true};
+                        schedLoads_.add(va, exec + xfer_at_a);
+                        if (xfer_at_a)
+                            schedFetched_.insert(fetch_key(va, op.b));
+                    }
+                }
+            } else {
+                // vaultOf already masks the quarantine, so the plain
+                // per-op rule lands every stranded op on a live vault.
+                for (const std::uint32_t i : recoveredOps_) {
+                    routes_[i] =
+                        resolveRoute(batch.ops[i].a, batch.ops[i].b);
+                }
+            }
+
+            // Append one recovery lane per replacement vault (the
+            // same first-touch construction as the main lane build).
+            for (const std::uint32_t i : recoveredOps_) {
+                const std::uint32_t vault = routes_[i].vault;
+                std::uint32_t lane = vaultLane_[vault];
+                if (lane == UINT32_MAX) {
+                    lane = static_cast<std::uint32_t>(laneVault_.size());
+                    vaultLane_[vault] = lane;
+                    laneVault_.push_back(vault);
+                    if (laneOps_.size() <= lane)
+                        laneOps_.emplace_back();
+                    if (laneFetched_.size() <= lane)
+                        laneFetched_.emplace_back();
+                    laneOps_[lane].clear();
+                    laneFetched_[lane].clear();
+                }
+                laneOps_[lane].push_back(i);
+            }
+            total_lanes = static_cast<std::uint32_t>(laneVault_.size());
+            for (std::uint32_t l = lanes; l < total_lanes; ++l)
+                vaultLane_[laneVault_[l]] = UINT32_MAX;
+
+            // Replay the stranded ops: execute (non-balanced ops were
+            // never run -- their vault died first) and charge through
+            // the shared lane rule, one modeled thread per recovery
+            // lane (the replacement vaults run concurrently), serial
+            // on the host -- recovery is the rare path. The replay
+            // phase starts after the watchdog fired, so its makespan
+            // adds to the dispatch's.
+            const std::uint32_t rec_lanes = total_lanes - lanes;
+            sim::SimContext rctx(rec_lanes);
+            std::unordered_set<SetId> rec_fetched;
+            for (std::uint32_t rl = 0; rl < rec_lanes; ++rl) {
+                const std::uint32_t l = lanes + rl;
+                rec_fetched.clear();
+                for (const std::uint32_t i : laneOps_[l]) {
+                    if (!balanced) {
+                        outcomes_[i] =
+                            executeOp(dispatch_idx, i, batch.ops[i]);
+                    }
+                    charge_lane_op(rctx, rl, rec_fetched, l, i);
+                }
+            }
+            mem::Cycles recovery_makespan = 0;
+            for (sim::ThreadId rt = 0; rt < rec_lanes; ++rt) {
+                recovery_makespan =
+                    std::max(recovery_makespan, rctx.threadCycles(rt));
+            }
+            makespan += recovery_makespan;
+            ctx.absorbCounters(rctx);
+        }
     }
 
     // Cross-vault result reduction: a multi-vault batch funnels its
@@ -1144,7 +1526,7 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     // reduce like any other result. Lane order is the deterministic
     // first-touch order, so the charge is worker-count invariant.
     laneResultBytes_.clear();
-    for (std::uint32_t l = 0; l < lanes; ++l) {
+    for (std::uint32_t l = 0; l < total_lanes; ++l) {
         std::uint64_t bytes = 0;
         bool executed = false;
         for (const std::uint32_t i : lane_ops[l]) {
@@ -1178,15 +1560,13 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         ctx.bumpCounter("setops.xvault_reduce_bytes", reduce_bytes);
     }
     ctx.chargeBusy(tid, makespan);
-    for (const sim::SimContext &wctx : worker_ctx) {
-        for (const auto &[name, value] : wctx.counters())
-            ctx.bumpCounter(name, value);
-    }
+    for (const sim::SimContext &wctx : worker_ctx)
+        ctx.absorbCounters(wctx);
 
     // Dynamic re-placement closes the barrier: feed the observed
     // transfers to the policy and charge/apply its migrations.
     if (dynamic_)
-        replaceAtBarrier(ctx, tid, lanes);
+        replaceAtBarrier(ctx, tid, total_lanes);
 
     // lastBackend_ reports the last operation (in request = serial
     // order) that actually charged a backend; a batch whose tail ops
@@ -1223,6 +1603,15 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         traceOp(traced, entry.set == invalid_set ? 0 : entry.set, op.a,
                 op.b);
     }
+    if (faults_) {
+        result.faults.retries = ctx.counter("scu.retries") - base_retries;
+        result.faults.laneStalls =
+            ctx.counter("scu.lane_stalls") - base_stalls;
+        result.faults.recoveryBytes =
+            ctx.counter("setops.recovery_bytes") - base_recovery;
+        result.faults.quarantinedVaults =
+            quarantine_.deadCount() - base_dead;
+    }
     maybeShrinkScratch(n);
     return result;
 }
@@ -1246,7 +1635,16 @@ Scu::replaceAtBarrier(sim::SimContext &ctx, sim::ThreadId tid,
     // (the SCU re-homes the set between dispatches), and re-pins the
     // set in the overlay so subsequent routing finds it local.
     for (const MigrationEvent &event : dynamic_->collectMigrations()) {
-        overlay_[event.id] = event.to;
+        std::uint32_t to = event.to;
+        if (quarantine_.any()) {
+            // Never migrate onto a quarantined vault: remap the
+            // destination like any other assignment, and skip moves
+            // the remap collapses onto the set's current home.
+            to = quarantine_.remap(to);
+            if (to == vaultOf(event.id))
+                continue;
+        }
+        overlay_[event.id] = to;
         ctx.chargeBusy(tid, mem::interconnectCycles(config_.pim,
                                                     event.bytes));
         ctx.bumpCounter("scu.migrations");

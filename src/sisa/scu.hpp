@@ -35,6 +35,7 @@
 #include "sets/operations.hpp"
 #include "sim/context.hpp"
 #include "sisa/batch.hpp"
+#include "sisa/faults.hpp"
 #include "sisa/isa.hpp"
 #include "sisa/placement.hpp"
 #include "sisa/set_store.hpp"
@@ -115,6 +116,13 @@ struct ScuConfig
      * approach MinBytes' byte cut at MinBytes' concentration cost.
      */
     double balancedSlack = 0.5;
+    /**
+     * Fault-injection and recovery model (sisa/faults.hpp). Disabled
+     * by default; with faults.enabled false the SCU never constructs
+     * an injector and every dispatch is cycle-identical to a build
+     * without the fault layer (the zero-overhead guarantee).
+     */
+    FaultConfig faults{};
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -302,6 +310,23 @@ class Scu
     /** Would the SCU pick galloping for sizes (|A|, |B|)? */
     bool wouldGallop(std::uint64_t size_a, std::uint64_t size_b) const;
 
+    /** The fault injector, or nullptr when config().faults is off. */
+    const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /** Has @p vault been quarantined by a permanent failure? */
+    bool
+    vaultQuarantined(std::uint32_t vault) const
+    {
+        return quarantine_.contains(vault);
+    }
+
+    /**
+     * Sequence number the NEXT non-empty dispatchBatch will carry --
+     * the dispatch coordinate fault points are addressed by (empty
+     * batches return early and do not consume a number).
+     */
+    std::uint64_t dispatchIndex() const { return dispatchCounter_; }
+
   private:
     /**
      * One planned-and-executed binary set operation, produced by
@@ -337,6 +362,13 @@ class Scu
          */
         bool readsA = true;
         bool readsB = true;
+        /**
+         * Fault-retry penalty accumulated by executeOp (wasted
+         * executions + failed verifies + backoff), charged by the
+         * owning lane in chargeOutcome. Zero on the fault-free path.
+         */
+        mem::Cycles faultCycles = 0;
+        std::uint32_t faultRetries = 0;
 
         void
         addCharge(Backend backend, mem::Cycles cycles)
@@ -352,6 +384,45 @@ class Scu
      */
     OpOutcome executeBinary(BatchOpKind kind, SetId a, SetId b,
                             SisaOp variant) const;
+
+    /**
+     * executeBinary plus the transient-fault retry loop of batched
+     * dispatch: while the injector corrupts attempt k of
+     * (@p dispatch, @p op_index), the checksum the vault shipped with
+     * the result disagrees with the one the SCU recomputes, and the
+     * op re-executes after an exponential backoff -- the wasted
+     * execution, the failed verify, and the backoff accumulate into
+     * the outcome's faultCycles (charged later by the owning lane).
+     * Because executeBinary is deterministic, the surviving clean
+     * execution is bit-identical to the fault-free result and the
+     * setops.* work counters are those of exactly one execution.
+     * Throws UnrecoverableFaultError past config.faults.maxRetries.
+     * With the injector off this IS executeBinary.
+     */
+    OpOutcome executeOp(std::uint64_t dispatch, std::uint32_t op_index,
+                        const BatchOp &op) const;
+
+    /**
+     * Modeled cost of one checksum verify over @p bytes: the payload
+     * streams once through the vault's checksum unit at the PNM
+     * word-stream rate (mem::pnmStreamBytesCycles).
+     */
+    mem::Cycles verifyCycles(std::uint64_t bytes) const;
+
+    /** FNV-1a checksum of an outcome's result payload (or scalar). */
+    static std::uint64_t outcomeChecksum(const OpOutcome &outcome);
+
+    /**
+     * Permanent-failure recovery step: mark @p vault dead (throws
+     * UnrecoverableFaultError if it is the last live vault) and
+     * emergency-migrate every set resident on it to its quarantine
+     * remap target, charging one b_L interconnect crossing per
+     * evacuated footprint to (@p ctx, @p tid) -- serialized on the
+     * issuing thread, since the SCU drives the repair. Counters:
+     * scu.quarantines, setops.recovery_bytes.
+     */
+    void quarantineVault(sim::SimContext &ctx, sim::ThreadId tid,
+                         std::uint32_t vault);
 
     /**
      * Charge @p outcome's cycles and counters to (@p ctx, @p tid).
@@ -397,8 +468,10 @@ class Scu
      * functionally into outcomes_ (in parallel on the worker pool,
      * with stealing) WITHOUT charging anything -- the scheduler needs
      * the exact per-op cycle charges before it can assign vaults.
+     * @p dispatch is the dispatch sequence number (fault coordinate).
      */
-    void preExecuteOutcomes(const BatchRequest &batch);
+    void preExecuteOutcomes(const BatchRequest &batch,
+                            std::uint64_t dispatch);
 
     /**
      * Balanced-routing phase 2: LPT list scheduling over the cached
@@ -530,6 +603,18 @@ class Scu
     Backend lastBackend_ = Backend::None;
     InstructionTrace *trace_ = nullptr;
     std::unique_ptr<VaultWorkerPool> pool_;
+    /**
+     * Non-null iff config_.faults.enabled -- the single gate every
+     * fault hook sits behind, so a disabled injector costs one
+     * pointer test on paths that already branch.
+     */
+    std::unique_ptr<FaultInjector> faults_;
+    /** Vaults taken out of service by permanent failures. */
+    QuarantineSet quarantine_;
+    /** Monotonic dispatch sequence number (fault coordinates). */
+    std::uint64_t dispatchCounter_ = 0;
+    std::vector<std::uint32_t> failedVaults_;  ///< Recovery scratch.
+    std::vector<std::uint32_t> recoveredOps_;  ///< Recovery scratch.
 
     // Scratch reused across dispatchBatch calls so a small batch does
     // not pay fresh allocations (instruction issue on one SCU is not

@@ -1,5 +1,6 @@
 #include "sisa/set_store.hpp"
 
+#include "sisa/faults.hpp"
 #include "support/bits.hpp"
 #include "support/logging.hpp"
 
@@ -36,6 +37,8 @@ SetStore::allocateSlot()
 void
 SetStore::refreshMetadata(SetId id)
 {
+    if (checksumValid_.size() > id)
+        checksumValid_[id] = false;
     SetMetadata &md = metadata_[id];
     if (std::holds_alternative<SortedArraySet>(payloads_[id])) {
         md.repr = SetRepr::SparseArray;
@@ -100,6 +103,8 @@ SetStore::destroy(SetId id)
     sisa_assert(live(id), "double destroy of set ", id);
     payloads_[id] = SortedArraySet();
     metadata_[id] = SetMetadata{};
+    if (checksumValid_.size() > id)
+        checksumValid_[id] = false;
     freeList_.push_back(id);
     --liveCount_;
 }
@@ -243,6 +248,31 @@ SetStore::storageBits() const
         }
     }
     return bits;
+}
+
+std::uint64_t
+SetStore::payloadChecksum(SetId id) const
+{
+    sisa_assert(live(id), "checksum of a dead set ", id);
+    if (checksumValid_.size() <= id) {
+        checksums_.resize(metadata_.size(), 0);
+        checksumValid_.resize(metadata_.size(), false);
+    }
+    if (checksumValid_[id])
+        return checksums_[id];
+    std::uint64_t sum;
+    if (std::holds_alternative<DenseBitset>(payloads_[id])) {
+        const auto words =
+            std::get<DenseBitset>(payloads_[id]).words();
+        sum = fnvChecksum64(words.data(), words.size());
+    } else {
+        const auto span =
+            std::get<SortedArraySet>(payloads_[id]).elements();
+        sum = fnvChecksum32(span.data(), span.size());
+    }
+    checksums_[id] = sum;
+    checksumValid_[id] = true;
+    return sum;
 }
 
 std::vector<Element>

@@ -47,10 +47,26 @@ VaultWorkerPool::runQueues(
     const std::function<void(std::uint32_t, std::uint32_t)> &execute,
     const std::function<void(std::uint32_t, std::uint32_t,
                              std::uint32_t)> &charge,
-    bool steal)
+    bool steal,
+    const std::function<bool(std::uint32_t)> *lane_dead)
 {
     const auto lanes = static_cast<std::uint32_t>(lane_sizes.size());
     owners = std::min(std::max(owners, 1u), std::max(lanes, 1u));
+
+    if (laneBeatsCapacity_ < lanes) {
+        laneBeats_ =
+            std::make_unique<std::atomic<std::uint32_t>[]>(lanes);
+        laneBeatsCapacity_ = lanes;
+    }
+    for (std::uint32_t l = 0; l < lanes; ++l)
+        laneBeats_[l].store(0, std::memory_order_relaxed);
+
+    // A dead lane's vault fail-stopped: nobody executes or charges
+    // its operations and its heartbeat stays at zero (the watchdog's
+    // timeout evidence); the SCU re-routes them in its recovery pass.
+    const auto dead = [&](std::uint32_t l) {
+        return lane_dead && (*lane_dead)(l);
+    };
 
     if (!steal) {
         // No thieves means owners are the only claimants: the plain
@@ -60,10 +76,14 @@ VaultWorkerPool::runQueues(
             if (w >= owners)
                 return;
             for (std::uint32_t l = w; l < lanes; l += owners) {
+                if (dead(l))
+                    continue;
                 for (std::uint32_t pos = 0; pos < lane_sizes[l];
                      ++pos) {
                     execute(l, pos);
                     charge(w, l, pos);
+                    laneBeats_[l].fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             }
         });
@@ -111,6 +131,8 @@ VaultWorkerPool::runQueues(
     run([&](std::uint32_t w) {
         if (w < owners) {
             for (std::uint32_t l = w; l < lanes; l += owners) {
+                if (dead(l))
+                    continue;
                 for (std::uint32_t pos = 0; pos < lane_sizes[l];
                      ++pos) {
                     std::atomic<std::uint8_t> &state =
@@ -129,6 +151,8 @@ VaultWorkerPool::runQueues(
                             std::this_thread::yield();
                     }
                     charge(w, l, pos);
+                    laneBeats_[l].fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             }
         }
@@ -138,6 +162,8 @@ VaultWorkerPool::runQueues(
             std::uint32_t best = UINT32_MAX;
             std::uint32_t best_left = 0;
             for (std::uint32_t l = 0; l < lanes; ++l) {
+                if (dead(l))
+                    continue;
                 const std::uint32_t claimed = std::min(
                     laneClaimed_[l].load(std::memory_order_relaxed),
                     lane_sizes[l]);

@@ -89,6 +89,13 @@ class VaultWorkerPool
      * @p steal false disables thieving -- used when execute() is a
      * no-op (pre-executed batches) and all remaining work is
      * owner-side charging, which cannot be stolen.
+     *
+     * @p lane_dead (optional) is the fault model's fail-stop hook: a
+     * lane for which it returns true is on a dead vault -- nobody
+     * executes or charges its operations (the SCU re-routes them in
+     * its recovery pass) and its heartbeat counter stays at zero,
+     * which is exactly the evidence the watchdog's timeout charge
+     * models. nullptr (the fault-free case) changes nothing.
      */
     void runQueues(
         const std::vector<std::uint32_t> &lane_sizes,
@@ -98,7 +105,23 @@ class VaultWorkerPool
         const std::function<void(std::uint32_t worker,
                                  std::uint32_t lane, std::uint32_t pos)>
             &charge,
-        bool steal);
+        bool steal,
+        const std::function<bool(std::uint32_t lane)> *lane_dead =
+            nullptr);
+
+    /**
+     * Heartbeat of lane @p lane after the last runQueues: the number
+     * of operations its owner charged. A lane whose vault died shows
+     * zero beats -- the signal the SCU's heartbeat watchdog times out
+     * on (introspection for the fault tests).
+     */
+    std::uint32_t
+    laneBeats(std::uint32_t lane) const
+    {
+        return lane < laneBeatsCapacity_
+                   ? laneBeats_[lane].load(std::memory_order_relaxed)
+                   : 0;
+    }
 
   private:
     void workerLoop(std::uint32_t index);
@@ -124,6 +147,9 @@ class VaultWorkerPool
     /** Per-lane count of claimed ops (the thieves' depth estimate). */
     std::unique_ptr<std::atomic<std::uint32_t>[]> laneClaimed_;
     std::size_t laneClaimedCapacity_ = 0;
+    /** Per-lane charged-op heartbeats (see laneBeats). */
+    std::unique_ptr<std::atomic<std::uint32_t>[]> laneBeats_;
+    std::size_t laneBeatsCapacity_ = 0;
 };
 
 } // namespace sisa::isa

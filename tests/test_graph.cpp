@@ -326,6 +326,46 @@ TEST(Io, SkipsComments)
     EXPECT_EQ(g.numEdges(), 2u);
 }
 
+TEST(Io, TolerantOfBlankLinesAndIndentation)
+{
+    std::stringstream ss("\n  \t\n  0 1\n1\t2  \n");
+    const Graph g = readEdgeList(ss);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Io, MalformedInputThrowsTypedError)
+{
+    // Each case must throw GraphIoError carrying the offending
+    // 1-based line -- never crash, never return a partial graph.
+    const std::pair<const char *, std::uint64_t> cases[] = {
+        {"0 1\nx 2\n", 2},        // non-numeric id
+        {"0 1\n-1 2\n", 2},       // negative id
+        {"0 1\n2\n", 2},          // truncated pair
+        {"0 1\n1 2 3\n", 2},      // trailing junk
+        {"12junk 1\n", 1},        // junk glued to a number
+        {"0 1\n1 4294967296\n", 2}, // VertexId overflow
+        {"0 1\n1 1e3\n", 2},      // exponent notation
+    };
+    for (const auto &[text, line] : cases) {
+        std::stringstream ss(text);
+        try {
+            readEdgeList(ss);
+            FAIL() << "accepted malformed input: " << text;
+        } catch (const GraphIoError &e) {
+            EXPECT_EQ(e.line(), line) << text;
+            EXPECT_NE(std::string(e.what()).find("line"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Io, MissingFileThrowsTypedError)
+{
+    EXPECT_THROW(readEdgeListFile("/nonexistent/sisa_io_test.txt"),
+                 GraphIoError);
+}
+
 TEST(Registry, AllDatasetsResolvable)
 {
     for (const auto &spec : allDatasets()) {

@@ -22,6 +22,9 @@ REQUIRED_ROW = {"name": str, "size": int, "unit": str,
                 "speedup": (int, float)}
 VALID_UNITS = {"ns", "bytes", "cycles"}
 REQUIRED_ROWS = (
+    # The fault-campaign recovery-overhead rows (PR 6).
+    "fault_tc_rmat9_cycles",
+    "fault_tc_rmat9_xvault_bytes",
     # The balanced-scheduling acceptance rows (PR 5).
     "sched_tc_rmat9_xvault_bytes",
     "sched_tc_rmat9_cycles",

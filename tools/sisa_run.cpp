@@ -5,11 +5,12 @@
  * and print the simulated outcome plus the hardware counters.
  *
  *   sisa_run <problem> <dataset> <mode> [threads] [cutoff]
- *            [placement] [routing] [replace]
+ *            [placement] [routing] [replace] [faults=SPEC]
  *
  *   problem:   tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
  *              cl-jac | cl-ovr | cl-tot
- *   dataset:   any registry name (see --list)
+ *   dataset:   any registry name (see --list), or file:PATH to load
+ *              a plain-text edge list
  *   mode:      non-set | set-based | sisa
  *   placement: hash | range | locality (sisa mode; default hash) --
  *              cross-vault traffic lands in the scu.xvault_transfers /
@@ -25,14 +26,27 @@
  *              re-placement migrates sets that keep being fetched
  *              into the same remote vault (scu.migrations /
  *              setops.migration_bytes).
+ *   faults:    faults=key=val,... (sisa mode) -- deterministic fault
+ *              injection (sisa/faults.hpp): e.g.
+ *              faults=seed=7,corrupt=0.02,fail=3@2 corrupts ~2% of op
+ *              results and permanently fails vault 2 at dispatch 3;
+ *              recovery counters (scu.retries, scu.quarantines,
+ *              setops.recovery_bytes) appear in the output.
+ *
+ * Every argument is validated up front: unknown tokens, non-numeric
+ * counts, unknown datasets, and unreadable/malformed graph files all
+ * print the usage and exit non-zero instead of crashing mid-run.
  */
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "graph/dataset_registry.hpp"
+#include "graph/io.hpp"
 #include "harness.hpp"
+#include "sisa/faults.hpp"
 
 using namespace sisa;
 using namespace sisa::bench;
@@ -58,16 +72,37 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <problem> <dataset> <mode> [threads] "
-                 "[cutoff] [placement] [routing] [replace]\n"
+                 "[cutoff] [placement] [routing] [replace] "
+                 "[faults=SPEC]\n"
                  "       %s --list\n"
+                 "       dataset:   registry name (--list) or "
+                 "file:PATH (edge list)\n"
                  "       placement: hash | range | locality "
                  "(sisa mode only)\n"
                  "       routing:   primary | min-bytes | balanced "
                  "(sisa mode only)\n"
                  "       replace:   none | dynamic "
+                 "(sisa mode only)\n"
+                 "       faults:    faults=key=val,... e.g. "
+                 "faults=seed=7,corrupt=0.02,fail=3@2 "
                  "(sisa mode only)\n",
                  argv0, argv0);
     return 2;
+}
+
+/**
+ * Strict full-string numeric parse. The std::stoul calls this
+ * replaces threw uncaught exceptions on "abc" (and accepted "12junk"
+ * as 12): any non-numeric count argument now reports cleanly through
+ * usage() instead of crashing.
+ */
+template <typename T>
+bool
+parseCount(const char *arg, T &out)
+{
+    const char *end = arg + std::strlen(arg);
+    const auto [ptr, ec] = std::from_chars(arg, end, out);
+    return ec == std::errc() && ptr == end && arg != end;
 }
 
 } // namespace
@@ -96,9 +131,16 @@ main(int argc, char **argv)
     }
 
     RunConfig config;
-    config.threads = argc > 4 ? std::stoul(argv[4]) : 32;
-    config.cutoff =
-        argc > 5 ? std::stoull(argv[5]) : defaultCutoff(problem);
+    config.threads = 32;
+    if (argc > 4 && !parseCount(argv[4], config.threads)) {
+        std::fprintf(stderr, "invalid thread count '%s'\n", argv[4]);
+        return usage(argv[0]);
+    }
+    config.cutoff = defaultCutoff(problem);
+    if (argc > 5 && !parseCount(argv[5], config.cutoff)) {
+        std::fprintf(stderr, "invalid pattern cutoff '%s'\n", argv[5]);
+        return usage(argv[0]);
+    }
     if (argc > 6) {
         config.placement = argv[6];
         if (config.placement != "hash" && config.placement != "range" &&
@@ -133,10 +175,55 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (argc > 9) {
+        const std::string spec = argv[9];
+        if (spec.rfind("faults=", 0) != 0) {
+            std::fprintf(stderr, "expected faults=SPEC, got '%s'\n",
+                         spec.c_str());
+            return usage(argv[0]);
+        }
+        if (mode != Mode::Sisa) {
+            std::fprintf(stderr,
+                         "faults are only meaningful in sisa mode\n");
+            return usage(argv[0]);
+        }
+        std::string error;
+        const auto faults =
+            isa::parseFaultSpec(spec.substr(7), &error);
+        if (!faults) {
+            std::fprintf(stderr, "bad fault spec: %s\n",
+                         error.c_str());
+            return usage(argv[0]);
+        }
+        config.scu.faults = *faults;
+    }
+    if (argc > 10) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", argv[10]);
+        return usage(argv[0]);
+    }
     if (problem == "si-4s-L")
         config.labels = 3;
 
-    const graph::Graph g = graph::makeDataset(dataset);
+    graph::Graph g;
+    if (dataset.rfind("file:", 0) == 0) {
+        try {
+            g = graph::readEdgeListFile(dataset.substr(5));
+        } catch (const graph::GraphIoError &e) {
+            std::fprintf(stderr, "cannot load '%s': %s\n",
+                         dataset.c_str(), e.what());
+            return usage(argv[0]);
+        }
+    } else {
+        const graph::DatasetSpec *spec =
+            graph::findDatasetOrNull(dataset);
+        if (!spec) {
+            std::fprintf(stderr,
+                         "unknown dataset '%s' (see --list)\n",
+                         dataset.c_str());
+            return usage(argv[0]);
+        }
+        g = graph::makeDataset(*spec);
+    }
     std::printf("dataset: %s\n", g.describe().c_str());
     std::printf("running %s in %s mode, T=%u, cutoff=%llu, "
                 "placement=%s, routing=%s, replace=%s\n",
