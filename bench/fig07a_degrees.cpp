@@ -49,9 +49,15 @@ report(const graph::DatasetSpec &spec, support::TextTable &summary)
                 count += weight;
         }
         if (count > 0) {
-            series.addRow({"[" + std::to_string(bin_lo) + "," +
-                               std::to_string(bin_hi) + ")",
-                           std::to_string(count)});
+            // Built by append rather than operator+ chaining: GCC 12
+            // miscompiles the latter into a -Wrestrict false positive
+            // (PR105329), which -Werror turns fatal.
+            std::string bin = "[";
+            bin += std::to_string(bin_lo);
+            bin += ',';
+            bin += std::to_string(bin_hi);
+            bin += ')';
+            series.addRow({std::move(bin), std::to_string(count)});
         }
         bin_lo = bin_hi;
     }

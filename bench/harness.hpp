@@ -89,6 +89,13 @@ struct RunConfig
      * scu.migrations / setops.migration_bytes).
      */
     bool replace = false;
+    /**
+     * Record the run's full encoded SISA instruction stream (Sisa
+     * mode): the caller-owned trace attaches to the SCU before any
+     * set exists, so offline linting (`sisa_run ... analyze=trace`,
+     * sisa/analysis.hpp) sees every instruction the run issued.
+     */
+    isa::InstructionTrace *trace = nullptr;
 };
 
 /** Build the named placement policy over @p sg's traffic arcs. */
@@ -155,12 +162,15 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
                     baselines::triangleCountBaseline(view, ctx);
             } else if (problem.rfind("kcc-", 0) == 0) {
                 outcome.value = baselines::kCliqueCountBaseline(
-                    view, ctx, std::stoul(problem.substr(4)));
+                    view, ctx,
+                    static_cast<std::uint32_t>(
+                        std::stoul(problem.substr(4))));
             } else {
                 baselines::CsrView undirected(*g, cpu);
                 outcome.value = baselines::kCliqueStarBaseline(
                     view, undirected, ctx,
-                    std::stoul(problem.substr(4)));
+                    static_cast<std::uint32_t>(
+                        std::stoul(problem.substr(4))));
             }
         } else {
             baselines::CsrView view(*g, cpu);
@@ -205,6 +215,8 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
             auto sisa = std::make_unique<core::SisaEngine>(
                 g->numVertices(), scu_cfg, config.threads);
             sisa_engine = sisa.get();
+            if (config.trace)
+                sisa_engine->scu().setTrace(config.trace);
             engine = std::move(sisa);
         } else {
             engine = std::make_unique<core::CpuSetEngine>(
@@ -233,11 +245,15 @@ runProblem(const std::string &problem, const Graph &graph, Mode mode,
                 outcome.value = algorithms::triangleCount(osg, ctx);
             } else if (problem.rfind("kcc-", 0) == 0) {
                 outcome.value = algorithms::kCliqueCount(
-                    osg, ctx, std::stoul(problem.substr(4)));
+                    osg, ctx,
+                    static_cast<std::uint32_t>(
+                        std::stoul(problem.substr(4))));
             } else {
                 outcome.value =
                     algorithms::kCliqueStarsJabbour(
-                        osg, ctx, std::stoul(problem.substr(4)))
+                        osg, ctx,
+                        static_cast<std::uint32_t>(
+                            std::stoul(problem.substr(4))))
                         .starCount;
             }
         } else {

@@ -337,7 +337,8 @@ runKernelSweep(const std::string &json_path)
                 const auto wb = db.words();
                 std::uint64_t count = 0;
                 for (std::size_t i = 0; i < wa.size(); ++i)
-                    count += std::popcount(wa[i] & wb[i]);
+                    count += static_cast<std::uint64_t>(
+                        std::popcount(wa[i] & wb[i]));
                 benchmark::DoNotOptimize(count);
             }),
             timeNs([&] {
@@ -606,7 +607,8 @@ BM_IntersectMerge(benchmark::State &state)
         OpWork work;
         benchmark::DoNotOptimize(sets::intersectMerge(a, b, work));
     }
-    state.SetItemsProcessed(state.iterations() * 2 * size);
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(size));
 }
 BENCHMARK(BM_IntersectMerge)->Range(64, 1 << 16);
 
@@ -620,7 +622,8 @@ BM_IntersectMergeSeedScalar(benchmark::State &state)
         OpWork work;
         benchmark::DoNotOptimize(seedIntersectMerge(a, b, work));
     }
-    state.SetItemsProcessed(state.iterations() * 2 * size);
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(size));
 }
 BENCHMARK(BM_IntersectMergeSeedScalar)->Range(64, 1 << 16);
 
@@ -633,7 +636,8 @@ BM_IntersectCardKernel(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(
             sets::kernels::intersectCard(a.elements(), b.elements()));
-    state.SetItemsProcessed(state.iterations() * 2 * size);
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(size));
 }
 BENCHMARK(BM_IntersectCardKernel)->Range(64, 1 << 16);
 

@@ -30,7 +30,8 @@ Graph::edgeIndex(VertexId u, VertexId v) const
     auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
     if (it == nbrs.end() || *it != v)
         return -1;
-    return static_cast<std::int64_t>(offsets_[u] + (it - nbrs.begin()));
+    return static_cast<std::int64_t>(
+        offsets_[u] + static_cast<std::size_t>(it - nbrs.begin()));
 }
 
 Label

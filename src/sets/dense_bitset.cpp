@@ -90,7 +90,8 @@ DenseBitset::collect(std::vector<Element> &out) const
     for (std::size_t w = 0; w < words_.size(); ++w) {
         std::uint64_t word = words_[w];
         while (word) {
-            const unsigned bit = std::countr_zero(word);
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(word));
             out.push_back(static_cast<Element>((w << 6) + bit));
             word &= word - 1;
         }

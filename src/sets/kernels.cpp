@@ -439,7 +439,7 @@ wordLoop(const std::uint64_t *a, const std::uint64_t *b,
     for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t w = combine(a[i], b[i]);
         out[i] = w;
-        count += std::popcount(w);
+        count += static_cast<std::uint64_t>(std::popcount(w));
     }
     return count;
 }
@@ -476,7 +476,7 @@ andCardWords(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
 {
     std::uint64_t count = 0;
     for (std::size_t i = 0; i < n; ++i)
-        count += std::popcount(a[i] & b[i]);
+        count += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
     return count;
 }
 
@@ -485,7 +485,7 @@ popcountWords(const std::uint64_t *a, std::size_t n)
 {
     std::uint64_t count = 0;
     for (std::size_t i = 0; i < n; ++i)
-        count += std::popcount(a[i]);
+        count += static_cast<std::uint64_t>(std::popcount(a[i]));
     return count;
 }
 

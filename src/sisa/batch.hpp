@@ -36,8 +36,32 @@ enum class BatchOpKind : std::uint8_t
 };
 
 /**
- * One operation inside a batch. Operations must be independent: no
- * operand may be the result of another op in the same batch.
+ * One operation inside a batch.
+ *
+ * HAZARD CONTRACT -- what dispatchBatch assumes about independence.
+ * The N operations of one BatchRequest issue concurrently with NO
+ * ordering among them; the SCU routes them to vault lanes and only
+ * lane membership serializes. A batch is well-formed iff:
+ *
+ *  1. Every operand id (`a`, and `b` where the kind reads two
+ *     sources) names a set that is LIVE when the batch is dispatched.
+ *     No operand may be the result of another op in the same batch --
+ *     result ids are allocated at adoption, after every lane retired,
+ *     so such a forward reference cannot even be expressed.
+ *  2. No op in the batch releases, mutates, or converts a set another
+ *     op in the same batch reads. Batch ops are read-only over their
+ *     operands (intersect/union/difference/cardinalities), so this
+ *     holds by construction today; it becomes load-bearing the moment
+ *     a mutating kind is added.
+ *  3. Operand ids resolve to vaults within config().pim.vaults under
+ *     the installed placement policy.
+ *
+ * Violations are undefined behaviour of the simulation model (NOT of
+ * the host process -- the store bounds-checks). ScuConfig.analyze
+ * verifies 1-3 statically before execution (sisa/analysis.hpp):
+ * Warn reports, Strict rejects the dispatch with AnalysisError.
+ * Issuing the same scalar op twice in one batch is legal but wastes
+ * a lane; the analyzer flags it as an INFO-grade RedundantOp.
  *
  * Operand `a` is the PRIMARY operand: under Routing::Primary the SCU
  * routes the op to `a`'s vault (under Routing::MinBytes it runs

@@ -4,6 +4,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "sisa/analysis.hpp"
 #include "support/bits.hpp"
 #include "support/logging.hpp"
 
@@ -1088,6 +1089,31 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     result.entries.resize(n);
     if (n == 0)
         return result;
+
+    // Static pre-execution verification (sisa/analysis.hpp). Sits
+    // BEFORE the dispatch counter so a strict-rejected batch never
+    // consumes a sequence number (fault coordinates stay stable when
+    // the offending batch is fixed and re-issued). Charges no
+    // modeled cycles; with analyze off this branch is the whole cost.
+    if (config_.analyze != AnalyzeMode::Off) {
+        analysis::AnalysisContext actx;
+        actx.store = &store_;
+        actx.vaults = config_.pim.vaults;
+        actx.vaultOf = [this](SetId id) { return vaultOf(id); };
+        analysis::Report report =
+            analysis::analyze(analysis::Program::fromBatch(batch), actx);
+        ctx.bumpCounter("scu.analysis_batches");
+        if (report.errors > 0)
+            ctx.bumpCounter("scu.analysis_errors", report.errors);
+        if (report.warnings > 0)
+            ctx.bumpCounter("scu.analysis_warnings", report.warnings);
+        if (report.hasErrors()) {
+            if (config_.analyze == AnalyzeMode::Strict)
+                throw analysis::AnalysisError(std::move(report));
+            sisa_warn("batch analysis found hazards:\n",
+                      report.toString());
+        }
+    }
 
     // The dispatch coordinate fault points address; maintained even
     // with the injector off (an integer increment) so enabling faults

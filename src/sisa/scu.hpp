@@ -71,6 +71,20 @@ namespace sisa::isa {
  */
 enum class Routing : std::uint8_t { Primary, MinBytes, Balanced };
 
+/**
+ * Static batch verification mode (sisa/analysis.hpp). Off skips the
+ * analyzer entirely -- dispatchBatch is instruction-identical to a
+ * build without the analysis layer (the zero-overhead guarantee,
+ * pinned by the golden trace). Warn analyzes every batch before
+ * execution and reports findings (scu.analysis_* counters, one
+ * warning line per offending dispatch) but still executes; Strict
+ * additionally hard-fails the dispatch with analysis::AnalysisError
+ * on any ERROR-severity diagnostic, BEFORE the batch consumes a
+ * dispatch sequence number or charges any cycle. The analyzer is
+ * host-side tooling: no mode charges modeled cycles.
+ */
+enum class AnalyzeMode : std::uint8_t { Off, Warn, Strict };
+
 /** SCU configuration (Sections 8.2, 8.4, 9.1). */
 struct ScuConfig
 {
@@ -123,6 +137,12 @@ struct ScuConfig
      * without the fault layer (the zero-overhead guarantee).
      */
     FaultConfig faults{};
+    /**
+     * Static pre-execution verification of every dispatched batch
+     * (operand liveness, vault range, duplicate-lane waste -- the
+     * sisa/batch.hpp hazard contract). Off by default.
+     */
+    AnalyzeMode analyze = AnalyzeMode::Off;
 };
 
 /** Which backend executed an instruction (for counters/tests). */

@@ -59,7 +59,7 @@ class AlgoTest
     std::uint32_t
     threads() const
     {
-        return std::get<1>(GetParam());
+        return static_cast<std::uint32_t>(std::get<1>(GetParam()));
     }
 };
 

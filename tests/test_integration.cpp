@@ -181,7 +181,8 @@ TEST(Integration, StorageBudgetRespected)
     core::SetGraph sg(g, eng, policy);
     EXPECT_LE(sg.assignment().chosenBits,
               static_cast<std::uint64_t>(
-                  1.1 * sg.assignment().saOnlyBits) +
+                  1.1 *
+                  static_cast<double>(sg.assignment().saOnlyBits)) +
                   g.numVertices());
     EXPECT_GT(sg.assignment().denseCount, 0u);
 }
@@ -262,7 +263,7 @@ TEST(Integration, FixedBandwidthStallsGrowWithThreads)
         for (sim::ThreadId t = 0; t < threads; ++t)
             mean += ctx.threadStall(t) > 0
                         ? static_cast<double>(ctx.threadStall(t)) /
-                              ctx.threadCycles(t)
+                              static_cast<double>(ctx.threadCycles(t))
                         : 0.0;
         return mean / threads;
     };

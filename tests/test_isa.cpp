@@ -550,7 +550,8 @@ TEST(IntersectMany, CheaperThanChainedPairwise)
     std::vector<SetId> ops_a, ops_b;
     for (int i = 0; i < 5; ++i) {
         std::vector<sisa::sets::Element> elems;
-        for (sisa::sets::Element e = 0; e < 2048; e += (i + 2))
+        for (sisa::sets::Element e = 0; e < 2048;
+             e += static_cast<sisa::sets::Element>(i + 2))
             elems.push_back(e);
         ops_a.push_back(store_a.createFromSorted(
             elems, SetRepr::DenseBitvector));
@@ -564,7 +565,7 @@ TEST(IntersectMany, CheaperThanChainedPairwise)
 
     const auto before_b = ctx_b.threadCycles(0);
     SetId acc = scu_b.intersect(ctx_b, 0, ops_b[0], ops_b[1]);
-    for (int i = 2; i < 5; ++i) {
+    for (std::size_t i = 2; i < 5; ++i) {
         const SetId next = scu_b.intersect(ctx_b, 0, acc, ops_b[i]);
         scu_b.destroy(ctx_b, 0, acc);
         acc = next;
@@ -924,14 +925,14 @@ TEST(BatchDispatch, ChargesSlowestVaultNotSum)
             store.createFromSorted(big, SetRepr::SparseArray));
 
     BatchRequest req;
-    for (int s = 0; s < 8; s += 2)
+    for (std::size_t s = 0; s < 8; s += 2)
         req.intersectCard(sets[s], sets[s + 1]);
 
     const BatchResult res = scu.dispatchBatch(ctx_batch, 0, req);
     for (const BatchEntry &entry : res.entries)
         EXPECT_EQ(entry.value, 3000u);
 
-    for (int s = 0; s < 8; s += 2)
+    for (std::size_t s = 0; s < 8; s += 2)
         scu.intersectCard(ctx_serial, 0, sets[s], sets[s + 1]);
 
     // All four ops hash to at least two distinct vaults here, so the

@@ -77,16 +77,16 @@ checkAllKernels(const std::vector<Element> &a,
 
     // Vectorized merge kernels.
     std::size_t n = kernels::intersect(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_inter);
     EXPECT_EQ(kernels::intersectCard(a, b), ref_inter.size());
 
     n = kernels::setUnion(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_union);
 
     n = kernels::difference(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_diff);
 
     // Galloping kernels (streamed operand is the smaller one).
@@ -94,7 +94,7 @@ checkAllKernels(const std::vector<Element> &a,
     const auto &large = a.size() <= b.size() ? b : a;
     std::uint64_t probes = 0;
     n = kernels::intersectGallop(small, large, out.data(), probes);
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_inter);
     probes = 0;
     EXPECT_EQ(kernels::intersectCardGallop(small, large, probes),
@@ -102,24 +102,24 @@ checkAllKernels(const std::vector<Element> &a,
 
     probes = 0;
     n = kernels::unionGallop(small, large, out.data(), probes);
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_union);
 
     probes = 0;
     n = kernels::differenceGallop(a, b, out.data(), probes);
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_diff);
 
     // The scalar reference kernels must agree too.
     n = kernels::ref::intersect(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_inter);
     EXPECT_EQ(kernels::ref::intersectCard(a, b), ref_inter.size());
     n = kernels::ref::setUnion(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_union);
     n = kernels::ref::difference(a, b, out.data());
-    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + n),
+    EXPECT_EQ(std::vector<Element>(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n)),
               ref_diff);
 }
 
@@ -188,7 +188,7 @@ TEST(Kernels, EdgeCases)
 TEST(Kernels, LowerBoundMatchesStdAndChargesClosedForm)
 {
     Xoshiro256 rng(7);
-    for (const std::size_t size : {0, 1, 2, 3, 8, 100, 1000}) {
+    for (const std::size_t size : {0u, 1u, 2u, 3u, 8u, 100u, 1000u}) {
         const auto v = randomSorted(rng, 1u << 16, size);
         for (int trial = 0; trial < 200; ++trial) {
             const Element target =
@@ -198,7 +198,8 @@ TEST(Kernels, LowerBoundMatchesStdAndChargesClosedForm)
                   std::uint64_t{v.size()}}) {
                 const auto r = kernels::lowerBound(v, lo, target);
                 const auto expect = static_cast<std::uint64_t>(
-                    std::lower_bound(v.begin() + lo, v.end(), target) -
+                    std::lower_bound(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                                     v.end(), target) -
                     v.begin());
                 EXPECT_EQ(r.pos, expect);
                 const std::uint64_t len = v.size() - lo;
@@ -227,7 +228,7 @@ TEST(Kernels, CountNotGreaterMatchesUpperBound)
 TEST(Kernels, WordKernelsMatchScalarAndAllowAliasing)
 {
     Xoshiro256 rng(99);
-    for (const std::size_t n : {0, 1, 3, 4, 5, 16, 129}) {
+    for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 16u, 129u}) {
         std::vector<std::uint64_t> a(n), b(n);
         for (auto &w : a)
             w = rng();
@@ -237,9 +238,12 @@ TEST(Kernels, WordKernelsMatchScalarAndAllowAliasing)
         std::vector<std::uint64_t> expect(n);
         std::uint64_t expect_and = 0, expect_or = 0, expect_andnot = 0;
         for (std::size_t i = 0; i < n; ++i) {
-            expect_and += std::popcount(a[i] & b[i]);
-            expect_or += std::popcount(a[i] | b[i]);
-            expect_andnot += std::popcount(a[i] & ~b[i]);
+            expect_and +=
+                static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+            expect_or +=
+                static_cast<std::uint64_t>(std::popcount(a[i] | b[i]));
+            expect_andnot +=
+                static_cast<std::uint64_t>(std::popcount(a[i] & ~b[i]));
         }
 
         std::vector<std::uint64_t> out(n);
@@ -301,7 +305,7 @@ mergeStreamFormula(const SortedArraySet &a, const SortedArraySet &b)
 
 TEST(OpWorkFormulas, IntersectMerge)
 {
-    for (const std::uint64_t seed : {1, 2, 3}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
         const auto c = makeOpCase(seed, 2048, 200, 150);
         OpWork w;
         const auto out = intersectMerge(c.a, c.b, w);

@@ -179,7 +179,9 @@ class SetOpSweep : public ::testing::TestWithParam<SweepParam>
     sets() const
     {
         const auto [seed, sa, sb] = GetParam();
-        return makeRandomSets(seed, 512, sa, sb);
+        return makeRandomSets(static_cast<std::uint64_t>(seed), 512,
+                              static_cast<std::size_t>(sa),
+                              static_cast<std::size_t>(sb));
     }
 };
 
@@ -365,7 +367,9 @@ TEST(ReprPolicy, BudgetLimitsDenseCount)
     const auto out = chooseRepresentations(degrees, 10000, policy);
     EXPECT_LT(out.denseCount, 100u);
     EXPECT_LE(out.chosenBits,
-              static_cast<std::uint64_t>(1.1 * out.saOnlyBits) + 10000);
+              static_cast<std::uint64_t>(
+                  1.1 * static_cast<double>(out.saOnlyBits)) +
+                  10000);
 }
 
 TEST(ReprPolicy, DenseSavesStorageForHugeNeighborhoods)

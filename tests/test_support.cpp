@@ -219,7 +219,7 @@ class StatsSweep : public ::testing::TestWithParam<int>
 TEST_P(StatsSweep, GeomeanBetweenMinAndMax)
 {
     // Property: min <= geomean <= max for positive samples.
-    Xoshiro256 rng(GetParam());
+    Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
     std::vector<double> samples;
     for (int i = 0; i < 50; ++i)
         samples.push_back(rng.nextDouble() + 0.01);

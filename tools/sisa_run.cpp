@@ -6,6 +6,7 @@
  *
  *   sisa_run <problem> <dataset> <mode> [threads] [cutoff]
  *            [placement] [routing] [replace] [faults=SPEC]
+ *            [analyze=MODE]
  *
  *   problem:   tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
  *              cl-jac | cl-ovr | cl-tot
@@ -32,6 +33,17 @@
  *              results and permanently fails vault 2 at dispatch 3;
  *              recovery counters (scu.retries, scu.quarantines,
  *              setops.recovery_bytes) appear in the output.
+ *   analyze:   analyze=off|warn|strict|trace[:FILE] (sisa mode) --
+ *              static program verification (sisa/analysis.hpp).
+ *              warn/strict verify every batch before the SCU
+ *              executes it (scu.analysis_* counters; strict rejects
+ *              hazardous batches, exit 3); trace records the run's
+ *              full instruction stream and lints it offline after
+ *              the run, printing the report (and writing the JSON
+ *              report to FILE when given -- the schema
+ *              tools/check_bench_json.py --analysis validates),
+ *              exit 4 on ERROR findings. faults= and analyze= may
+ *              appear in either order.
  *
  * Every argument is validated up front: unknown tokens, non-numeric
  * counts, unknown datasets, and unreadable/malformed graph files all
@@ -46,7 +58,9 @@
 #include "graph/dataset_registry.hpp"
 #include "graph/io.hpp"
 #include "harness.hpp"
+#include "sisa/analysis.hpp"
 #include "sisa/faults.hpp"
+#include "sisa/trace.hpp"
 
 using namespace sisa;
 using namespace sisa::bench;
@@ -73,7 +87,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <problem> <dataset> <mode> [threads] "
                  "[cutoff] [placement] [routing] [replace] "
-                 "[faults=SPEC]\n"
+                 "[faults=SPEC] [analyze=MODE]\n"
                  "       %s --list\n"
                  "       dataset:   registry name (--list) or "
                  "file:PATH (edge list)\n"
@@ -85,7 +99,9 @@ usage(const char *argv0)
                  "(sisa mode only)\n"
                  "       faults:    faults=key=val,... e.g. "
                  "faults=seed=7,corrupt=0.02,fail=3@2 "
-                 "(sisa mode only)\n",
+                 "(sisa mode only)\n"
+                 "       analyze:   analyze=off | warn | strict | "
+                 "trace[:FILE] (sisa mode only)\n",
                  argv0, argv0);
     return 2;
 }
@@ -175,32 +191,81 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (argc > 9) {
-        const std::string spec = argv[9];
-        if (spec.rfind("faults=", 0) != 0) {
-            std::fprintf(stderr, "expected faults=SPEC, got '%s'\n",
-                         spec.c_str());
+    // Trailing arguments are order-flexible key=value specs.
+    bool have_faults = false;
+    bool have_analyze = false;
+    bool lint_trace = false;
+    std::string trace_json;
+    for (int i = 9; i < argc; ++i) {
+        const std::string spec = argv[i];
+        if (spec.rfind("faults=", 0) == 0) {
+            if (have_faults) {
+                std::fprintf(stderr, "duplicate faults= spec\n");
+                return usage(argv[0]);
+            }
+            have_faults = true;
+            if (mode != Mode::Sisa) {
+                std::fprintf(
+                    stderr,
+                    "faults are only meaningful in sisa mode\n");
+                return usage(argv[0]);
+            }
+            std::string error;
+            const auto faults =
+                isa::parseFaultSpec(spec.substr(7), &error);
+            if (!faults) {
+                std::fprintf(stderr, "bad fault spec: %s\n",
+                             error.c_str());
+                return usage(argv[0]);
+            }
+            config.scu.faults = *faults;
+        } else if (spec.rfind("analyze=", 0) == 0) {
+            if (have_analyze) {
+                std::fprintf(stderr, "duplicate analyze= spec\n");
+                return usage(argv[0]);
+            }
+            have_analyze = true;
+            if (mode != Mode::Sisa) {
+                std::fprintf(
+                    stderr,
+                    "analyze is only meaningful in sisa mode\n");
+                return usage(argv[0]);
+            }
+            const std::string value = spec.substr(8);
+            if (value == "off") {
+                config.scu.analyze = isa::AnalyzeMode::Off;
+            } else if (value == "warn") {
+                config.scu.analyze = isa::AnalyzeMode::Warn;
+            } else if (value == "strict") {
+                config.scu.analyze = isa::AnalyzeMode::Strict;
+            } else if (value == "trace" ||
+                       value.rfind("trace:", 0) == 0) {
+                lint_trace = true;
+                if (value.rfind("trace:", 0) == 0) {
+                    trace_json = value.substr(6);
+                    if (trace_json.empty()) {
+                        std::fprintf(stderr,
+                                     "analyze=trace: needs a file "
+                                     "path after the colon\n");
+                        return usage(argv[0]);
+                    }
+                }
+            } else {
+                std::fprintf(stderr,
+                             "bad analyze mode '%s' (off | warn | "
+                             "strict | trace[:FILE])\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         argv[i]);
             return usage(argv[0]);
         }
-        if (mode != Mode::Sisa) {
-            std::fprintf(stderr,
-                         "faults are only meaningful in sisa mode\n");
-            return usage(argv[0]);
-        }
-        std::string error;
-        const auto faults =
-            isa::parseFaultSpec(spec.substr(7), &error);
-        if (!faults) {
-            std::fprintf(stderr, "bad fault spec: %s\n",
-                         error.c_str());
-            return usage(argv[0]);
-        }
-        config.scu.faults = *faults;
     }
-    if (argc > 10) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", argv[10]);
-        return usage(argv[0]);
-    }
+    isa::InstructionTrace trace;
+    if (lint_trace)
+        config.trace = &trace;
     if (problem == "si-4s-L")
         config.labels = 3;
 
@@ -239,7 +304,15 @@ main(int argc, char **argv)
                 : config.replace        ? "dynamic"
                                         : "none");
 
-    const RunOutcome outcome = runProblem(problem, g, mode, config);
+    RunOutcome outcome;
+    try {
+        outcome = runProblem(problem, g, mode, config);
+    } catch (const isa::analysis::AnalysisError &e) {
+        std::fprintf(stderr,
+                     "strict analysis rejected a batch:\n%s",
+                     e.report().toString().c_str());
+        return 3;
+    }
 
     std::printf("\ncycles (makespan): %llu\n",
                 static_cast<unsigned long long>(outcome.cycles));
@@ -251,6 +324,37 @@ main(int argc, char **argv)
     for (const auto &[name, value] : outcome.ctx->counters()) {
         std::printf("  %-24s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+    }
+
+    // Offline lint of the recorded instruction stream.
+    if (lint_trace) {
+        namespace analysis = isa::analysis;
+        const analysis::Program program =
+            analysis::Program::fromWords(trace.words());
+        const analysis::Report report = analysis::analyze(program);
+        const analysis::DependencyGraph dag(program);
+        std::printf("\nstatic analysis of the recorded trace:\n%s",
+                    report.toString().c_str());
+        std::printf("dependency graph: %llu ops, %llu edges, "
+                    "%u issue waves\n",
+                    static_cast<unsigned long long>(dag.size()),
+                    static_cast<unsigned long long>(dag.edgeCount()),
+                    dag.depth());
+        if (!trace_json.empty()) {
+            std::FILE *out = std::fopen(trace_json.c_str(), "w");
+            if (!out) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             trace_json.c_str());
+                return 2;
+            }
+            const std::string json = report.toJson();
+            std::fwrite(json.data(), 1, json.size(), out);
+            std::fclose(out);
+            std::printf("analysis report written to %s\n",
+                        trace_json.c_str());
+        }
+        if (report.hasErrors())
+            return 4;
     }
     return 0;
 }
