@@ -99,7 +99,7 @@ struct RunConfig
 };
 
 /** Build the named placement policy over @p sg's traffic arcs. */
-inline std::shared_ptr<const isa::PlacementPolicy>
+inline std::shared_ptr<isa::PlacementPolicy>
 makePlacement(const std::string &name, std::uint32_t vaults,
               const core::SetGraph &sg)
 {

@@ -510,6 +510,30 @@ runKernelSweep(const std::string &json_path)
         add("fault_tc_rmat9_xvault_bytes", g.numVertices(),
             static_cast<double>(locality.moved_bytes),
             static_cast<double>(faulted.moved_bytes), "bytes");
+        // Async dispatch rows: the same fixed-seed kernels with the
+        // SCU's in-flight batch window open (asyncDepth 8) vs the
+        // per-batch barrier. Results, ids, traces, and work counters
+        // are bit-identical (the differential suite in
+        // tests/test_async.cpp proves it); only the modeled makespan
+        // moves, so "speedup" here is the barrier-retirement win.
+        const auto run_async = [&](const char *problem,
+                                   std::uint32_t depth) {
+            bench::RunConfig rc;
+            rc.threads = 4;
+            rc.cutoff = 0;
+            rc.placement = "locality";
+            rc.routing = "balanced";
+            rc.scu.asyncDepth = depth;
+            bench::RunOutcome out =
+                bench::runProblem(problem, g, bench::Mode::Sisa, rc);
+            return out.cycles;
+        };
+        add("async_tc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(run_async("tc", 0)),
+            static_cast<double>(run_async("tc", 8)), "cycles");
+        add("async_mc_rmat9_cycles", g.numVertices(),
+            static_cast<double>(run_async("mc", 0)),
+            static_cast<double>(run_async("mc", 8)), "cycles");
     }
 
     // Remote-operand dedup guard: one vault serializing 512 ops whose

@@ -65,8 +65,8 @@ struct BkTask
         pivot_batch.reserve(members.size());
         for (sets::Element u : members)
             pivot_batch.intersectCard(sg.neighborhood(u), p);
-        const core::BatchResult gains =
-            eng.executeBatch(ctx, tid, pivot_batch);
+        const core::BatchResult gains = eng.collectBatch(
+            ctx, tid, eng.executeBatchAsync(ctx, tid, pivot_batch));
         VertexId pivot = graph::invalid_vertex;
         std::uint64_t best = 0;
         for (std::size_t i = 0; i < members.size(); ++i) {
@@ -92,8 +92,8 @@ struct BkTask
             child.clear();
             child.intersect(p, sg.neighborhood(v));
             child.intersect(x, sg.neighborhood(v));
-            const core::BatchResult next =
-                eng.executeBatch(ctx, tid, child);
+            const core::BatchResult next = eng.collectBatch(
+                ctx, tid, eng.executeBatchAsync(ctx, tid, child));
             const core::SetId p_next = next.entries[0].set;
             const core::SetId x_next = next.entries[1].set;
             clique.push_back(v);
@@ -141,6 +141,7 @@ maximalCliques(SetGraph &sg, sim::SimContext &ctx,
         BkTask task{sg, eng, ctx, tid, result, on_clique, {v}};
         task.recurse(p, x);
     });
+    eng.drainBatches(ctx, 0); // Retire the last thread's window.
     return result;
 }
 

@@ -68,8 +68,8 @@ struct KcTask
             for (std::size_t idx = base; idx < chunk_end; ++idx)
                 batch.intersect(sg.neighborhood(elems[idx]), c_i,
                                 variant);
-            const core::BatchResult res =
-                eng.executeBatch(ctx, tid, batch);
+            const core::BatchResult res = eng.collectBatch(
+                ctx, tid, eng.executeBatchAsync(ctx, tid, batch));
             for (std::size_t idx = base; idx < chunk_end; ++idx) {
                 const core::SetId c_next =
                     res.entries[idx - base].set;
@@ -106,6 +106,7 @@ runKClique(OrientedSetGraph &osg, sim::SimContext &ctx, std::uint32_t k,
         KcTask task{osg, eng, ctx, tid, k, variant, on_clique, {u}};
         partial[tid] += task.count(2, c2);
     });
+    eng.drainBatches(ctx, 0); // Retire the last thread's window.
 
     std::uint64_t total = 0;
     for (std::uint64_t p : partial)
@@ -154,8 +155,9 @@ fourCliqueCount(OrientedSetGraph &osg, sim::SimContext &ctx)
                 batch.reserve(wedge.size());
                 for (sets::Element v3 : wedge)
                     batch.intersectCard(sg.neighborhood(v3), s1);
-                const core::BatchResult res =
-                    eng.executeBatch(ctx, tid, batch);
+                const core::BatchResult res = eng.collectBatch(
+                    ctx, tid,
+                    eng.executeBatchAsync(ctx, tid, batch));
                 for (const core::BatchEntry &entry : res.entries) {
                     const std::uint64_t found = entry.value;
                     partial[tid] += found;
@@ -170,6 +172,7 @@ fourCliqueCount(OrientedSetGraph &osg, sim::SimContext &ctx)
             eng.destroy(ctx, tid, s1);
         }
     });
+    eng.drainBatches(ctx, 0); // Retire the last thread's window.
 
     std::uint64_t total = 0;
     for (std::uint64_t p : partial)

@@ -29,7 +29,12 @@ triangleCount(OrientedSetGraph &osg, sim::SimContext &ctx,
             batch.intersectCard(sg.neighborhood(w), sg.neighborhood(v),
                                 variant);
         }
-        const core::BatchResult res = eng.executeBatch(ctx, tid, batch);
+        // Async issue at the same program point as the barriered
+        // dispatch: results forward immediately (the front end is
+        // in-order), while the batch's makespan retires lazily so
+        // successive neighborhoods overlap in modeled time.
+        const core::BatchResult res = eng.collectBatch(
+            ctx, tid, eng.executeBatchAsync(ctx, tid, batch));
         for (const core::BatchEntry &entry : res.entries) {
             const std::uint64_t found = entry.value;
             partial[tid] += found;
@@ -41,6 +46,7 @@ triangleCount(OrientedSetGraph &osg, sim::SimContext &ctx,
                 break;
         }
     });
+    eng.drainBatches(ctx, 0); // Retire the last thread's window.
 
     std::uint64_t total = 0;
     for (std::uint64_t p : partial)
@@ -66,10 +72,12 @@ triangleCountNodeIterator(SetGraph &sg, sim::SimContext &ctx)
         // The varying neighborhood routes the op to its vault.
         for (VertexId w : nbrs)
             batch.intersectCard(sg.neighborhood(w), sg.neighborhood(v));
-        const core::BatchResult res = eng.executeBatch(ctx, tid, batch);
+        const core::BatchResult res = eng.collectBatch(
+            ctx, tid, eng.executeBatchAsync(ctx, tid, batch));
         for (const core::BatchEntry &entry : res.entries)
             partial[tid] += entry.value;
     });
+    eng.drainBatches(ctx, 0); // Retire the last thread's window.
 
     std::uint64_t total = 0;
     for (std::uint64_t p : partial)

@@ -19,16 +19,20 @@
 #define SISA_CORE_SET_ENGINE_HPP
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/context.hpp"
 #include "sisa/batch.hpp"
 #include "sisa/isa.hpp"
 #include "sisa/set_store.hpp"
+#include "support/logging.hpp"
 
 namespace sisa::core {
 
 using isa::BatchEntry;
+using isa::BatchHandle;
 using isa::BatchOp;
 using isa::BatchOpKind;
 using isa::BatchRequest;
@@ -89,6 +93,63 @@ class SetEngine
                                      sim::ThreadId tid,
                                      const BatchRequest &batch) = 0;
 
+    /**
+     * executeBatch without the barrier: issue @p batch and get a
+     * single-use ticket for its result. The functional results are
+     * complete at issue (the front end is in-order), so collectBatch
+     * may be called immediately and never charges cycles; what the
+     * async form buys is MODELED overlap -- an engine with an
+     * in-flight window (the SISA engine with ScuConfig.asyncDepth >
+     * 0) retires the batch's makespan lazily, letting independent
+     * batches share vault lanes in time. Engines without a window
+     * (the CPU engine, or the SCU with asyncDepth = 0) degrade to
+     * executeBatch plus an immediately-retired ticket, so algorithms
+     * can use this API unconditionally: results, ids, traces, and
+     * work counters are bit-identical either way.
+     */
+    virtual BatchHandle
+    executeBatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
+                      const BatchRequest &batch)
+    {
+        const std::uint64_t ticket = nextImmediateTicket_++;
+        immediateResults_.emplace(ticket,
+                                  executeBatch(ctx, tid, batch));
+        return BatchHandle{ticket};
+    }
+
+    /**
+     * Redeem a ticket from executeBatchAsync (single use). Never
+     * charges cycles -- value forwarding, not synchronization.
+     */
+    virtual BatchResult
+    collectBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                 BatchHandle handle)
+    {
+        (void)ctx;
+        (void)tid;
+        const auto it = immediateResults_.find(handle.ticket);
+        sisa_assert(it != immediateResults_.end(),
+                    "collectBatch: unknown or already-collected "
+                    "ticket");
+        BatchResult out = std::move(it->second);
+        immediateResults_.erase(it);
+        return out;
+    }
+
+    /**
+     * Retire every in-flight async batch, charging (ctx, tid) any
+     * pending modeled wait. Algorithms call this where the barriered
+     * formulation had its last implicit barrier (e.g. after a
+     * per-thread work loop), so async and barriered runs end at the
+     * same synchronization points. A no-op on engines without a
+     * window.
+     */
+    virtual void drainBatches(sim::SimContext &ctx, sim::ThreadId tid)
+    {
+        (void)ctx;
+        (void)tid;
+    }
+
     // --- Element operations -----------------------------------------------
 
     virtual std::uint64_t cardinality(sim::SimContext &ctx,
@@ -127,6 +188,11 @@ class SetEngine
      */
     virtual std::vector<Element> elements(sim::SimContext &ctx,
                                           sim::ThreadId tid, SetId a) = 0;
+
+  private:
+    /** Backing store of the default (immediate) async-batch API. */
+    std::unordered_map<std::uint64_t, BatchResult> immediateResults_;
+    std::uint64_t nextImmediateTicket_ = 0;
 };
 
 } // namespace sisa::core

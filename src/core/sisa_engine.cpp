@@ -52,6 +52,26 @@ SisaEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
     return scu_.dispatchBatch(ctx, tid, batch);
 }
 
+BatchHandle
+SisaEngine::executeBatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
+                              const BatchRequest &batch)
+{
+    return scu_.dispatchAsync(ctx, tid, batch);
+}
+
+BatchResult
+SisaEngine::collectBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                         BatchHandle handle)
+{
+    return scu_.collectBatch(ctx, tid, handle);
+}
+
+void
+SisaEngine::drainBatches(sim::SimContext &ctx, sim::ThreadId tid)
+{
+    scu_.drainWindow(ctx, tid);
+}
+
 std::uint64_t
 SisaEngine::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
@@ -114,6 +134,9 @@ SisaEngine::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 std::vector<Element>
 SisaEngine::elements(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
+    // A pending async result cannot stream out before its batch's
+    // modeled completion: RAW edge into the SCU's in-flight window.
+    scu_.syncRead(ctx, tid, a);
     // The host core streams the set out of the vault at b_M: all of a
     // DB's 8-byte words (rounded up -- sub-word universes still move
     // one word), or the SA's 4-byte elements.

@@ -48,6 +48,12 @@ class SisaEngine : public SetEngine
                             SetId a, SetId b) override;
     BatchResult executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
                              const BatchRequest &batch) override;
+    BatchHandle executeBatchAsync(sim::SimContext &ctx,
+                                  sim::ThreadId tid,
+                                  const BatchRequest &batch) override;
+    BatchResult collectBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                             BatchHandle handle) override;
+    void drainBatches(sim::SimContext &ctx, sim::ThreadId tid) override;
     std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
                               SetId a) override;
     bool member(sim::SimContext &ctx, sim::ThreadId tid, SetId a,

@@ -63,6 +63,30 @@ enum class BatchOpKind : std::uint8_t
  * Issuing the same scalar op twice in one batch is legal but wastes
  * a lane; the analyzer flags it as an INFO-grade RedundantOp.
  *
+ * CROSS-BATCH HAZARDS -- what the async window adds on top. With
+ * ScuConfig.asyncDepth > 0 the SCU keeps up to asyncDepth dispatches
+ * in flight (Scu::dispatchAsync), so batches may OVERLAP in modeled
+ * time. The in-order front end preserves the contract: every dispatch
+ * still executes functionally, adopts result ids, records its trace,
+ * and bumps its counters in program order at dispatch time, and the
+ * window's scoreboard (analysis::DependencyWindow) joins each new
+ * batch's lifted Program against the unretired defs so that
+ *
+ *  - RAW: an op reading a pending result cannot start before the
+ *    producing batch's modeled completion;
+ *  - WAR: a serial mutation (insert/remove/destroy) of a set that a
+ *    pending op reads stalls to the last modeled read of that set;
+ *  - WAW: destroy forgets the id from the scoreboard, so a recycled
+ *    id starts with a clean dependency slate.
+ *
+ * Because the functional front end is in-order, `analyze=strict`
+ * under overlap verifies exactly what it verifies in barriered mode:
+ * each batch is checked (and rejected, with the window intact)
+ * against the store state produced by every earlier dispatch and
+ * serial op, before its ops enter the window. Overlap moves cycle
+ * charges only; results, ids, traces, and functional counters are
+ * bit-identical to asyncDepth = 0.
+ *
  * Operand `a` is the PRIMARY operand: under Routing::Primary the SCU
  * routes the op to `a`'s vault (under Routing::MinBytes it runs
  * where the bigger operand lives, with ties keeping `a`'s vault),
@@ -165,6 +189,24 @@ struct BatchResult
     BatchFaultSummary faults;
 
     std::size_t size() const { return entries.size(); }
+};
+
+/**
+ * Ticket for one in-flight async dispatch (Scu::dispatchAsync /
+ * SetEngine::executeBatchAsync). The functional BatchResult is
+ * complete the moment the ticket is issued -- the front end executes
+ * in order -- so collectBatch() forwards it without charging cycles
+ * (ROB-style value forwarding); modeled time settles when the batch
+ * retires (window overflow, a dependent read, or drainBatches).
+ * Tickets are single-use: collecting one invalidates it.
+ */
+struct BatchHandle
+{
+    static constexpr std::uint64_t invalid_ticket = UINT64_MAX;
+
+    std::uint64_t ticket = invalid_ticket;
+
+    bool valid() const { return ticket != invalid_ticket; }
 };
 
 } // namespace sisa::isa

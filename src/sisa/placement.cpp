@@ -85,8 +85,7 @@ DynamicPlacement::DynamicPlacement(
 
 void
 DynamicPlacement::observe(SetId id, std::uint32_t from,
-                          std::uint32_t into,
-                          std::uint64_t bytes) const
+                          std::uint32_t into, std::uint64_t bytes)
 {
     Heat &heat = heat_[id];
     heat.from = from;
@@ -101,7 +100,7 @@ DynamicPlacement::observe(SetId id, std::uint32_t from,
 }
 
 std::vector<MigrationEvent>
-DynamicPlacement::collectMigrations() const
+DynamicPlacement::collectMigrations()
 {
     std::vector<MigrationEvent> events;
     for (auto it = heat_.begin(); it != heat_.end();) {
@@ -141,7 +140,7 @@ DynamicPlacement::collectMigrations() const
 }
 
 void
-DynamicPlacement::decayBarrier() const
+DynamicPlacement::decayBarrier()
 {
     if (config_.decayHalfLife == 0)
         return;
@@ -166,12 +165,12 @@ DynamicPlacement::decayBarrier() const
 }
 
 void
-DynamicPlacement::forget(SetId id) const
+DynamicPlacement::forget(SetId id)
 {
     heat_.erase(id);
 }
 
-std::shared_ptr<const LocalityPlacement>
+std::shared_ptr<LocalityPlacement>
 greedyLocalityPlacement(std::uint32_t vaults,
                         const std::vector<TrafficArc> &arcs,
                         double capacity_slack)

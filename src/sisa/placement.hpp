@@ -43,11 +43,14 @@
  * produced them, so recursion intermediates (BK, k-clique) stay
  * local instead of falling back to the hash assignment.
  *
- * DynamicPlacement is the one deliberate exception to the frozen-
- * state rule: its observation tables mutate through const methods
- * (the Scu only holds policies by const pointer). That mutation
- * happens exclusively on the dispatching thread at batch barriers,
- * so a policy instance must not be shared between Scus.
+ * DynamicPlacement is the one policy with mutable observation state,
+ * and its barrier hooks (observe / collectMigrations / decayBarrier /
+ * forget) are NON-const so the mutation is visible in the type system
+ * -- the Scu keeps a separate non-const handle to the installed
+ * DynamicPlacement for exactly those calls, while routing still goes
+ * through the const vaultOf interface. All mutation happens on the
+ * dispatching thread at batch barriers, so a policy instance must not
+ * be shared between Scus.
  */
 
 #ifndef SISA_SISA_PLACEMENT_HPP
@@ -207,9 +210,10 @@ struct MigrationEvent
  * an explicit b_L interconnect transfer (scu.migrations /
  * setops.migration_bytes).
  *
- * The observation tables are mutable state behind const methods (see
- * the file comment); all mutation happens on the dispatching thread
- * at barriers. Heat resets on migration, so a set must earn another
+ * The observation hooks are non-const (see the file comment): the
+ * SCU calls them through its dedicated DynamicPlacement handle, and
+ * all mutation happens on the dispatching thread at barriers. Heat
+ * resets on migration, so a set must earn another
  * migrateFactor x footprint of traffic before it moves again
  * (ping-pong damping). Deterministic: decisions depend only on the
  * observation sequence, never on hash iteration order.
@@ -236,14 +240,14 @@ class DynamicPlacement final : public PlacementPolicy
      * homed in @p from) was pulled into @p into, moving @p bytes.
      */
     void observe(SetId id, std::uint32_t from, std::uint32_t into,
-                 std::uint64_t bytes) const;
+                 std::uint64_t bytes);
 
     /**
      * Drain the sets whose observed traffic crossed the migration
      * threshold, sorted by id (deterministic order). Their heat
      * records are erased.
      */
-    std::vector<MigrationEvent> collectMigrations() const;
+    std::vector<MigrationEvent> collectMigrations();
 
     /**
      * Close one dispatch barrier: after decayHalfLife barriers, halve
@@ -251,10 +255,10 @@ class DynamicPlacement final : public PlacementPolicy
      * zero. Called by the SCU once per dispatch (after migrations are
      * collected, so the barrier's own observations count in full).
      */
-    void decayBarrier() const;
+    void decayBarrier();
 
     /** Drop all state for @p id (the set was destroyed/recycled). */
-    void forget(SetId id) const;
+    void forget(SetId id);
 
     /** Number of sets currently carrying heat (introspection). */
     std::uint64_t trackedSets() const { return heat_.size(); }
@@ -270,8 +274,8 @@ class DynamicPlacement final : public PlacementPolicy
 
     std::shared_ptr<const PlacementPolicy> base_;
     DynamicPlacementConfig config_;
-    mutable std::unordered_map<SetId, Heat> heat_;
-    mutable std::uint32_t barriersSinceDecay_ = 0;
+    std::unordered_map<SetId, Heat> heat_;
+    std::uint32_t barriersSinceDecay_ = 0;
 };
 
 /**
@@ -398,7 +402,7 @@ struct TrafficArc
  * balance. Sets without placed partners fill the least-loaded vault.
  * Deterministic for a fixed arc list.
  */
-std::shared_ptr<const LocalityPlacement>
+std::shared_ptr<LocalityPlacement>
 greedyLocalityPlacement(std::uint32_t vaults,
                         const std::vector<TrafficArc> &arcs,
                         double capacity_slack = 2.0);

@@ -433,10 +433,17 @@ Scu::applyOutcome(sim::SimContext &ctx, sim::ThreadId tid,
                   const OpOutcome &outcome)
 {
     chargeOutcome(ctx, tid, outcome);
+    retainOrUpdateLastBackend(outcome);
+}
+
+void
+Scu::retainOrUpdateLastBackend(const OpOutcome &outcome)
+{
     // Metadata-only outcomes executed on no backend: lastBackend_
-    // keeps reporting the last op that actually charged one, exactly
-    // like dispatchBatch's backward scan -- serial and batched issue
-    // of the same sequence always agree.
+    // keeps reporting the last op that actually charged one. Serial
+    // issue applies this per op; batched dispatch applies it to the
+    // last charging op of the batch (its backward scan), so both
+    // paths agree on any operation sequence.
     if (outcome.numCharges) {
         lastBackend_ =
             outcome.charges[outcome.numCharges - 1].backend;
@@ -472,6 +479,8 @@ SetId
 Scu::intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
                SisaOp variant)
 {
+    syncRead(ctx, tid, a); // RAW edge into the async window.
+    syncRead(ctx, tid, b);
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     chargeMetadata(ctx, tid, b);
@@ -490,6 +499,8 @@ Scu::intersectMany(sim::SimContext &ctx, sim::ThreadId tid,
                    const std::vector<SetId> &operands)
 {
     sisa_assert(!operands.empty(), "intersectMany needs operands");
+    for (SetId id : operands)
+        syncRead(ctx, tid, id); // RAW edges into the async window.
     // One decode + one metadata round for the whole operand list.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     for (SetId id : operands)
@@ -558,6 +569,8 @@ SetId
 Scu::setUnion(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
               SisaOp variant)
 {
+    syncRead(ctx, tid, a); // RAW edge into the async window.
+    syncRead(ctx, tid, b);
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     chargeMetadata(ctx, tid, b);
@@ -575,6 +588,8 @@ SetId
 Scu::difference(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b,
                 SisaOp variant)
 {
+    syncRead(ctx, tid, a); // RAW edge into the async window.
+    syncRead(ctx, tid, b);
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     chargeMetadata(ctx, tid, b);
@@ -592,6 +607,8 @@ std::uint64_t
 Scu::intersectCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
                    SetId b, SisaOp variant)
 {
+    syncRead(ctx, tid, a); // RAW edge into the async window.
+    syncRead(ctx, tid, b);
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     chargeMetadata(ctx, tid, b);
@@ -610,6 +627,8 @@ Scu::unionCard(sim::SimContext &ctx, sim::ThreadId tid, SetId a, SetId b)
 {
     // |A cup B| = |A| + |B| - |A cap B|: cardinalities are O(1)
     // metadata, so only the intersection cardinality costs cycles.
+    syncRead(ctx, tid, a); // RAW edge into the async window.
+    syncRead(ctx, tid, b);
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     chargeMetadata(ctx, tid, b);
@@ -682,7 +701,7 @@ Scu::resolveRoute(SetId a, SetId b) const
 }
 
 void
-Scu::setPlacement(std::shared_ptr<const PlacementPolicy> policy)
+Scu::setPlacement(std::shared_ptr<PlacementPolicy> policy)
 {
     const std::uint32_t vaults =
         std::max<std::uint32_t>(config_.pim.vaults, 1);
@@ -696,10 +715,12 @@ Scu::setPlacement(std::shared_ptr<const PlacementPolicy> policy)
                   "-vault SCU; falling back to hash placement");
         policy = nullptr;
     }
+    // The non-const handle is taken BEFORE the policy is constified
+    // into the routing view: DynamicPlacement's barrier hooks mutate
+    // observation state, and the type system now says so.
+    dynamic_ = std::dynamic_pointer_cast<DynamicPlacement>(policy);
     placement_ = policy ? std::move(policy)
                         : std::make_shared<HashPlacement>(vaults);
-    dynamic_ =
-        std::dynamic_pointer_cast<const DynamicPlacement>(placement_);
     overlay_.clear();
 }
 
@@ -720,6 +741,10 @@ Scu::forgetPlacement(SetId id)
     overlay_.erase(id);
     if (dynamic_)
         dynamic_->forget(id);
+    // A destroyed (or recycled) id starts with a clean dependency
+    // slate: the WAW rule of the async window's scoreboard.
+    if (windowCtx_)
+        deps_.forget(id);
 }
 
 std::uint64_t
@@ -1080,15 +1105,141 @@ Scu::scheduleBalanced(const BatchRequest &batch)
     }
 }
 
+std::uint32_t
+Scu::buildLanes(std::size_t n)
+{
+    // First-touch grouping of ops by execution vault. The scratch
+    // vault->lane table persists across dispatches; laneVault_ lists
+    // the entries to reset afterwards, so lane order (= order of
+    // first appearance) is deterministic and identical between the
+    // barriered and async paths.
+    vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
+                      UINT32_MAX);
+    laneVault_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t vault = routes_[i].vault;
+        std::uint32_t lane = vaultLane_[vault];
+        if (lane == UINT32_MAX) {
+            lane = static_cast<std::uint32_t>(laneVault_.size());
+            vaultLane_[vault] = lane;
+            laneVault_.push_back(vault);
+            if (laneOps_.size() <= lane)
+                laneOps_.emplace_back();
+            if (laneFetched_.size() <= lane)
+                laneFetched_.emplace_back();
+            laneOps_[lane].clear();
+            laneFetched_[lane].clear();
+        }
+        laneOps_[lane].push_back(i);
+    }
+    // Lanes are fixed now: reset the table for the next dispatch.
+    for (const std::uint32_t vault : laneVault_)
+        vaultLane_[vault] = UINT32_MAX;
+    return static_cast<std::uint32_t>(laneVault_.size());
+}
+
+void
+Scu::chargeLaneOp(sim::SimContext &wctx, sim::ThreadId lane_tid,
+                  std::unordered_set<SetId> &fetched, std::uint32_t l,
+                  std::uint32_t i, std::uint64_t dispatch_idx)
+{
+    // The accounting half of op i on lane l, with `fetched` deduping
+    // the lane's remote operand pulls (scope: one lane within one
+    // dispatch). Shared between the barriered worker charge path,
+    // the permanent-failure recovery replay, and the async window's
+    // virtual-time extraction, so every path bills one rule. The
+    // fault hooks (transfer-drop retransmits, operand/result
+    // checksum verifies, lane stalls) all sit behind the faults_
+    // gate -- with the injector off this body is bit-identical to
+    // the fault-free charge path.
+    const OpRoute &route = routes_[i];
+    const OpOutcome &outcome = outcomes_[i];
+    const bool reads_remote =
+        route.remoteIsB ? outcome.readsB : outcome.readsA;
+    if (route.bytes && reads_remote &&
+        fetched.insert(route.remote).second) {
+        if (faults_) {
+            // Interconnect drops: every lost transfer pays its full
+            // b_L crossing plus the retry backoff, then retransmits;
+            // the payload lands only on the attempt that survives.
+            // The retransmitted bytes are recovery traffic, never
+            // setops.xvault_bytes -- functional accounting stays
+            // fault-free-identical.
+            std::uint32_t attempt = 0;
+            while (faults_->dropsTransfer(dispatch_idx, laneVault_[l],
+                                          route.remote, attempt)) {
+                if (attempt >= faults_->config().maxRetries) {
+                    throw UnrecoverableFaultError(
+                        "transfer of set " +
+                        std::to_string(route.remote) +
+                        " into vault " +
+                        std::to_string(laneVault_[l]) +
+                        " dropped past the retry budget");
+                }
+                wctx.chargeBusy(
+                    lane_tid,
+                    mem::interconnectCycles(config_.pim, route.bytes) +
+                        faults_->backoff(attempt));
+                wctx.bumpCounter("scu.retries");
+                wctx.bumpCounter("setops.recovery_bytes", route.bytes);
+                ++attempt;
+            }
+        }
+        wctx.chargeBusy(lane_tid, mem::interconnectCycles(
+                                      config_.pim, route.bytes));
+        wctx.bumpCounter("scu.xvault_transfers");
+        wctx.bumpCounter("setops.xvault_bytes", route.bytes);
+        if (faults_ && faults_->config().verifyChecksums) {
+            // Operand integrity: the receiving vault streams the
+            // fetched payload once through its checksum unit.
+            wctx.chargeBusy(lane_tid, verifyCycles(route.bytes));
+            wctx.bumpCounter("scu.checksum_verifies");
+        }
+        if (dynamic_) {
+            // Each lane has exactly one charging thread: no
+            // contention on the lane's fetch log.
+            laneFetched_[l].emplace_back(route.remote, route.bytes);
+        }
+    }
+    if (faults_) {
+        const mem::Cycles stall = faults_->stallCycles(dispatch_idx, i);
+        if (stall) {
+            // A transient lane hiccup (queue arbitration glitch,
+            // refresh collision): pure stall cycles, no work.
+            wctx.chargeStall(lane_tid, stall);
+            wctx.bumpCounter("scu.lane_stalls");
+        }
+    }
+    chargeOutcome(wctx, lane_tid, outcome);
+    if (faults_ && faults_->config().verifyChecksums &&
+        outcome.numCharges) {
+        // Result integrity: checksum the result as it streams out
+        // of the vault (the SCU compares on adoption).
+        wctx.chargeBusy(lane_tid, verifyCycles(resultBytes(outcome)));
+        wctx.bumpCounter("scu.checksum_verifies");
+    }
+}
+
 BatchResult
 Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                    const BatchRequest &batch)
 {
+    // A barriered dispatch IS a barrier: close any async window first
+    // (charging its bound thread), so lane clocks and the scoreboard
+    // never leak between the two modes.
+    if (windowCtx_)
+        drainWindow(*windowCtx_, windowTid_);
     BatchResult result;
     const std::size_t n = batch.size();
     result.entries.resize(n);
-    if (n == 0)
+    if (n == 0) {
+        // An empty dispatch is a size-0 use of the scratch: it must
+        // advance the shrink window (and reset its peak), or a burst
+        // followed by a quiet stream of empty dispatches would pin
+        // the burst's allocation forever.
+        maybeShrinkScratch(0);
         return result;
+    }
 
     // Static pre-execution verification (sisa/analysis.hpp). Sits
     // BEFORE the dispatch counter so a strict-rejected batch never
@@ -1108,8 +1259,15 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         if (report.warnings > 0)
             ctx.bumpCounter("scu.analysis_warnings", report.warnings);
         if (report.hasErrors()) {
-            if (config_.analyze == AnalyzeMode::Strict)
+            if (config_.analyze == AnalyzeMode::Strict) {
+                // The rejected batch never touches the scratch, but
+                // the dispatch attempt still advances the shrink
+                // window -- a burst followed by rejected batches must
+                // release the burst's allocation like any other quiet
+                // stream.
+                maybeShrinkScratch(0);
                 throw analysis::AnalysisError(std::move(report));
+            }
             sisa_warn("batch analysis found hazards:\n",
                       report.toString());
         }
@@ -1166,31 +1324,8 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         for (std::uint32_t i = 0; i < n; ++i)
             routes_[i] = resolveRoute(batch.ops[i].a, batch.ops[i].b);
     }
-    vaultLane_.resize(std::max<std::uint32_t>(config_.pim.vaults, 1),
-                      UINT32_MAX);
-    laneVault_.clear();
-    for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint32_t vault = routes_[i].vault;
-        std::uint32_t lane = vaultLane_[vault];
-        if (lane == UINT32_MAX) {
-            lane = static_cast<std::uint32_t>(laneVault_.size());
-            vaultLane_[vault] = lane;
-            laneVault_.push_back(vault);
-            if (laneOps_.size() <= lane)
-                laneOps_.emplace_back();
-            if (laneFetched_.size() <= lane)
-                laneFetched_.emplace_back();
-            laneOps_[lane].clear();
-            laneFetched_[lane].clear();
-        }
-        laneOps_[lane].push_back(i);
-    }
+    const std::uint32_t lanes = buildLanes(n);
     const std::vector<std::vector<std::uint32_t>> &lane_ops = laneOps_;
-    // Lanes are fixed now: reset the table for the next dispatch.
-    for (const std::uint32_t vault : laneVault_)
-        vaultLane_[vault] = UINT32_MAX;
-
-    const auto lanes = static_cast<std::uint32_t>(laneVault_.size());
     const std::uint32_t workers =
         std::min(batchWorkerCount(), lanes);
 
@@ -1235,7 +1370,6 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
 
     std::vector<OpOutcome> &outcomes = outcomes_;
     const std::vector<OpRoute> &routes = routes_;
-    const bool record_fetches = dynamic_ != nullptr;
     laneSizes_.resize(lanes);
     for (std::uint32_t l = 0; l < lanes; ++l)
         laneSizes_[l] = static_cast<std::uint32_t>(lane_ops[l].size());
@@ -1248,92 +1382,6 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             return;
         const std::uint32_t i = lane_ops[l][pos];
         outcomes[i] = executeOp(dispatch_idx, i, batch.ops[i]);
-    };
-
-    // The accounting half of op i on lane l, charging modeled thread
-    // lane_tid of wctx, with `fetched` deduping the lane's remote
-    // operand pulls. Shared between the worker charge path below and
-    // the recovery pass, so a re-routed op is billed by exactly the
-    // same rule as a healthy one. The fault hooks (transfer-drop
-    // retransmits, operand/result checksum verifies, lane stalls) all
-    // sit behind the faults_ gate -- with the injector off this body
-    // is bit-identical to the fault-free charge path.
-    const auto charge_lane_op = [&](sim::SimContext &wctx,
-                                    sim::ThreadId lane_tid,
-                                    std::unordered_set<SetId> &fetched,
-                                    std::uint32_t l, std::uint32_t i) {
-        const OpRoute &route = routes[i];
-        const bool reads_remote = route.remoteIsB ? outcomes[i].readsB
-                                                  : outcomes[i].readsA;
-        if (route.bytes && reads_remote &&
-            fetched.insert(route.remote).second) {
-            if (faults_) {
-                // Interconnect drops: every lost transfer pays its
-                // full b_L crossing plus the retry backoff, then
-                // retransmits; the payload lands only on the attempt
-                // that survives. The retransmitted bytes are recovery
-                // traffic, never setops.xvault_bytes -- functional
-                // accounting stays fault-free-identical.
-                std::uint32_t attempt = 0;
-                while (faults_->dropsTransfer(dispatch_idx,
-                                              laneVault_[l],
-                                              route.remote, attempt)) {
-                    if (attempt >= faults_->config().maxRetries) {
-                        throw UnrecoverableFaultError(
-                            "transfer of set " +
-                            std::to_string(route.remote) +
-                            " into vault " +
-                            std::to_string(laneVault_[l]) +
-                            " dropped past the retry budget");
-                    }
-                    wctx.chargeBusy(
-                        lane_tid,
-                        mem::interconnectCycles(config_.pim,
-                                                route.bytes) +
-                            faults_->backoff(attempt));
-                    wctx.bumpCounter("scu.retries");
-                    wctx.bumpCounter("setops.recovery_bytes",
-                                     route.bytes);
-                    ++attempt;
-                }
-            }
-            wctx.chargeBusy(lane_tid,
-                            mem::interconnectCycles(config_.pim,
-                                                    route.bytes));
-            wctx.bumpCounter("scu.xvault_transfers");
-            wctx.bumpCounter("setops.xvault_bytes", route.bytes);
-            if (faults_ && faults_->config().verifyChecksums) {
-                // Operand integrity: the receiving vault streams the
-                // fetched payload once through its checksum unit.
-                wctx.chargeBusy(lane_tid, verifyCycles(route.bytes));
-                wctx.bumpCounter("scu.checksum_verifies");
-            }
-            if (record_fetches) {
-                // Each lane has exactly one charging thread: no
-                // contention on the lane's fetch log.
-                laneFetched_[l].emplace_back(route.remote,
-                                             route.bytes);
-            }
-        }
-        if (faults_) {
-            const mem::Cycles stall =
-                faults_->stallCycles(dispatch_idx, i);
-            if (stall) {
-                // A transient lane hiccup (queue arbitration glitch,
-                // refresh collision): pure stall cycles, no work.
-                wctx.chargeStall(lane_tid, stall);
-                wctx.bumpCounter("scu.lane_stalls");
-            }
-        }
-        chargeOutcome(wctx, lane_tid, outcomes[i]);
-        if (faults_ && faults_->config().verifyChecksums &&
-            outcomes[i].numCharges) {
-            // Result integrity: checksum the result as it streams out
-            // of the vault (the SCU compares on adoption).
-            wctx.chargeBusy(lane_tid,
-                            verifyCycles(resultBytes(outcomes[i])));
-            wctx.bumpCounter("scu.checksum_verifies");
-        }
     };
 
     // Worker wrapper: only the lane's owning worker charges, in
@@ -1356,8 +1404,8 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             cs.fetched.clear();
             cs.lane = l;
         }
-        charge_lane_op(worker_ctx[w], l / workers, cs.fetched, l,
-                       lane_ops[l][pos]);
+        chargeLaneOp(worker_ctx[w], l / workers, cs.fetched, l,
+                     lane_ops[l][pos], dispatch_idx);
     };
 
     if (workers <= 1) {
@@ -1528,7 +1576,8 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
                         outcomes_[i] =
                             executeOp(dispatch_idx, i, batch.ops[i]);
                     }
-                    charge_lane_op(rctx, rl, rec_fetched, l, i);
+                    chargeLaneOp(rctx, rl, rec_fetched, l, i,
+                                 dispatch_idx);
                 }
             }
             mem::Cycles recovery_makespan = 0;
@@ -1597,11 +1646,11 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     // lastBackend_ reports the last operation (in request = serial
     // order) that actually charged a backend; a batch whose tail ops
     // were all metadata-only leaves the previous value in place,
-    // exactly as issuing them serially would (applyOutcome).
+    // exactly as issuing them serially would (one shared rule:
+    // retainOrUpdateLastBackend).
     for (std::uint32_t i = static_cast<std::uint32_t>(n); i-- > 0;) {
         if (outcomes[i].numCharges) {
-            lastBackend_ =
-                outcomes[i].charges[outcomes[i].numCharges - 1].backend;
+            retainOrUpdateLastBackend(outcomes[i]);
             break;
         }
     }
@@ -1730,6 +1779,388 @@ Scu::maybeShrinkScratch(std::size_t n)
     scratchPeak_ = n;
 }
 
+// --- Async dispatch window -------------------------------------------------
+
+void
+Scu::ensureWindowContext(sim::SimContext &ctx, sim::ThreadId tid)
+{
+    // One window, one owner: any other (context, thread) arriving at
+    // the SCU is a synchronization point -- the bound thread pays its
+    // pending completions and the window closes.
+    if (windowCtx_ && (windowCtx_ != &ctx || windowTid_ != tid))
+        drainWindow(*windowCtx_, windowTid_);
+}
+
+void
+Scu::drainWindow(sim::SimContext &, sim::ThreadId)
+{
+    if (!windowCtx_)
+        return;
+    // Charges land on the BOUND thread regardless of who forced the
+    // drain: the window's wait belongs to the thread that ran ahead.
+    sim::SimContext &ctx = *windowCtx_;
+    const sim::ThreadId tid = windowTid_;
+    const mem::Cycles now = nowV();
+    if (maxCompletionV_ > now)
+        ctx.chargeStall(tid, maxCompletionV_ - now);
+    ctx.bumpCounter("scu.async_drains");
+    windowCtx_ = nullptr;
+    pendingTickets_.clear();
+    deps_.clear();
+    laneClockV_.clear();
+    maxCompletionV_ = 0;
+    reduceEndV_ = 0;
+    // Heartbeat evidence spanned the window; the barriered contract
+    // (reset per runQueues) resumes, with counters cleared.
+    if (pool_)
+        pool_->setBeatAccumulation(false);
+}
+
+void
+Scu::syncRead(sim::SimContext &ctx, sim::ThreadId tid, SetId id)
+{
+    if (!windowCtx_)
+        return;
+    ensureWindowContext(ctx, tid);
+    if (!windowCtx_)
+        return; // Foreign context: the drain already synchronized.
+    const mem::Cycles def = deps_.defTime(id);
+    const mem::Cycles now = nowV();
+    if (def > now) {
+        ctx.chargeStall(tid, def - now);
+        ctx.bumpCounter("scu.async_syncs");
+    }
+}
+
+void
+Scu::syncWrite(sim::SimContext &ctx, sim::ThreadId tid, SetId id)
+{
+    if (!windowCtx_)
+        return;
+    ensureWindowContext(ctx, tid);
+    if (!windowCtx_)
+        return;
+    // A mutation must wait for the pending def (RAW) and for every
+    // pending payload read of the set (WAR).
+    const mem::Cycles horizon =
+        std::max(deps_.defTime(id), deps_.lastRead(id));
+    const mem::Cycles now = nowV();
+    if (horizon > now) {
+        ctx.chargeStall(tid, horizon - now);
+        ctx.bumpCounter("scu.async_syncs");
+    }
+}
+
+BatchHandle
+Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
+                   const BatchRequest &batch)
+{
+    if (config_.asyncDepth == 0) {
+        // Window disabled: barriered dispatch behind the async API,
+        // handed back as an immediately-retired ticket.
+        BatchResult barriered = dispatchBatch(ctx, tid, batch);
+        const std::uint64_t ticket = nextTicket_++;
+        pendingResults_.emplace(ticket, std::move(barriered));
+        return BatchHandle{ticket};
+    }
+
+    ensureWindowContext(ctx, tid);
+
+    const std::size_t n = batch.size();
+    if (n == 0) {
+        // Same contract as dispatchBatch's early return: no sequence
+        // number, no charges -- but the dispatch attempt advances the
+        // scratch shrink window. The async window stays intact.
+        maybeShrinkScratch(0);
+        BatchResult empty;
+        const std::uint64_t ticket = nextTicket_++;
+        pendingResults_.emplace(ticket, std::move(empty));
+        return BatchHandle{ticket};
+    }
+
+    // Permanent-failure fence, peeked BEFORE the analyzer and the
+    // sequence number: watchdog detection, quarantine, and replay
+    // are barrier-shaped, so a dispatch whose coordinate carries
+    // fail points drains the window and runs barriered -- the
+    // counter has not advanced, so the barriered path sees the SAME
+    // coordinate and recovery is bit-identical to always-barriered.
+    if (faults_) {
+        failedVaults_.clear();
+        faults_->failuresAt(dispatchCounter_, failedVaults_);
+        std::erase_if(failedVaults_, [&](std::uint32_t v) {
+            return v >= quarantine_.vaults() || quarantine_.contains(v);
+        });
+        if (!failedVaults_.empty()) {
+            drainWindow(ctx, tid);
+            BatchResult recovered = dispatchBatch(ctx, tid, batch);
+            const std::uint64_t ticket = nextTicket_++;
+            pendingResults_.emplace(ticket, std::move(recovered));
+            return BatchHandle{ticket};
+        }
+    }
+
+    // Static pre-execution verification: the exact dispatchBatch
+    // gate. A strict reject leaves the window intact -- pending
+    // batches retire normally after the throw (analyze=strict under
+    // overlap, per the batch.hpp CROSS-BATCH HAZARDS contract).
+    if (config_.analyze != AnalyzeMode::Off) {
+        analysis::AnalysisContext actx;
+        actx.store = &store_;
+        actx.vaults = config_.pim.vaults;
+        actx.vaultOf = [this](SetId id) { return vaultOf(id); };
+        analysis::Report report =
+            analysis::analyze(analysis::Program::fromBatch(batch), actx);
+        ctx.bumpCounter("scu.analysis_batches");
+        if (report.errors > 0)
+            ctx.bumpCounter("scu.analysis_errors", report.errors);
+        if (report.warnings > 0)
+            ctx.bumpCounter("scu.analysis_warnings", report.warnings);
+        if (report.hasErrors()) {
+            if (config_.analyze == AnalyzeMode::Strict) {
+                maybeShrinkScratch(0);
+                throw analysis::AnalysisError(std::move(report));
+            }
+            sisa_warn("batch analysis found hazards:\n",
+                      report.toString());
+        }
+    }
+
+    // Open the window lazily on the first overlapped dispatch.
+    if (!windowCtx_) {
+        windowCtx_ = &ctx;
+        windowTid_ = tid;
+        windowBase_ = ctx.threadCycles(tid);
+        laneClockV_.assign(
+            std::max<std::uint32_t>(config_.pim.vaults, 1), 0);
+        maxCompletionV_ = 0;
+        reduceEndV_ = 0;
+        deps_.clear();
+        // Window-aware heartbeats: lanes accept operations from
+        // several in-flight batches, so watchdog evidence must
+        // accumulate until the drain.
+        if (batchWorkerCount() > 1)
+            pool().setBeatAccumulation(true);
+    }
+
+    const std::uint64_t dispatch_idx = dispatchCounter_++;
+    std::uint64_t base_retries = 0;
+    std::uint64_t base_stalls = 0;
+    std::uint64_t base_recovery = 0;
+    if (faults_) {
+        base_retries = ctx.counter("scu.retries");
+        base_stalls = ctx.counter("scu.lane_stalls");
+        base_recovery = ctx.counter("setops.recovery_bytes");
+    }
+
+    BatchResult result;
+    result.entries.resize(n);
+
+    // In-order front end, identical to dispatchBatch: one decode,
+    // then one serial metadata round per operand on the SCU. These
+    // charges advance real time (and therefore virtual "now").
+    ctx.chargeBusy(tid, config_.pim.scuDelay);
+    ctx.bumpCounter("scu.batch_dispatches");
+    ctx.bumpCounter("scu.batch_ops", n);
+    for (const BatchOp &op : batch.ops) {
+        chargeMetadata(ctx, tid, op.a);
+        chargeMetadata(ctx, tid, op.b);
+        ctx.recordSetSize(tid, store_.cardinality(op.a));
+        ctx.recordSetSize(tid, store_.cardinality(op.b));
+    }
+
+    // Functional execution, EAGER and in program order -- the async
+    // front end only lets modeled time run ahead. Every routing mode
+    // pre-executes here (the virtual lane clocks need each op's
+    // exact cycle cost before any lane can be laid out); outcomes,
+    // routes, and lanes are bit-identical to the barriered path.
+    const bool balanced = config_.routing == Routing::Balanced;
+    if (outcomes_.size() < n)
+        outcomes_.resize(n);
+    if (routes_.size() < n)
+        routes_.resize(n);
+    preExecuteOutcomes(batch, dispatch_idx);
+    if (balanced) {
+        scheduleBalanced(batch);
+    } else {
+        for (std::uint32_t i = 0; i < n; ++i)
+            routes_[i] = resolveRoute(batch.ops[i].a, batch.ops[i].b);
+    }
+    const std::uint32_t lanes = buildLanes(n);
+
+    // Scoreboard join: per-op virtual ready times against the
+    // window's unretired defs (incremental cross-batch DAG join --
+    // O(ops), not a rebuild).
+    const mem::Cycles issue_v = nowV();
+    const std::vector<std::uint64_t> ready =
+        deps_.joinBatch(analysis::Program::fromBatch(batch), issue_v);
+
+    // Virtual-time lane accounting: the SAME charge rule as the
+    // barriered path (chargeLaneOp), billed serially into a scratch
+    // context so each op's exact cost reads back as a threadCycles
+    // delta. An op starts at max(its vault's lane clock, its
+    // scoreboard ready time); lane clocks persist across the
+    // window's batches, which is precisely where the overlap win
+    // comes from. Counters merge into ctx below (absorbCounters), so
+    // counter totals stay bit-identical to dispatchBatch.
+    sim::SimContext acct(1);
+    std::unordered_set<SetId> fetched;
+    mem::Cycles batch_end = issue_v;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        const std::uint32_t vault = laneVault_[l];
+        fetched.clear();
+        mem::Cycles lane_clock =
+            std::max(laneClockV_[vault], issue_v);
+        for (const std::uint32_t i : laneOps_[l]) {
+            const mem::Cycles before = acct.threadCycles(0);
+            chargeLaneOp(acct, 0, fetched, l, i, dispatch_idx);
+            const mem::Cycles cost = acct.threadCycles(0) - before;
+            const mem::Cycles start =
+                std::max<mem::Cycles>(lane_clock, ready[i]);
+            lane_clock = start + cost;
+            // Payload reads end when the op does: the WAR horizon
+            // for serial mutations of the operands.
+            if (outcomes_[i].readsA)
+                deps_.noteRead(batch.ops[i].a, lane_clock);
+            if (outcomes_[i].readsB)
+                deps_.noteRead(batch.ops[i].b, lane_clock);
+        }
+        laneClockV_[vault] = lane_clock;
+        batch_end = std::max(batch_end, lane_clock);
+    }
+
+    // Cross-vault result reduction: same lanes, bytes, and level
+    // structure as the barriered path, laid out in virtual time
+    // after the batch's slowest participating lane -- and after the
+    // previous batch's reduction, since the SCU has ONE tree.
+    laneResultBytes_.clear();
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+        std::uint64_t bytes = 0;
+        bool executed = false;
+        for (const std::uint32_t i : laneOps_[l]) {
+            if (outcomes_[i].numCharges == 0)
+                continue;
+            executed = true;
+            bytes += resultBytes(outcomes_[i]);
+        }
+        if (executed)
+            laneResultBytes_.push_back(bytes);
+    }
+    mem::Cycles completion = batch_end;
+    if (laneResultBytes_.size() > 1) {
+        completion = std::max(batch_end, reduceEndV_);
+        std::uint64_t reduce_bytes = 0;
+        std::size_t len = laneResultBytes_.size();
+        while (len > 1) {
+            mem::Cycles level = 0;
+            std::size_t out = 0;
+            for (std::size_t i = 0; i + 1 < len; i += 2) {
+                level = std::max(
+                    level, mem::interconnectCycles(
+                               config_.pim, laneResultBytes_[i + 1]));
+                reduce_bytes += laneResultBytes_[i + 1];
+                laneResultBytes_[out++] =
+                    laneResultBytes_[i] + laneResultBytes_[i + 1];
+            }
+            if (len % 2)
+                laneResultBytes_[out++] = laneResultBytes_[len - 1];
+            len = out;
+            completion += level;
+        }
+        ctx.bumpCounter("setops.xvault_reduce_bytes", reduce_bytes);
+        reduceEndV_ = completion;
+    }
+    maxCompletionV_ = std::max(maxCompletionV_, completion);
+
+    // Merge the lane counters now; the cycles stay virtual and are
+    // paid only when something genuinely waits (retire/sync/drain).
+    ctx.absorbCounters(acct);
+
+    // Dynamic re-placement still closes every dispatch: identical
+    // observations (laneFetched_ is written by the same charge
+    // rule), identical migrations, identical decay cadence.
+    if (dynamic_)
+        replaceAtBarrier(ctx, tid, lanes);
+
+    // One shared lastBackend_ rule with serial issue and the
+    // barriered scan: the last op of the batch that charged.
+    for (std::uint32_t i = static_cast<std::uint32_t>(n); i-- > 0;) {
+        if (outcomes_[i].numCharges) {
+            retainOrUpdateLastBackend(outcomes_[i]);
+            break;
+        }
+    }
+
+    // Materialize results in request order (ids deterministic and
+    // identical to barriered dispatch). Every materialized result is
+    // a pending def until the batch's reduction completes -- results
+    // ride the tree back to the SCU together, so one conservative
+    // def time covers the batch.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const BatchOp &op = batch.ops[i];
+        BatchEntry &entry = result.entries[i];
+        entry.value = outcomes_[i].scalar;
+        if (!std::holds_alternative<std::monostate>(
+                outcomes_[i].payload)) {
+            entry.set = adoptOutcome(std::move(outcomes_[i]));
+            entry.value = store_.cardinality(entry.set);
+            placeResult(entry.set, routes_[i].vault);
+            deps_.noteDef(entry.set, completion);
+        }
+        SisaOp traced = op.variant;
+        if (op.kind == BatchOpKind::IntersectCard)
+            traced = SisaOp::IntersectCard;
+        else if (op.kind == BatchOpKind::UnionCard)
+            traced = SisaOp::UnionCard;
+        traceOp(traced, entry.set == invalid_set ? 0 : entry.set, op.a,
+                op.b);
+    }
+    if (faults_) {
+        // Transient faults only on this path (permanent failures
+        // were fenced to the barriered dispatch above), so the
+        // quarantine count can never move here.
+        result.faults.retries =
+            ctx.counter("scu.retries") - base_retries;
+        result.faults.laneStalls =
+            ctx.counter("scu.lane_stalls") - base_stalls;
+        result.faults.recoveryBytes =
+            ctx.counter("setops.recovery_bytes") - base_recovery;
+    }
+    maybeShrinkScratch(n);
+
+    // Issue the ticket, then retire the ROB head past the window
+    // depth: the front end may run at most asyncDepth batches ahead,
+    // so the issuing thread stalls to the oldest pending completion
+    // first -- in-order retirement, exactly like a ROB.
+    const std::uint64_t ticket = nextTicket_++;
+    pendingResults_.emplace(ticket, std::move(result));
+    pendingTickets_.emplace_back(ticket, completion);
+    ctx.bumpCounter("scu.async_dispatches");
+    while (pendingTickets_.size() > config_.asyncDepth) {
+        const mem::Cycles retire = pendingTickets_.front().second;
+        pendingTickets_.pop_front();
+        const mem::Cycles now = nowV();
+        if (retire > now) {
+            ctx.chargeStall(tid, retire - now);
+            ctx.bumpCounter("scu.async_syncs");
+        }
+    }
+    return BatchHandle{ticket};
+}
+
+BatchResult
+Scu::collectBatch(sim::SimContext &, sim::ThreadId, BatchHandle handle)
+{
+    // ROB value forwarding: the in-order front end completed the
+    // batch functionally at dispatch, so redeeming the ticket reads
+    // the SCU's result registers -- no charge, no synchronization.
+    const auto it = pendingResults_.find(handle.ticket);
+    sisa_assert(it != pendingResults_.end(),
+                "collectBatch: unknown or already-collected ticket");
+    BatchResult out = std::move(it->second);
+    pendingResults_.erase(it);
+    return out;
+}
+
 std::uint64_t
 Scu::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
@@ -1742,6 +2173,7 @@ Scu::cardinality(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 bool
 Scu::member(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
 {
+    syncRead(ctx, tid, a); // Probes the payload: RAW into the window.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     if (store_.isDense(a)) {
@@ -1758,6 +2190,7 @@ Scu::member(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
 void
 Scu::insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
 {
+    syncWrite(ctx, tid, a); // Mutation: WAR/RAW into the window.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     if (store_.isDense(a)) {
@@ -1773,6 +2206,7 @@ Scu::insert(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
 void
 Scu::remove(sim::SimContext &ctx, sim::ThreadId tid, SetId a, Element x)
 {
+    syncWrite(ctx, tid, a); // Mutation: WAR/RAW into the window.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     if (store_.isDense(a)) {
@@ -1824,6 +2258,7 @@ Scu::createFull(sim::SimContext &ctx, sim::ThreadId tid)
 SetId
 Scu::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
+    syncRead(ctx, tid, a); // Streams the payload: RAW into the window.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     const SetId id = store_.clone(a);
@@ -1841,6 +2276,7 @@ Scu::clone(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 void
 Scu::destroy(sim::SimContext &ctx, sim::ThreadId tid, SetId a)
 {
+    syncWrite(ctx, tid, a); // Release: pending readers finish first.
     ctx.chargeBusy(tid, config_.pim.scuDelay);
     chargeMetadata(ctx, tid, a);
     traceOp(SisaOp::DeleteSet, 0, a);

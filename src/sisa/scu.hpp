@@ -23,6 +23,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +35,7 @@
 #include "mem/pim.hpp"
 #include "sets/operations.hpp"
 #include "sim/context.hpp"
+#include "sisa/analysis.hpp"
 #include "sisa/batch.hpp"
 #include "sisa/faults.hpp"
 #include "sisa/isa.hpp"
@@ -116,9 +118,12 @@ struct ScuConfig
      * setPlacement rejects a mismatched policy (with a warning) and
      * rebuilds the hash fallback at the correct width instead of
      * silently folding out-of-range vaults by modulo, which skewed
-     * the placement distribution.
+     * the placement distribution. Held non-const because the SCU
+     * drives DynamicPlacement's mutating barrier hooks (observe /
+     * collectMigrations / decayBarrier / forget) through it; plain
+     * policies are never mutated.
      */
-    std::shared_ptr<const PlacementPolicy> placement;
+    std::shared_ptr<PlacementPolicy> placement;
     /** Execution-vault routing rule for batched dispatch. */
     Routing routing = Routing::Primary;
     /**
@@ -143,6 +148,19 @@ struct ScuConfig
      * sisa/batch.hpp hazard contract). Off by default.
      */
     AnalyzeMode analyze = AnalyzeMode::Off;
+    /**
+     * In-flight dispatch window of Scu::dispatchAsync: up to
+     * asyncDepth batches may be pending retirement at once, so a
+     * batch whose operands have no RAW/WAR/WAW edge to a pending
+     * result starts on idle vault lanes instead of waiting for the
+     * previous batch's barrier. 0 (the default) disables the window
+     * -- dispatchAsync degenerates to dispatchBatch plus an
+     * immediately-retired ticket. Overlap moves cycle charges only:
+     * results, ids, traces, and functional counters stay
+     * bit-identical to the barriered path (the batch.hpp CROSS-BATCH
+     * HAZARDS contract).
+     */
+    std::uint32_t asyncDepth = 0;
 };
 
 /** Which backend executed an instruction (for counters/tests). */
@@ -242,6 +260,73 @@ class Scu
                               const BatchRequest &batch);
 
     /**
+     * dispatchBatch without the barrier (config().asyncDepth > 0):
+     * the batch executes functionally IN ORDER at dispatch -- same
+     * results, result ids, traces, and functional counters as
+     * dispatchBatch, bit for bit -- but its modeled completion joins
+     * an in-flight window instead of stalling the issuing thread.
+     * Per-vault virtual lane clocks carry load across the window's
+     * batches; the scoreboard (analysis::DependencyWindow) joins the
+     * new batch's lifted Program against the unretired defs, so an op
+     * reading a pending result starts at that result's modeled
+     * completion while independent ops start on idle lanes
+     * immediately. The issuing thread is charged only when it truly
+     * has to wait: the ROB-style in-order retire when more than
+     * asyncDepth batches are pending, a serial-op dependency
+     * (syncRead), or drainWindow -- and then as STALL cycles, so
+     * makespan can only shrink relative to the barriered path.
+     *
+     * The window is bound to the dispatching (ctx, tid): a dispatch
+     * or serial op from a different context/thread drains it first
+     * (charging the bound thread). Permanent vault failures fence the
+     * window: a dispatch whose sequence number carries fail points
+     * drains and delegates to dispatchBatch, so watchdog/quarantine/
+     * recovery semantics stay exactly barriered. Transient faults
+     * (corruption, drops, stalls) flow through unchanged -- same
+     * dispatch coordinates, same charges, same BatchFaultSummary.
+     *
+     * The returned handle's BatchResult is complete immediately;
+     * collectBatch forwards it without charging (the SCU's result
+     * registers, not the vaults, satisfy the read).
+     */
+    BatchHandle dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
+                              const BatchRequest &batch);
+
+    /**
+     * Redeem @p handle for its BatchResult (single use). Charges
+     * nothing: the in-order front end completed the batch
+     * functionally at dispatch, so this is ROB value forwarding, not
+     * a synchronization point. Asserts on an unknown or
+     * already-collected ticket.
+     */
+    BatchResult collectBatch(sim::SimContext &ctx, sim::ThreadId tid,
+                             BatchHandle handle);
+
+    /**
+     * Retire every in-flight async dispatch: the bound thread is
+     * charged the stall up to the latest pending modeled completion,
+     * the scoreboard and lane clocks reset, and heartbeat
+     * accumulation ends. A no-op when no window is active. Collected
+     * and uncollected results survive (collectBatch still works).
+     */
+    void drainWindow(sim::SimContext &ctx, sim::ThreadId tid);
+
+    /**
+     * RAW edge from a serial read of @p id into the async window: if
+     * a pending dispatch materializes @p id, stall (ctx, tid) to its
+     * modeled completion. Engines call this before reading a set's
+     * payload outside the batch path (e.g. element enumeration).
+     * A no-op when no window is active or @p id is not pending.
+     */
+    void syncRead(sim::SimContext &ctx, sim::ThreadId tid, SetId id);
+
+    /** In-flight async dispatches not yet retired (introspection). */
+    std::size_t asyncInFlight() const { return pendingTickets_.size(); }
+
+    /** Is an async window currently bound to a context? */
+    bool asyncWindowActive() const { return windowCtx_ != nullptr; }
+
+    /**
      * Simulated vault holding @p id: the result/migration overlay
      * first, then the installed placement policy.
      */
@@ -268,9 +353,11 @@ class Scu
      * replaced by a correct-width HashPlacement (never folded by
      * modulo). Clears the result/migration overlay. Placement
      * affects cycle charges and xvault counters only, never
-     * functional results.
+     * functional results. Taken non-const so the SCU can keep the
+     * mutating DynamicPlacement barrier-hook handle the type system
+     * now requires; routing still goes through a const view.
      */
-    void setPlacement(std::shared_ptr<const PlacementPolicy> policy);
+    void setPlacement(std::shared_ptr<PlacementPolicy> policy);
 
     /** |A| (O(1): a metadata lookup). */
     std::uint64_t cardinality(sim::SimContext &ctx, sim::ThreadId tid,
@@ -456,6 +543,16 @@ class Scu
     void applyOutcome(sim::SimContext &ctx, sim::ThreadId tid,
                       const OpOutcome &outcome);
 
+    /**
+     * THE lastBackend_ rule, shared by serial issue (applyOutcome)
+     * and the batched backward scan: an outcome that charged a
+     * backend updates lastBackend_ to its final charge's backend; a
+     * metadata-only outcome retains the previous value. One rule in
+     * one place is what keeps serial and batched issue of the same
+     * operation sequence in exact agreement.
+     */
+    void retainOrUpdateLastBackend(const OpOutcome &outcome);
+
     /** Adopt the payload (if any) into the store. */
     SetId adoptOutcome(OpOutcome &&outcome);
 
@@ -531,9 +628,57 @@ class Scu
      * Shrink-to-high-watermark policy for the dispatch scratch:
      * every scratch_window dispatches, capacities far above the
      * window's peak batch size are released so a one-off burst does
-     * not pin its allocation for the process lifetime.
+     * not pin its allocation for the process lifetime. Empty and
+     * strict-rejected dispatches count as size-0 uses of the scratch
+     * (they advance the window), so a burst followed by a quiet
+     * stream of them still releases the burst's allocation.
      */
     void maybeShrinkScratch(std::size_t n);
+
+    /**
+     * First-touch lane build: group ops 0..n-1 by routes_[i].vault
+     * into laneOps_/laneVault_ (lane order = order of first
+     * appearance, deterministic) and reset the vault->lane table.
+     * Returns the lane count. Shared by dispatchBatch and
+     * dispatchAsync so both walk identical lanes.
+     */
+    std::uint32_t buildLanes(std::size_t n);
+
+    /**
+     * The accounting half of batched op @p i on lane @p l: remote
+     * co-operand transfer (deduped per lane by @p fetched, drop/
+     * retransmit and checksum fault hooks behind the faults_ gate),
+     * injected lane stalls, the op's cached charges, and the result
+     * checksum verify -- charged to modeled thread @p lane_tid of
+     * @p wctx. Shared by the barriered worker charge path, the
+     * permanent-failure recovery replay, and the async window's
+     * virtual-time accounting, so all three bill one rule.
+     */
+    void chargeLaneOp(sim::SimContext &wctx, sim::ThreadId lane_tid,
+                      std::unordered_set<SetId> &fetched,
+                      std::uint32_t l, std::uint32_t i,
+                      std::uint64_t dispatch_idx);
+
+    // --- Async dispatch window (dispatchAsync) ------------------------
+
+    /**
+     * Bind-or-drain: an active window belongs to exactly one
+     * (ctx, tid); any other context/thread arriving at the SCU
+     * drains it first (charging the bound thread).
+     */
+    void ensureWindowContext(sim::SimContext &ctx, sim::ThreadId tid);
+
+    /**
+     * WAR/WAW edge from a serial mutation (insert/remove/destroy) of
+     * @p id: stall to max(pending def, last pending read) of @p id.
+     */
+    void syncWrite(sim::SimContext &ctx, sim::ThreadId tid, SetId id);
+
+    /** Virtual now: the bound thread's cycles past the window base. */
+    mem::Cycles nowV() const
+    {
+        return windowCtx_->threadCycles(windowTid_) - windowBase_;
+    }
 
     // --- Pure Section 8.3 cost predictors (no side effects) -----------
 
@@ -608,9 +753,15 @@ class Scu
 
     SetStore &store_;
     ScuConfig config_;
+    /** Routing view of the installed policy (reads only). */
     std::shared_ptr<const PlacementPolicy> placement_;
-    /** Non-null iff placement_ is a DynamicPlacement (same object). */
-    std::shared_ptr<const DynamicPlacement> dynamic_;
+    /**
+     * Non-null iff placement_ is a DynamicPlacement (same object),
+     * held non-const: the barrier hooks (observe/collectMigrations/
+     * decayBarrier/forget) mutate observation state, and since the
+     * placement.hpp const cleanup the type system says so.
+     */
+    std::shared_ptr<DynamicPlacement> dynamic_;
     /**
      * Result/migration overlay over the placement policy: adopted
      * intermediates pinned to the vault that produced them (policies
@@ -672,6 +823,28 @@ class Scu
     std::size_t scratchPeak_ = 0;       ///< Max batch size this window.
     std::uint32_t scratchDispatches_ = 0;
     static constexpr std::uint32_t scratch_window = 32;
+
+    // --- Async dispatch window state (all dead while windowCtx_ is
+    // null; dispatchAsync opens the window lazily and drainWindow /
+    // any foreign context / a barriered dispatch closes it). Modeled
+    // time inside the window is VIRTUAL: cycles past windowBase_ on
+    // the bound thread, so front-end charges, serial ops, and
+    // migrations keep advancing "now" while lane clocks run ahead.
+    sim::SimContext *windowCtx_ = nullptr; ///< Bound context or null.
+    sim::ThreadId windowTid_ = 0;          ///< Bound modeled thread.
+    mem::Cycles windowBase_ = 0;  ///< Bound thread cycles at open.
+    /** Per-vault virtual lane clocks (busy-until, window lifetime). */
+    std::vector<mem::Cycles> laneClockV_;
+    mem::Cycles maxCompletionV_ = 0; ///< Latest pending completion.
+    /** Reduction-tree serialization point (one tree at a time). */
+    mem::Cycles reduceEndV_ = 0;
+    /** RAW/WAR scoreboard over unretired defs and payload reads. */
+    analysis::DependencyWindow deps_;
+    /** In-flight (ticket, completion) in dispatch order (the ROB). */
+    std::deque<std::pair<std::uint64_t, mem::Cycles>> pendingTickets_;
+    /** Dispatched-but-uncollected results (survive the drain). */
+    std::unordered_map<std::uint64_t, BatchResult> pendingResults_;
+    std::uint64_t nextTicket_ = 0;
 };
 
 } // namespace sisa::isa

@@ -54,12 +54,23 @@ VaultWorkerPool::runQueues(
     owners = std::min(std::max(owners, 1u), std::max(lanes, 1u));
 
     if (laneBeatsCapacity_ < lanes) {
-        laneBeats_ =
+        auto grown =
             std::make_unique<std::atomic<std::uint32_t>[]>(lanes);
+        if (accumulateBeats_) {
+            // Mid-window growth must not drop the evidence already
+            // gathered for the existing lanes.
+            for (std::size_t l = 0; l < laneBeatsCapacity_; ++l)
+                grown[l].store(
+                    laneBeats_[l].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        }
+        laneBeats_ = std::move(grown);
         laneBeatsCapacity_ = lanes;
     }
-    for (std::uint32_t l = 0; l < lanes; ++l)
-        laneBeats_[l].store(0, std::memory_order_relaxed);
+    if (!accumulateBeats_) {
+        for (std::uint32_t l = 0; l < lanes; ++l)
+            laneBeats_[l].store(0, std::memory_order_relaxed);
+    }
 
     // A dead lane's vault fail-stopped: nobody executes or charges
     // its operations and its heartbeat stays at zero (the watchdog's
@@ -197,6 +208,14 @@ VaultWorkerPool::runQueues(
             }
         }
     });
+}
+
+void
+VaultWorkerPool::setBeatAccumulation(bool accumulate)
+{
+    accumulateBeats_ = accumulate;
+    for (std::size_t l = 0; l < laneBeatsCapacity_; ++l)
+        laneBeats_[l].store(0, std::memory_order_relaxed);
 }
 
 void

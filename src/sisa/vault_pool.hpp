@@ -123,6 +123,19 @@ class VaultWorkerPool
                    : 0;
     }
 
+    /**
+     * Heartbeat accounting mode. Off (the default), every runQueues
+     * call resets the beat counters first, so laneBeats() reports the
+     * last dispatch only -- the barriered contract. The SCU's async
+     * window turns accumulation ON for the window's lifetime: lanes
+     * then accept operations from multiple in-flight batches, and the
+     * watchdog evidence must span all of them, so beats accumulate
+     * across runQueues calls until the mode is switched again. Either
+     * transition clears the counters (a window opens, or closes, with
+     * fresh evidence).
+     */
+    void setBeatAccumulation(bool accumulate);
+
   private:
     void workerLoop(std::uint32_t index);
 
@@ -150,6 +163,8 @@ class VaultWorkerPool
     /** Per-lane charged-op heartbeats (see laneBeats). */
     std::unique_ptr<std::atomic<std::uint32_t>[]> laneBeats_;
     std::size_t laneBeatsCapacity_ = 0;
+    /** Accumulate beats across runQueues calls (async window). */
+    bool accumulateBeats_ = false;
 };
 
 } // namespace sisa::isa

@@ -1344,7 +1344,7 @@ using sisa::sets::Element;
 using sisa::sets::SetRepr;
 using sisa::sim::SimContext;
 
-std::shared_ptr<const PlacementPolicy>
+std::shared_ptr<PlacementPolicy>
 buildPolicy(std::string_view name, std::uint32_t vaults,
             const BatchRequest &req)
 {

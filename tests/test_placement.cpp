@@ -784,9 +784,33 @@ TEST(Replacement, DecayDropsFullyAgedRecords)
     EXPECT_EQ(dyn.trackedSets(), 0u);
 }
 
+// --- Const correctness of the mutating barrier hooks ------------------------
+
+// The barrier hooks mutate the policy's heat table and must not be
+// callable through a const view: decayBarrier() was declared const
+// (mutating members through `mutable`), which let a const-qualified
+// SCU path age records it only claimed to read. Locking these out
+// at compile time keeps the routing view (vaultOf) the only
+// const-accessible surface.
+template <typename T>
+constexpr bool mutating_hooks_escape_const = requires(const T &d) {
+    d.decayBarrier();
+} || requires(const T &d) {
+    d.observe(SetId{0}, 0u, 0u, std::uint64_t{0});
+} || requires(const T &d) {
+    d.collectMigrations();
+} || requires(const T &d) { d.forget(SetId{0}); };
+static_assert(!mutating_hooks_escape_const<DynamicPlacement>);
+
+template <typename T>
+constexpr bool routing_view_is_const = requires(const T &d) {
+    d.vaultOf(SetId{0});
+};
+static_assert(routing_view_is_const<DynamicPlacement>);
+
 // --- Differential: policy x routing x engine, forced worker/vault configs ---
 
-std::shared_ptr<const PlacementPolicy>
+std::shared_ptr<PlacementPolicy>
 buildPolicy(std::string_view name, std::uint32_t vaults,
             const BatchRequest &req)
 {
@@ -930,7 +954,7 @@ TEST(RoutingAcceptance, MinBytesPlusDynamicCutXvaultBytesOnRmat9)
         SimContext ctx(4);
         ctx.setPatternCutoff(0);
         algorithms::OrientedSetGraph osg(g, eng);
-        std::shared_ptr<const PlacementPolicy> policy =
+        std::shared_ptr<PlacementPolicy> policy =
             greedyLocalityPlacement(config.pim.vaults,
                                     core::placementArcs(*osg.sets));
         if (dynamic) {

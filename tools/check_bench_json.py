@@ -31,6 +31,10 @@ REQUIRED_ROW = {"name": str, "size": int, "unit": str,
                 "speedup": (int, float)}
 VALID_UNITS = {"ns", "bytes", "cycles"}
 REQUIRED_ROWS = (
+    # The async-dispatch barrier-retirement rows (PR 8): barriered vs
+    # in-flight-window makespan of the same bit-identical kernels.
+    "async_tc_rmat9_cycles",
+    "async_mc_rmat9_cycles",
     # The fault-campaign recovery-overhead rows (PR 6).
     "fault_tc_rmat9_cycles",
     "fault_tc_rmat9_xvault_bytes",

@@ -6,7 +6,7 @@
  *
  *   sisa_run <problem> <dataset> <mode> [threads] [cutoff]
  *            [placement] [routing] [replace] [faults=SPEC]
- *            [analyze=MODE]
+ *            [analyze=MODE] [async=SPEC]
  *
  *   problem:   tc | kcc-3..6 | ksc-3..6 | mc | si-4s | si-4s-L |
  *              cl-jac | cl-ovr | cl-tot
@@ -42,8 +42,13 @@
  *              the run, printing the report (and writing the JSON
  *              report to FILE when given -- the schema
  *              tools/check_bench_json.py --analysis validates),
- *              exit 4 on ERROR findings. faults= and analyze= may
- *              appear in either order.
+ *              exit 4 on ERROR findings. faults=, analyze=, and
+ *              async= may appear in any order.
+ *   async:     async=on[:DEPTH]|off (sisa mode) -- in-flight batch
+ *              window (ScuConfig.asyncDepth): on opens a window of
+ *              DEPTH pending batches (default 8) so independent
+ *              batches overlap in modeled time; results and work
+ *              counters stay bit-identical to async=off.
  *
  * Every argument is validated up front: unknown tokens, non-numeric
  * counts, unknown datasets, and unreadable/malformed graph files all
@@ -87,7 +92,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <problem> <dataset> <mode> [threads] "
                  "[cutoff] [placement] [routing] [replace] "
-                 "[faults=SPEC] [analyze=MODE]\n"
+                 "[faults=SPEC] [analyze=MODE] [async=SPEC]\n"
                  "       %s --list\n"
                  "       dataset:   registry name (--list) or "
                  "file:PATH (edge list)\n"
@@ -101,7 +106,9 @@ usage(const char *argv0)
                  "faults=seed=7,corrupt=0.02,fail=3@2 "
                  "(sisa mode only)\n"
                  "       analyze:   analyze=off | warn | strict | "
-                 "trace[:FILE] (sisa mode only)\n",
+                 "trace[:FILE] (sisa mode only)\n"
+                 "       async:     async=on[:DEPTH] | off "
+                 "(sisa mode only; default depth 8)\n",
                  argv0, argv0);
     return 2;
 }
@@ -194,6 +201,7 @@ main(int argc, char **argv)
     // Trailing arguments are order-flexible key=value specs.
     bool have_faults = false;
     bool have_analyze = false;
+    bool have_async = false;
     bool lint_trace = false;
     std::string trace_json;
     for (int i = 9; i < argc; ++i) {
@@ -254,6 +262,41 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "bad analyze mode '%s' (off | warn | "
                              "strict | trace[:FILE])\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+        } else if (spec.rfind("async=", 0) == 0) {
+            if (have_async) {
+                std::fprintf(stderr, "duplicate async= spec\n");
+                return usage(argv[0]);
+            }
+            have_async = true;
+            if (mode != Mode::Sisa) {
+                std::fprintf(
+                    stderr,
+                    "async is only meaningful in sisa mode\n");
+                return usage(argv[0]);
+            }
+            const std::string value = spec.substr(6);
+            if (value == "off") {
+                config.scu.asyncDepth = 0;
+            } else if (value == "on") {
+                config.scu.asyncDepth = 8;
+            } else if (value.rfind("on:", 0) == 0) {
+                std::uint32_t depth = 0;
+                if (!parseCount(value.c_str() + 3, depth) ||
+                    depth == 0) {
+                    std::fprintf(stderr,
+                                 "bad async depth '%s' (positive "
+                                 "integer)\n",
+                                 value.c_str() + 3);
+                    return usage(argv[0]);
+                }
+                config.scu.asyncDepth = depth;
+            } else {
+                std::fprintf(stderr,
+                             "bad async spec '%s' (on[:DEPTH] | "
+                             "off)\n",
                              value.c_str());
                 return usage(argv[0]);
             }
