@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Multi-tenant serving tail-latency bench: 100 co-tenant queries on
+ * an rmat-9 graph -- one heavy batched k-clique straggler enrolled
+ * first, one Bron-Kerbosch query, and 98 light triangle counts --
+ * run once under FCFS and once under the Credit deficit-round-robin
+ * scheduler (quantum 2000 cycles, far below the straggler's
+ * appetite). Under FCFS the straggler holds the vaults until it
+ * finishes, so every triangle count completes behind its multi-
+ * million-cycle makespan (head-of-line blocking); Credit exhausts
+ * its quantum and interleaves the light queries through, collapsing
+ * the p50 and p99 of the per-query virtual completion distribution
+ * by orders of magnitude. Rows (unit "cycles", speedup > 1 = Credit
+ * wins):
+ *
+ *   serve_tail_rmat9_p50_cycles   scalar_ns=FCFS p50, vector_ns=Credit p50
+ *   serve_tail_rmat9_p99_cycles   scalar_ns=FCFS p99, vector_ns=Credit p99
+ *
+ * With --kernels-json=FILE the rows are merged into an existing
+ * BENCH_kernels.json written by bench_microbench --kernels-only:
+ * stale serve_* rows are dropped and the fresh ones appended, so CI
+ * runs the two binaries back to back and validates one file with
+ * tools/check_bench_json.py (which requires both rows).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/scenario.hpp"
+#include "support/stats.hpp"
+
+using namespace sisa;
+
+namespace {
+
+/** The mixed scenario: 1 batched straggler + 99 lighter queries. */
+serve::ScenarioConfig
+mixedWorkload(isa::SchedPolicy policy)
+{
+    serve::ScenarioConfig config;
+    config.policy = policy;
+    config.quantum = 2000; // Well below the straggler's appetite.
+    config.scu.batchWorkers = 1; // Modeled contention, not host perf.
+    // The straggler: a deep clique enumeration whose batched
+    // dispatches occupy the shared vaults for ~2M modeled cycles.
+    config.queries.push_back(
+        {.problem = "kcc-6", .priority = 0, .cutoff = 20000});
+    // Bron-Kerbosch runs serial set ops (no batched dispatches), so
+    // it contends for nothing -- it seasons the mix and pins that
+    // unbatched co-tenants pass through the scheduler unharmed.
+    config.queries.push_back(
+        {.problem = "mc", .priority = 0, .cutoff = 60});
+    for (int i = 0; i < 98; ++i)
+        config.queries.push_back(
+            {.problem = "tc", .priority = 0, .cutoff = 500});
+    return config;
+}
+
+std::vector<double>
+completions(const graph::Graph &graph, isa::SchedPolicy policy)
+{
+    const serve::ScenarioReport report =
+        serve::serveMixedWorkload(graph, mixedWorkload(policy));
+    std::vector<double> out;
+    out.reserve(report.queries.size());
+    for (const serve::QueryReport &qr : report.queries)
+        out.push_back(static_cast<double>(qr.completion));
+    return out;
+}
+
+struct Row
+{
+    std::string name;
+    std::uint64_t size;
+    double fcfs;
+    double credit;
+};
+
+std::string
+rowJson(const Row &r)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"size\": %llu, "
+                  "\"unit\": \"cycles\", "
+                  "\"scalar_ns\": %.1f, \"vector_ns\": %.1f, "
+                  "\"speedup\": %.3f}",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.size), r.fcfs,
+                  r.credit, r.fcfs / r.credit);
+    return buf;
+}
+
+/**
+ * Merge the rows into an existing BENCH_kernels.json: drop stale
+ * serve_* rows, then splice the fresh ones in before the closing
+ * bracket of the "benchmarks" array (comma-correct either way).
+ */
+int
+mergeIntoKernelsJson(const std::string &path,
+                     const std::vector<Row> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s (run bench_microbench "
+                             "--kernels-only first)\n",
+                     path.c_str());
+        return 1;
+    }
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) {
+        if (line.find("\"name\": \"serve_") == std::string::npos)
+            lines.push_back(line);
+    }
+    in.close();
+
+    std::size_t close = lines.size();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i] == "  ]")
+            close = i;
+    }
+    if (close == lines.size() || close == 0) {
+        std::fprintf(stderr, "%s: no benchmarks array to merge into\n",
+                     path.c_str());
+        return 1;
+    }
+    // The (now) last row must carry a separating comma; it may have
+    // lost it if the stale serve rows were at the tail.
+    std::string &prev = lines[close - 1];
+    if (!prev.empty() && prev.back() != ',' && prev.back() == '}')
+        prev += ',';
+    std::vector<std::string> merged(lines.begin(),
+                                    lines.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            close));
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        merged.push_back(rowJson(rows[i]) +
+                         (i + 1 < rows.size() ? "," : ""));
+    merged.insert(merged.end(),
+                  lines.begin() +
+                      static_cast<std::ptrdiff_t>(close),
+                  lines.end());
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    for (const std::string &line : merged)
+        out << line << '\n';
+    std::printf("merged %zu serve rows into %s\n", rows.size(),
+                path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--kernels-json=", 15) == 0) {
+            json_path = argv[i] + 15;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--kernels-json=FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    graph::RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 8;
+    const graph::Graph g = graph::rmat(params, 42);
+    std::printf("serving bench: %s, 1 kcc-6 + 1 mc + 98 tc\n",
+                g.describe().c_str());
+
+    const std::vector<double> fcfs =
+        completions(g, isa::SchedPolicy::Fcfs);
+    const std::vector<double> credit =
+        completions(g, isa::SchedPolicy::Credit);
+
+    const std::vector<Row> rows = {
+        {"serve_tail_rmat9_p50_cycles", g.numVertices(),
+         support::p50(fcfs), support::p50(credit)},
+        {"serve_tail_rmat9_p99_cycles", g.numVertices(),
+         support::p99(fcfs), support::p99(credit)},
+    };
+    for (const Row &r : rows) {
+        std::printf("  %-28s %12.0f cycles -> %12.0f cycles "
+                    "(%.2fx)\n",
+                    r.name.c_str(), r.fcfs, r.credit,
+                    r.fcfs / r.credit);
+    }
+
+    if (!json_path.empty())
+        return mergeIntoKernelsJson(json_path, rows);
+    return 0;
+}

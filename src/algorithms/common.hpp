@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/query_session.hpp"
 #include "core/set_engine.hpp"
 #include "core/set_graph.hpp"
 #include "graph/degeneracy.hpp"
@@ -20,6 +21,7 @@
 
 namespace sisa::algorithms {
 
+using core::QuerySession;
 using core::SetEngine;
 using core::SetGraph;
 using graph::Graph;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/query_session.hpp"
 #include "sets/operations.hpp"
 #include "support/bits.hpp"
 
@@ -26,6 +27,23 @@ CpuSetEngine::CpuSetEngine(Element universe, const sim::CpuParams &params,
     : store_(universe), cpu_(params, num_threads),
       gallopThreshold_(gallop_threshold)
 {
+}
+
+void
+CpuSetEngine::bindSession(QuerySession &session)
+{
+    SetEngine::bindSession(session);
+    sessionBase_ = session.ctx().totalCycles();
+}
+
+isa::DispatchDemand
+CpuSetEngine::unbindSession()
+{
+    isa::DispatchDemand tail;
+    tail.own = session_->ctx().totalCycles() - sessionBase_;
+    sessionBase_ = 0;
+    SetEngine::unbindSession();
+    return tail;
 }
 
 bool
@@ -322,6 +340,13 @@ CpuSetEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
     // instruction sequence, so costs are charged exactly as if the
     // operations had been issued one by one (through the same
     // vectorized kernels underneath).
+    //
+    // Under a serving session the batch is still the admission unit
+    // (the same dispatch granularity the SCU gates at); empty
+    // batches skip admission like the SCU's early return does.
+    const bool gated = session_ != nullptr && batch.size() != 0;
+    if (gated)
+        session_->scheduler().admit(session_->id());
     BatchResult result;
     result.entries.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -348,6 +373,13 @@ CpuSetEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
             entry.value = unionCard(ctx, tid, op.a, op.b);
             break;
         }
+    }
+    if (gated) {
+        isa::DispatchDemand demand;
+        demand.own = ctx.totalCycles() - sessionBase_;
+        sessionBase_ = ctx.totalCycles();
+        session_->scheduler().report(session_->id(),
+                                     std::move(demand));
     }
     return result;
 }

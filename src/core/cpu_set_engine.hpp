@@ -32,6 +32,15 @@ class CpuSetEngine : public SetEngine
 
     sim::CpuModel &cpu() { return cpu_; }
 
+    /**
+     * The CPU engine has no SCU to delegate admission to, so it
+     * gates executeBatch itself: admit before the batch, report the
+     * own-cycle delta after (no shared vault lanes -- a software
+     * batch occupies only the query's own core).
+     */
+    void bindSession(QuerySession &session) override;
+    isa::DispatchDemand unbindSession() override;
+
     SetId intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
                     SetId b,
                     SisaOp variant = SisaOp::IntersectAuto) override;
@@ -94,6 +103,8 @@ class CpuSetEngine : public SetEngine
     SetStore store_;
     sim::CpuModel cpu_;
     double gallopThreshold_;
+    /** Session ctx cycle total at the last gated report. */
+    mem::Cycles sessionBase_ = 0;
 };
 
 } // namespace sisa::core

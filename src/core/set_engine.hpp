@@ -26,10 +26,13 @@
 #include "sim/context.hpp"
 #include "sisa/batch.hpp"
 #include "sisa/isa.hpp"
+#include "sisa/serving.hpp"
 #include "sisa/set_store.hpp"
 #include "support/logging.hpp"
 
 namespace sisa::core {
+
+class QuerySession; // core/query_session.hpp
 
 using isa::BatchEntry;
 using isa::BatchHandle;
@@ -55,6 +58,41 @@ class SetEngine
 
     /** Short name for reports ("sisa" / "set-based"). */
     virtual const char *name() const = 0;
+
+    // --- Multi-tenant sessions (core/query_session.hpp) --------------------
+
+    /**
+     * Attach this engine to a serving session. From here on the
+     * engine no longer assumes sole ownership of the modeled
+     * hardware: batch dispatches gate through the session's
+     * QueryScheduler (SisaEngine binds its SCU; CpuSetEngine gates
+     * executeBatch directly) and accumulate their BatchFaultSummary
+     * into the session. Binding never changes results, ids, or
+     * setops.* totals -- only whose timeline the cycles land on.
+     * The base implementation records the handle only; an engine
+     * without admission hardware runs ungated and settles its whole
+     * served time in the unbindSession() tail.
+     */
+    virtual void bindSession(QuerySession &session)
+    {
+        sisa_assert(!session_, "bindSession: engine already bound");
+        session_ = &session;
+    }
+
+    /**
+     * Detach from the session and return the demand tail still
+     * unreported to the scheduler (own cycles since the last gated
+     * dispatch) -- the argument of QueryScheduler::leave().
+     */
+    virtual isa::DispatchDemand unbindSession()
+    {
+        sisa_assert(session_, "unbindSession: engine not bound");
+        session_ = nullptr;
+        return {};
+    }
+
+    /** The bound serving session, or nullptr when running solo. */
+    QuerySession *session() const { return session_; }
 
     // --- Binary set operations -------------------------------------------
 
@@ -188,6 +226,10 @@ class SetEngine
      */
     virtual std::vector<Element> elements(sim::SimContext &ctx,
                                           sim::ThreadId tid, SetId a) = 0;
+
+  protected:
+    /** Serving session this engine dispatches for (or nullptr). */
+    QuerySession *session_ = nullptr;
 
   private:
     /** Backing store of the default (immediate) async-batch API. */

@@ -1,5 +1,6 @@
 #include "core/sisa_engine.hpp"
 
+#include "core/query_session.hpp"
 #include "mem/pim.hpp"
 
 namespace sisa::core {
@@ -8,6 +9,21 @@ SisaEngine::SisaEngine(Element universe, const isa::ScuConfig &config,
                        std::uint32_t num_threads)
     : store_(universe), scu_(store_, config, num_threads)
 {
+}
+
+void
+SisaEngine::bindSession(QuerySession &session)
+{
+    SetEngine::bindSession(session);
+    scu_.bindQuery(session.scheduler(), session.id(), session.ctx());
+}
+
+isa::DispatchDemand
+SisaEngine::unbindSession()
+{
+    isa::DispatchDemand tail = scu_.unbindQuery(session_->ctx());
+    SetEngine::unbindSession();
+    return tail;
 }
 
 SetId
@@ -49,7 +65,10 @@ BatchResult
 SisaEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
                          const BatchRequest &batch)
 {
-    return scu_.dispatchBatch(ctx, tid, batch);
+    BatchResult result = scu_.dispatchBatch(ctx, tid, batch);
+    if (session_)
+        session_->accumulateFaults(result.faults);
+    return result;
 }
 
 BatchHandle
@@ -63,7 +82,10 @@ BatchResult
 SisaEngine::collectBatch(sim::SimContext &ctx, sim::ThreadId tid,
                          BatchHandle handle)
 {
-    return scu_.collectBatch(ctx, tid, handle);
+    BatchResult result = scu_.collectBatch(ctx, tid, handle);
+    if (session_)
+        session_->accumulateFaults(result.faults);
+    return result;
 }
 
 void

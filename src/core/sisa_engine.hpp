@@ -31,6 +31,15 @@ class SisaEngine : public SetEngine
 
     isa::Scu &scu() { return scu_; }
 
+    /**
+     * Session binding plugs the SCU into the session's scheduler:
+     * every batch dispatch gates through admission and reports its
+     * DispatchDemand (own cycles + per-vault busy time), and each
+     * BatchResult's fault summary accumulates into the session.
+     */
+    void bindSession(QuerySession &session) override;
+    isa::DispatchDemand unbindSession() override;
+
     SetId intersect(sim::SimContext &ctx, sim::ThreadId tid, SetId a,
                     SetId b,
                     SisaOp variant = SisaOp::IntersectAuto) override;

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Mixed-workload serving scenarios: K queries, each a full graph
+ * algorithm in its own QuerySession with its own engine and store,
+ * run concurrently against ONE shared graph, one shared host worker
+ * pool, and one QueryScheduler deciding whose dispatch goes next.
+ * This is the layer the `sisa_run serve=` CLI mode and the
+ * bench/serving tail-latency harness sit on.
+ *
+ * Determinism: session setup (orientation, set materialization) runs
+ * serially on the caller's thread -- the shared pool's runQueues is
+ * not reentrant and setup dispatches are not admission-gated -- and
+ * the algorithm phase runs on K host threads under the scheduler's
+ * lockstep grants, so the admission log and every per-query cycle
+ * count are a pure function of (graph, config), independent of host
+ * thread timing.
+ */
+
+#ifndef SISA_SERVE_SCENARIO_HPP
+#define SISA_SERVE_SCENARIO_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/context.hpp"
+#include "sisa/batch.hpp"
+#include "sisa/scu.hpp"
+#include "sisa/serving.hpp"
+
+namespace sisa::serve {
+
+/** One tenant's workload. */
+struct QuerySpec
+{
+    /**
+     * Problem id: tc | mc | kcc-3..6 | cl-jac | cl-ovr | cl-tot |
+     * lp (validServeProblem checks a string before it reaches the
+     * scenario).
+     */
+    std::string problem;
+    /** Scheduler priority (SchedPolicy::Priority only). */
+    std::uint32_t priority = 0;
+    /** Pattern cutoff; 0 picks the problem's serving default. */
+    std::uint64_t cutoff = 0;
+};
+
+/** Whole-scenario configuration. */
+struct ScenarioConfig
+{
+    isa::SchedPolicy policy = isa::SchedPolicy::Fcfs;
+    mem::Cycles quantum = isa::ServingModel::default_quantum;
+    /**
+     * Per-session SCU configuration (vaults, batch workers, routing,
+     * asyncDepth, faults). Every session gets its own SCU with this
+     * config; they share one host worker pool and, through the
+     * scheduler, the modeled vault timeline.
+     */
+    isa::ScuConfig scu{};
+    /** Vault placement: "" / "hash" | "range" | "locality". */
+    std::string placement{};
+    /** Modeled threads per session (1 = one core per query). */
+    std::uint32_t threads = 1;
+    std::vector<QuerySpec> queries;
+};
+
+/** Per-query outcome of a serving run. */
+struct QueryReport
+{
+    std::string problem;
+    sim::QueryId id = 0;
+    std::uint64_t value = 0;      ///< The algorithm's scalar result.
+    mem::Cycles ownCycles = 0;    ///< Query-issued cycles (model).
+    mem::Cycles completion = 0;   ///< Virtual end-to-end makespan.
+    isa::BatchFaultSummary faults; ///< Faults across its dispatches.
+    sim::QueryAccount account;    ///< Tagged busy/stall/counters.
+};
+
+/** Outcome of serveMixedWorkload. */
+struct ScenarioReport
+{
+    std::vector<QueryReport> queries; ///< In enrollment order.
+    std::vector<sim::QueryId> admissionLog;
+    mem::Cycles makespan = 0; ///< Max completion over all queries.
+};
+
+/** Is @p problem one the serving scenario can run? */
+bool validServeProblem(const std::string &problem);
+
+/** Serving default pattern cutoff for @p problem. */
+std::uint64_t serveDefaultCutoff(const std::string &problem);
+
+/**
+ * Run every query of @p config concurrently against @p graph and
+ * report per-query results, virtual completions, fault summaries,
+ * and tagged accounts. Throws on invalid specs; exceptions thrown
+ * by a query's algorithm (e.g. strict-analyze rejects) are captured
+ * per query, the scenario still drains cleanly, and the first one
+ * is rethrown after all sessions retired.
+ */
+ScenarioReport serveMixedWorkload(const graph::Graph &graph,
+                                  const ScenarioConfig &config);
+
+} // namespace sisa::serve
+
+#endif // SISA_SERVE_SCENARIO_HPP

@@ -29,12 +29,36 @@ void
 SimContext::chargeBusy(ThreadId tid, Cycles cycles)
 {
     busy_[tid] += cycles;
+    if (activeQuery_ != no_query)
+        queryAccounts_[activeQuery_].busy += cycles;
 }
 
 void
 SimContext::chargeStall(ThreadId tid, Cycles cycles)
 {
     stall_[tid] += cycles;
+    if (activeQuery_ != no_query)
+        queryAccounts_[activeQuery_].stall += cycles;
+}
+
+const QueryAccount &
+SimContext::queryAccount(QueryId query) const
+{
+    static const QueryAccount empty{};
+    auto it = queryAccounts_.find(query);
+    return it == queryAccounts_.end() ? empty : it->second;
+}
+
+void
+SimContext::absorbQueryAccounting(const SimContext &other)
+{
+    for (const auto &[query, account] : other.queryAccounts_) {
+        QueryAccount &mine = queryAccounts_[query];
+        mine.busy += account.busy;
+        mine.stall += account.stall;
+        for (const auto &[name, value] : account.counters)
+            mine.counters[name] += value;
+    }
 }
 
 Cycles
@@ -50,6 +74,15 @@ SimContext::makespan() const
     for (ThreadId t = 0; t < numThreads_; ++t)
         max_cycles = std::max(max_cycles, threadCycles(t));
     return max_cycles;
+}
+
+Cycles
+SimContext::totalCycles() const
+{
+    Cycles total = 0;
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        total += threadCycles(t);
+    return total;
 }
 
 double
@@ -119,6 +152,8 @@ void
 SimContext::bumpCounter(const std::string &name, std::uint64_t delta)
 {
     counters_[name] += delta;
+    if (activeQuery_ != no_query)
+        queryAccounts_[activeQuery_].counters[name] += delta;
 }
 
 void
@@ -126,6 +161,11 @@ SimContext::absorbCounters(const SimContext &other)
 {
     for (const auto &[name, value] : other.counters_)
         counters_[name] += value;
+    for (const auto &[query, account] : other.queryAccounts_) {
+        QueryAccount &mine = queryAccounts_[query];
+        for (const auto &[name, value] : account.counters)
+            mine.counters[name] += value;
+    }
 }
 
 std::uint64_t

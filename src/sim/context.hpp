@@ -28,6 +28,17 @@ using mem::Cycles;
 /** Identifier of a simulated (logical) thread. */
 using ThreadId = std::uint32_t;
 
+/**
+ * Identifier of a serving-layer query (serve/scenario.hpp). Contexts
+ * created outside the serving layer carry no_query and pay nothing
+ * for the tag: charges only fold into a per-query account once
+ * bindQuery() installs a real id.
+ */
+using QueryId = std::uint32_t;
+
+/** Sentinel: charges are not attributed to any query. */
+inline constexpr QueryId no_query = ~QueryId{0};
+
 /** Half-open iteration range assigned to one simulated thread. */
 struct Range
 {
@@ -42,6 +53,21 @@ struct Range
 Range blockRange(std::uint64_t total, std::uint32_t num_threads,
                  ThreadId tid);
 
+/**
+ * Per-query slice of a SimContext: the busy/stall cycles and named
+ * counters charged while the context was bound to one QueryId. The
+ * serving layer prices each tenant's SLO from these, and the
+ * co-tenancy differentials compare them bit for bit solo vs. shared.
+ */
+struct QueryAccount
+{
+    Cycles busy = 0;
+    Cycles stall = 0;
+    std::map<std::string, std::uint64_t> counters;
+
+    Cycles cycles() const { return busy + stall; }
+};
+
 /** Cycle and work accounting for one simulated execution. */
 class SimContext
 {
@@ -49,6 +75,36 @@ class SimContext
     explicit SimContext(std::uint32_t num_threads);
 
     std::uint32_t numThreads() const { return numThreads_; }
+
+    // --- Per-query scoping (multi-tenant serving) -------------------------
+
+    /**
+     * Tag subsequent charges with @p query (no_query detaches). Every
+     * chargeBusy/chargeStall/bumpCounter while bound ALSO accumulates
+     * into the query's account; thread totals are unchanged, so the
+     * invariant "sum of per-query accounts == sum of tagged charges"
+     * holds by construction.
+     */
+    void bindQuery(QueryId query) { activeQuery_ = query; }
+
+    QueryId activeQuery() const { return activeQuery_; }
+
+    /** Account of @p query (zeroes if it never charged here). */
+    const QueryAccount &queryAccount(QueryId query) const;
+
+    const std::map<QueryId, QueryAccount> &queryAccounts() const
+    {
+        return queryAccounts_;
+    }
+
+    /**
+     * Merge @p other's per-query accounts (cycles AND counters) into
+     * this context's accounts. Unlike absorbCounters this moves
+     * cycles too -- it is the serving aggregate's view of what each
+     * query consumed, not a thread-timeline merge; thread busy/stall
+     * vectors are untouched.
+     */
+    void absorbQueryAccounting(const SimContext &other);
 
     /** Charge compute (non-stalled) cycles to thread @p tid. */
     void chargeBusy(ThreadId tid, Cycles cycles);
@@ -64,6 +120,14 @@ class SimContext
 
     /** Simulated run time: the slowest thread (barrier semantics). */
     Cycles makespan() const;
+
+    /**
+     * Sum of threadCycles over ALL threads -- the serving layer's
+     * own-cycle base, monotone no matter which tid a dispatch issues
+     * on (a multi-thread session serializes its modeled threads into
+     * one served timeline).
+     */
+    Cycles totalCycles() const;
 
     /**
      * Fraction of the run during which @p tid was not doing useful
@@ -114,6 +178,9 @@ class SimContext
      * barrier step of batched dispatch, where per-worker private
      * contexts fold their tallies into the issuing thread's context.
      * Cycles never merge (the caller charges the makespan instead).
+     * Per-query COUNTER slices merge the same way; per-query cycles
+     * do NOT (mirroring the thread rule -- the dispatch path charges
+     * each query its share of the makespan directly).
      */
     void absorbCounters(const SimContext &other);
 
@@ -133,6 +200,8 @@ class SimContext
     bool traceEnabled_ = false;
     std::vector<support::Histogram> traces_;
     std::map<std::string, std::uint64_t> counters_;
+    QueryId activeQuery_ = no_query;
+    std::map<QueryId, QueryAccount> queryAccounts_;
 };
 
 } // namespace sisa::sim

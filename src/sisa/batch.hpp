@@ -87,6 +87,19 @@ enum class BatchOpKind : std::uint8_t
  * charges only; results, ids, traces, and functional counters are
  * bit-identical to asyncDepth = 0.
  *
+ * CROSS-QUERY NON-INTERFERENCE -- what multi-tenant serving adds on
+ * top. Under a QueryScheduler (core/query_session.hpp) several
+ * queries dispatch batches against shared modeled vaults, but every
+ * session owns its engine and SetStore, so no batch can ever name a
+ * co-tenant's set: the hazard rules above remain strictly per query,
+ * and the scoreboard never sees a cross-query edge. Admission
+ * scheduling moves MODELED TIME only -- grant order changes when a
+ * query's lanes land on the shared vault clocks, never what its ops
+ * compute -- so a query's results, result ids, fault coordinates,
+ * and functional counters are bit-identical solo vs co-tenant (the
+ * `serving` CTest label enforces this across workers x routing x
+ * placement x faults x async).
+ *
  * Operand `a` is the PRIMARY operand: under Routing::Primary the SCU
  * routes the op to `a`'s vault (under Routing::MinBytes it runs
  * where the bigger operand lives, with ties keeping `a`'s vault),

@@ -777,9 +777,68 @@ Scu::batchWorkerCount() const
 VaultWorkerPool &
 Scu::pool()
 {
+    return *sharedPool();
+}
+
+std::shared_ptr<VaultWorkerPool>
+Scu::sharedPool()
+{
     if (!pool_)
-        pool_ = std::make_unique<VaultWorkerPool>(batchWorkerCount());
-    return *pool_;
+        pool_ = std::make_shared<VaultWorkerPool>(batchWorkerCount());
+    return pool_;
+}
+
+void
+Scu::adoptPool(std::shared_ptr<VaultWorkerPool> pool)
+{
+    sisa_assert(pool != nullptr, "adoptPool: null pool");
+    sisa_assert(!windowCtx_, "adoptPool: async window active");
+    pool_ = std::move(pool);
+}
+
+void
+Scu::bindQuery(QueryScheduler &sched, sim::QueryId query,
+               const sim::SimContext &ctx)
+{
+    sisa_assert(!sched_, "bindQuery: already bound to a scheduler");
+    sched_ = &sched;
+    query_ = query;
+    schedBase_ = ctx.totalCycles();
+    demand_.lanes.clear();
+}
+
+DispatchDemand
+Scu::unbindQuery(const sim::SimContext &ctx)
+{
+    sisa_assert(sched_, "unbindQuery: not bound");
+    DispatchDemand tail;
+    tail.own = ctx.totalCycles() - schedBase_;
+    tail.lanes = std::move(demand_.lanes);
+    sched_ = nullptr;
+    query_ = sim::no_query;
+    schedBase_ = 0;
+    demand_.lanes.clear();
+    return tail;
+}
+
+void
+Scu::admitDispatch()
+{
+    if (sched_)
+        sched_->admit(query_);
+}
+
+void
+Scu::reportDispatch(const sim::SimContext &ctx)
+{
+    if (!sched_)
+        return;
+    DispatchDemand demand;
+    demand.own = ctx.totalCycles() - schedBase_;
+    schedBase_ = ctx.totalCycles();
+    demand.lanes = std::move(demand_.lanes);
+    demand_.lanes.clear();
+    sched_->report(query_, std::move(demand));
 }
 
 mem::Cycles
@@ -1273,6 +1332,12 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         }
     }
 
+    // Serving admission: block until the scheduler grants this query
+    // a dispatch slot. Sits AFTER the analyzer (a strict reject must
+    // not strand a grant) and before any charge, so co-tenant
+    // dispatches interleave at whole-dispatch boundaries.
+    admitDispatch();
+
     // The dispatch coordinate fault points address; maintained even
     // with the injector off (an integer increment) so enabling faults
     // mid-run addresses the same dispatches either way.
@@ -1366,6 +1431,9 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
         const std::uint32_t own =
             (lanes - w + workers - 1) / workers;
         worker_ctx.emplace_back(own);
+        // Tag lane charges with the issuing context's query so the
+        // barrier's absorbCounters lands them in its account.
+        worker_ctx.back().bindQuery(ctx.activeQuery());
     }
 
     std::vector<OpOutcome> &outcomes = outcomes_;
@@ -1432,6 +1500,15 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     for (const sim::SimContext &wctx : worker_ctx) {
         for (sim::ThreadId lane = 0; lane < wctx.numThreads(); ++lane)
             makespan = std::max(makespan, wctx.threadCycles(lane));
+    }
+    if (sched_) {
+        // Shared-vault occupancy for the admission model: lane l ran
+        // on worker l % workers as its modeled thread l / workers.
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            noteVaultBusy(laneVault_[l],
+                          worker_ctx[l % workers].threadCycles(
+                              l / workers));
+        }
     }
 
     // Permanent-failure recovery. The dead vaults' lanes never beat
@@ -1567,6 +1644,7 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             // adds to the dispatch's.
             const std::uint32_t rec_lanes = total_lanes - lanes;
             sim::SimContext rctx(rec_lanes);
+            rctx.bindQuery(ctx.activeQuery());
             std::unordered_set<SetId> rec_fetched;
             for (std::uint32_t rl = 0; rl < rec_lanes; ++rl) {
                 const std::uint32_t l = lanes + rl;
@@ -1584,6 +1662,8 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             for (sim::ThreadId rt = 0; rt < rec_lanes; ++rt) {
                 recovery_makespan =
                     std::max(recovery_makespan, rctx.threadCycles(rt));
+                noteVaultBusy(laneVault_[lanes + rt],
+                              rctx.threadCycles(rt));
             }
             makespan += recovery_makespan;
             ctx.absorbCounters(rctx);
@@ -1688,6 +1768,7 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             quarantine_.deadCount() - base_dead;
     }
     maybeShrinkScratch(n);
+    reportDispatch(ctx);
     return result;
 }
 
@@ -1925,6 +2006,10 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
         }
     }
 
+    // Serving admission at the same point as the barriered path:
+    // after the fences and the analyzer, before any charge.
+    admitDispatch();
+
     // Open the window lazily on the first overlapped dispatch.
     if (!windowCtx_) {
         windowCtx_ = &ctx;
@@ -2003,11 +2088,13 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
     // comes from. Counters merge into ctx below (absorbCounters), so
     // counter totals stay bit-identical to dispatchBatch.
     sim::SimContext acct(1);
+    acct.bindQuery(ctx.activeQuery());
     std::unordered_set<SetId> fetched;
     mem::Cycles batch_end = issue_v;
     for (std::uint32_t l = 0; l < lanes; ++l) {
         const std::uint32_t vault = laneVault_[l];
         fetched.clear();
+        const mem::Cycles lane_entry = acct.threadCycles(0);
         mem::Cycles lane_clock =
             std::max(laneClockV_[vault], issue_v);
         for (const std::uint32_t i : laneOps_[l]) {
@@ -2026,6 +2113,9 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
         }
         laneClockV_[vault] = lane_clock;
         batch_end = std::max(batch_end, lane_clock);
+        // Shared-vault occupancy for the admission model: the lane's
+        // busy time is its charge total, exactly as barriered.
+        noteVaultBusy(vault, acct.threadCycles(0) - lane_entry);
     }
 
     // Cross-vault result reduction: same lanes, bytes, and level
@@ -2144,6 +2234,7 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
             ctx.bumpCounter("scu.async_syncs");
         }
     }
+    reportDispatch(ctx);
     return BatchHandle{ticket};
 }
 

@@ -40,6 +40,7 @@
 #include "sisa/faults.hpp"
 #include "sisa/isa.hpp"
 #include "sisa/placement.hpp"
+#include "sisa/serving.hpp"
 #include "sisa/set_store.hpp"
 #include "sisa/trace.hpp"
 #include "sisa/vault_pool.hpp"
@@ -434,6 +435,46 @@ class Scu
      */
     std::uint64_t dispatchIndex() const { return dispatchCounter_; }
 
+    // --- Multi-tenant serving (sisa/serving.hpp) ----------------------
+
+    /**
+     * Attach this SCU to an admission scheduler as @p query. Every
+     * subsequent non-empty dispatch first blocks in sched->admit()
+     * and afterwards reports its DispatchDemand: the own-cycle delta
+     * of @p ctx since the previous report -- summed over all of the
+     * session's modeled threads, so any tid may issue -- (front-end
+     * charges, makespan, retire stalls, interleaved serial ops) plus
+     * the per-vault busy cycles the dispatch queued on the shared
+     * lanes. The first delta's baseline is @p ctx's CURRENT cycle
+     * total, so session setup stays outside the served timeline.
+     * Scheduling gates modeled time only -- results, ids, and
+     * setops.* totals are untouched. unbindQuery() detaches.
+     */
+    void bindQuery(QueryScheduler &sched, sim::QueryId query,
+                   const sim::SimContext &ctx);
+
+    /**
+     * Detach from the scheduler and return the unreported tail of
+     * the demand (own cycles since the last dispatch's report) for
+     * the session's QueryScheduler::leave() call.
+     */
+    DispatchDemand unbindQuery(const sim::SimContext &ctx);
+
+    /** The scheduler query this SCU dispatches as (or no_query). */
+    sim::QueryId boundQuery() const { return query_; }
+
+    /**
+     * Share one host worker pool among several SCUs -- the serving
+     * layer's K sessions must not spawn K pools. Callers own the
+     * serialization guarantee (runQueues is not reentrant): the
+     * lockstep QueryScheduler provides exactly that, and the pool
+     * must have been built for at least this SCU's batchWorkers.
+     */
+    void adoptPool(std::shared_ptr<VaultWorkerPool> pool);
+
+    /** This SCU's pool as a shareable handle (created on demand). */
+    std::shared_ptr<VaultWorkerPool> sharedPool();
+
   private:
     /**
      * One planned-and-executed binary set operation, produced by
@@ -738,6 +779,20 @@ class Scu
     /** The worker pool, created lazily on the first parallel batch. */
     VaultWorkerPool &pool();
 
+    /** Block in the scheduler until this query may dispatch. */
+    void admitDispatch();
+
+    /** Close the grant: report the dispatch's demand (see bindQuery). */
+    void reportDispatch(const sim::SimContext &ctx);
+
+    /** Accumulate shared-vault busy time into the pending demand. */
+    void
+    noteVaultBusy(std::uint32_t vault, mem::Cycles cycles)
+    {
+        if (sched_ && cycles)
+            demand_.addLane(vault, cycles);
+    }
+
     /** Effective host worker count for batched dispatch. */
     std::uint32_t batchWorkerCount() const;
 
@@ -773,7 +828,15 @@ class Scu
     std::vector<std::unique_ptr<mem::Cache>> smbs_;
     Backend lastBackend_ = Backend::None;
     InstructionTrace *trace_ = nullptr;
-    std::unique_ptr<VaultWorkerPool> pool_;
+    /** Shared so the serving layer can pool K sessions' workers. */
+    std::shared_ptr<VaultWorkerPool> pool_;
+    // --- Serving attachment (all dead while sched_ is null) -----------
+    QueryScheduler *sched_ = nullptr;
+    sim::QueryId query_ = sim::no_query;
+    /** Session ctx all-thread cycle total at the last report. */
+    mem::Cycles schedBase_ = 0;
+    /** Per-vault busy cycles accumulating toward the next report. */
+    DispatchDemand demand_;
     /**
      * Non-null iff config_.faults.enabled -- the single gate every
      * fault hook sits behind, so a disabled injector costs one

@@ -1,0 +1,264 @@
+#include "sisa/serving.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace sisa::isa {
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+    case SchedPolicy::Fcfs:
+        return "fcfs";
+    case SchedPolicy::Credit:
+        return "credit";
+    case SchedPolicy::Priority:
+        return "priority";
+    }
+    return "?";
+}
+
+std::optional<SchedPolicy>
+parseSchedPolicy(std::string_view name)
+{
+    if (name == "fcfs")
+        return SchedPolicy::Fcfs;
+    if (name == "credit")
+        return SchedPolicy::Credit;
+    if (name == "priority")
+        return SchedPolicy::Priority;
+    return std::nullopt;
+}
+
+// --- ServingModel ----------------------------------------------------------
+
+ServingModel::ServingModel(SchedPolicy policy, mem::Cycles quantum)
+    : policy_(policy), quantum_(quantum)
+{
+    sisa_assert(quantum > 0, "credit quantum must be positive");
+}
+
+sim::QueryId
+ServingModel::enroll(std::uint32_t priority)
+{
+    const auto id = static_cast<sim::QueryId>(queries_.size());
+    Query q;
+    q.priority = priority;
+    q.credit = static_cast<std::int64_t>(quantum_);
+    queries_.push_back(q);
+    return id;
+}
+
+bool
+ServingModel::creditEligible(
+    const std::vector<sim::QueryId> &waiting) const
+{
+    return std::any_of(waiting.begin(), waiting.end(),
+                       [&](sim::QueryId q) {
+                           return queries_[q].credit > 0;
+                       });
+}
+
+sim::QueryId
+ServingModel::pick(const std::vector<sim::QueryId> &waiting)
+{
+    sisa_assert(!waiting.empty(), "pick() from an empty waiting set");
+    sim::QueryId winner = waiting.front();
+    switch (policy_) {
+    case SchedPolicy::Fcfs:
+        // Arrival order IS id order; waiting is ascending.
+        winner = waiting.front();
+        break;
+    case SchedPolicy::Priority:
+        // Highest priority wins; ties resolve by arrival. Evaluated
+        // at every dispatch boundary, so a higher-priority query
+        // preempts a long-running one between its batches.
+        for (const sim::QueryId q : waiting) {
+            if (queries_[q].priority > queries_[winner].priority)
+                winner = q;
+        }
+        break;
+    case SchedPolicy::Credit: {
+        // Deficit round-robin: the cursor stays on a query while it
+        // retains credit; exhausting it passes the turn. When no
+        // waiting query has credit left, every live query refills by
+        // the quantum (repeatedly, if a huge dispatch dug a deep
+        // deficit) -- so long batches borrow turns they later repay --
+        // and the turn passes to the NEXT query in round-robin order,
+        // not back to the one whose exhaustion forced the refill.
+        const auto n = static_cast<sim::QueryId>(queries_.size());
+        sim::QueryId scan = cursor_;
+        if (!creditEligible(waiting)) {
+            do {
+                for (Query &q : queries_) {
+                    if (!q.done)
+                        q.credit +=
+                            static_cast<std::int64_t>(quantum_);
+                }
+            } while (!creditEligible(waiting));
+            scan = (cursor_ + 1) % n;
+        }
+        for (sim::QueryId off = 0; off < n; ++off) {
+            const sim::QueryId q = (scan + off) % n;
+            if (queries_[q].credit > 0 &&
+                std::binary_search(waiting.begin(), waiting.end(), q)) {
+                winner = q;
+                break;
+            }
+        }
+        cursor_ = winner;
+        break;
+    }
+    }
+    admitted_.push_back(winner);
+    return winner;
+}
+
+void
+ServingModel::charge(sim::QueryId query, const DispatchDemand &demand)
+{
+    Query &q = queries_[query];
+    sisa_assert(!q.done, "charge() after finish()");
+    const mem::Cycles start = q.issue;
+    q.issue += demand.own;
+    q.own += demand.own;
+    if (policy_ == SchedPolicy::Credit)
+        q.credit -= static_cast<std::int64_t>(demand.own);
+    for (const auto &[vault, cycles] : demand.lanes) {
+        if (vault >= vaultClock_.size())
+            vaultClock_.resize(vault + 1, 0);
+        const mem::Cycles begin = std::max(vaultClock_[vault], start);
+        vaultClock_[vault] = begin + cycles;
+        q.tail = std::max(q.tail, vaultClock_[vault]);
+    }
+}
+
+void
+ServingModel::finish(sim::QueryId query)
+{
+    Query &q = queries_[query];
+    sisa_assert(!q.done, "finish() twice");
+    q.done = true;
+    q.completionAt = std::max(q.issue, q.tail);
+}
+
+bool
+ServingModel::finished(sim::QueryId query) const
+{
+    return queries_[query].done;
+}
+
+mem::Cycles
+ServingModel::completion(sim::QueryId query) const
+{
+    const Query &q = queries_[query];
+    sisa_assert(q.done, "completion() before finish()");
+    return q.completionAt;
+}
+
+mem::Cycles
+ServingModel::ownCycles(sim::QueryId query) const
+{
+    return queries_[query].own;
+}
+
+std::int64_t
+ServingModel::credit(sim::QueryId query) const
+{
+    return queries_[query].credit;
+}
+
+mem::Cycles
+ServingModel::vaultClock(std::uint32_t vault) const
+{
+    return vault < vaultClock_.size() ? vaultClock_[vault] : 0;
+}
+
+// --- QueryScheduler --------------------------------------------------------
+
+QueryScheduler::QueryScheduler(SchedPolicy policy, mem::Cycles quantum)
+    : model_(policy, quantum)
+{
+}
+
+sim::QueryId
+QueryScheduler::enroll(std::uint32_t priority)
+{
+    const std::scoped_lock lock(mu_);
+    const sim::QueryId id = model_.enroll(priority);
+    states_.push_back(State::Running);
+    ++unfinished_;
+    return id;
+}
+
+void
+QueryScheduler::maybeGrantLocked()
+{
+    if (grantOutstanding_ || waiting_ == 0 || waiting_ < unfinished_)
+        return;
+    // Every unfinished query is parked at admit(): the pick is a
+    // pure function of policy state, independent of host timing.
+    waitingScratch_.clear();
+    for (sim::QueryId q = 0; q < states_.size(); ++q) {
+        if (!model_.finished(q) && states_[q] == State::Waiting)
+            waitingScratch_.push_back(q);
+    }
+    const sim::QueryId winner = model_.pick(waitingScratch_);
+    states_[winner] = State::Granted;
+    grantOutstanding_ = true;
+    cv_.notify_all();
+}
+
+void
+QueryScheduler::admit(sim::QueryId query)
+{
+    std::unique_lock lock(mu_);
+    sisa_assert(states_[query] == State::Running,
+                "admit() while already admitted");
+    states_[query] = State::Waiting;
+    ++waiting_;
+    maybeGrantLocked();
+    cv_.wait(lock, [&] { return states_[query] == State::Granted; });
+    --waiting_;
+    // The grant stays outstanding until report(); the query leaves
+    // the waiting pool so no second grant can be issued meanwhile.
+}
+
+void
+QueryScheduler::report(sim::QueryId query, DispatchDemand demand)
+{
+    const std::scoped_lock lock(mu_);
+    sisa_assert(states_[query] == State::Granted,
+                "report() without a grant");
+    model_.charge(query, demand);
+    states_[query] = State::Running;
+    grantOutstanding_ = false;
+    maybeGrantLocked();
+}
+
+mem::Cycles
+QueryScheduler::ownCycles(sim::QueryId query) const
+{
+    const std::scoped_lock lock(mu_);
+    return model_.ownCycles(query);
+}
+
+void
+QueryScheduler::leave(sim::QueryId query, DispatchDemand demand)
+{
+    const std::scoped_lock lock(mu_);
+    sisa_assert(!model_.finished(query), "leave() twice");
+    model_.charge(query, demand);
+    model_.finish(query);
+    --unfinished_;
+    // A departing grant-holder releases the slot; a departing
+    // bystander may complete the "all parked" condition.
+    if (states_[query] == State::Granted)
+        grantOutstanding_ = false;
+    states_[query] = State::Running;
+    maybeGrantLocked();
+}
+
+} // namespace sisa::isa

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Multi-tenant admission layer over the SCU: K concurrent queries
+ * (serve/scenario.hpp sessions) share the vault pool and the modeled
+ * vault time, with a QueryScheduler deciding whose batch dispatches
+ * next. The policy menu mirrors the SimpleSSD-ISC in-storage-compute
+ * scheduler registry (FCFS / CREDIT / priority-based FLIN): FCFS
+ * grants strictly by arrival, Credit is deficit round-robin over a
+ * cycle quantum, Priority preempts at every dispatch boundary.
+ *
+ * Two layers, split for testability:
+ *
+ *  - ServingModel: the deterministic single-threaded core -- policy
+ *    pick rule, per-query virtual timelines, shared per-vault busy
+ *    clocks, the admission log. Exact-cycle pins drive it directly.
+ *  - QueryScheduler: the thread-safe blocking wrapper the sessions'
+ *    host threads park on. Admission is LOCKSTEP: a grant is issued
+ *    only when every unfinished query is parked at its admit() point
+ *    and at most one grant is outstanding, so the interleaving is a
+ *    pure function of the policy and the queries' demands --
+ *    deterministic regardless of host thread timing.
+ *
+ * Isolation contract: scheduling moves MODELED time only. A query's
+ * functional results, result ids, and setops.* work totals are
+ * bit-identical solo vs. co-tenant under every policy (each session
+ * owns its engine/store; only vault-time contention is shared), and
+ * the sum of per-query own-cycle accounts equals the sum of the
+ * sessions' context cycles -- no lost or double-charged cycles.
+ */
+
+#ifndef SISA_SISA_SERVING_HPP
+#define SISA_SISA_SERVING_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mem/pim.hpp"
+#include "sim/context.hpp"
+
+namespace sisa::isa {
+
+/** Admission policy menu (the SimpleSSD-ISC scheduler registry). */
+enum class SchedPolicy : std::uint8_t { Fcfs, Credit, Priority };
+
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Parse "fcfs" / "credit" / "priority" (nullopt on anything else). */
+std::optional<SchedPolicy> parseSchedPolicy(std::string_view name);
+
+/**
+ * What one granted dispatch consumed, reported back at the next
+ * admission boundary:
+ *
+ *  - `own`: the query's issuing-thread cycle delta (front-end
+ *    charges, makespan/stall charges, serial ops since the last
+ *    report) -- advances only that query's virtual timeline;
+ *  - `lanes`: per-vault busy cycles the dispatch put on the shared
+ *    vaults -- advance the shared vault clocks that co-tenant
+ *    dispatches queue behind.
+ */
+struct DispatchDemand
+{
+    mem::Cycles own = 0;
+    std::vector<std::pair<std::uint32_t, mem::Cycles>> lanes;
+
+    void
+    addLane(std::uint32_t vault, mem::Cycles cycles)
+    {
+        lanes.emplace_back(vault, cycles);
+    }
+};
+
+/**
+ * Deterministic serving core: policy state, per-query virtual
+ * timelines, shared vault clocks. Single-threaded -- QueryScheduler
+ * serializes access; tests drive it directly for exact-cycle pins.
+ *
+ * Virtual-time rule (charge): a dispatch granted to query q starts at
+ * q's issue point t0 (the sum of its own cycles so far; queries all
+ * arrive at 0). Its own cycles advance the issue point to t0 + own;
+ * each lane (v, c) occupies vault v from max(clock[v], t0) for c
+ * cycles. The query's completion is the max of its final issue point
+ * and every vault clock it ever advanced -- so a solo query's
+ * completion equals its context cycle total exactly (own already
+ * contains each dispatch's makespan), and a co-tenant query
+ * additionally waits out the vault time queued ahead of it.
+ */
+class ServingModel
+{
+  public:
+    explicit ServingModel(SchedPolicy policy,
+                          mem::Cycles quantum = default_quantum);
+
+    /** Default Credit refill quantum (cycles of own-time per turn). */
+    static constexpr mem::Cycles default_quantum = 50000;
+
+    SchedPolicy policy() const { return policy_; }
+    mem::Cycles quantum() const { return quantum_; }
+
+    /**
+     * Register a query; ids are dense and double as arrival order
+     * (FCFS rank, Priority tie-break, Credit round-robin order).
+     */
+    sim::QueryId enroll(std::uint32_t priority = 0);
+
+    std::size_t enrolled() const { return queries_.size(); }
+
+    /**
+     * Choose which of @p waiting (non-empty, ascending) dispatches
+     * next, and log the grant. Credit deducts on charge(), refilling
+     * every live query by the quantum when no waiting query has
+     * credit left.
+     */
+    sim::QueryId pick(const std::vector<sim::QueryId> &waiting);
+
+    /** Apply one granted dispatch's demand to the virtual clocks. */
+    void charge(sim::QueryId query, const DispatchDemand &demand);
+
+    /** The query is done; freeze its completion time. */
+    void finish(sim::QueryId query);
+
+    bool finished(sim::QueryId query) const;
+
+    /** Virtual end-to-end makespan of a finished query. */
+    mem::Cycles completion(sim::QueryId query) const;
+
+    /** Total own (issuing-thread) cycles charged by the query. */
+    mem::Cycles ownCycles(sim::QueryId query) const;
+
+    /** Remaining Credit balance (meaningful under Credit only). */
+    std::int64_t credit(sim::QueryId query) const;
+
+    /** Busy-until clock of @p vault (0 if never touched). */
+    mem::Cycles vaultClock(std::uint32_t vault) const;
+
+    /** Every grant in order -- the pinned admission interleaving. */
+    const std::vector<sim::QueryId> &admissionLog() const
+    {
+        return admitted_;
+    }
+
+  private:
+    struct Query
+    {
+        std::uint32_t priority = 0;
+        mem::Cycles issue = 0; ///< Own-cycle timeline position.
+        mem::Cycles tail = 0;  ///< Latest vault time it occupied.
+        mem::Cycles own = 0;
+        mem::Cycles completionAt = 0;
+        std::int64_t credit = 0;
+        bool done = false;
+    };
+
+    bool creditEligible(const std::vector<sim::QueryId> &waiting) const;
+
+    SchedPolicy policy_;
+    mem::Cycles quantum_;
+    std::vector<Query> queries_;
+    std::vector<mem::Cycles> vaultClock_;
+    std::vector<sim::QueryId> admitted_;
+    sim::QueryId cursor_ = 0; ///< Credit round-robin position.
+};
+
+/**
+ * Thread-safe lockstep admission gate over a ServingModel. Protocol,
+ * per session host thread:
+ *
+ *   id = enroll(priority);            // before any thread starts
+ *   ... per dispatch:
+ *   admit(id);                        // blocks until granted
+ *   <dispatch through the bound Scu>
+ *   report(id, demand);               // ends the grant
+ *   ... when the query completes:
+ *   leave(id, final_demand);          // trailing own cycles + done
+ *
+ * The Scu drives admit/report itself once bindQuery() attaches it to
+ * a scheduler; leave() is the session teardown's job. A grant is
+ * issued only when all unfinished queries are parked in admit(), so
+ * every run of the same queries yields the same admission log.
+ */
+class QueryScheduler
+{
+  public:
+    explicit QueryScheduler(
+        SchedPolicy policy,
+        mem::Cycles quantum = ServingModel::default_quantum);
+
+    /** Register a query BEFORE its session thread starts. */
+    sim::QueryId enroll(std::uint32_t priority = 0);
+
+    /** Block until the policy grants this query a dispatch slot. */
+    void admit(sim::QueryId query);
+
+    /** End the grant, feeding the dispatch's demand to the model. */
+    void report(sim::QueryId query, DispatchDemand demand);
+
+    /** Final demand (trailing own cycles) + mark the query done. */
+    void leave(sim::QueryId query, DispatchDemand demand);
+
+    /**
+     * Own cycles the model has charged @p query so far, read under
+     * the scheduler lock -- safe while co-tenants are still running
+     * (session teardown settles its leave() tail against this).
+     */
+    mem::Cycles ownCycles(sim::QueryId query) const;
+
+    /**
+     * The model, for post-run inspection (completions, admission
+     * log). Only safe once every enrolled query has left.
+     */
+    const ServingModel &model() const { return model_; }
+
+  private:
+    enum class State : std::uint8_t { Running, Waiting, Granted };
+
+    /** Grant when all unfinished queries are parked (lock held). */
+    void maybeGrantLocked();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    ServingModel model_;
+    std::vector<State> states_;
+    std::size_t unfinished_ = 0;
+    std::size_t waiting_ = 0;
+    bool grantOutstanding_ = false;
+    std::vector<sim::QueryId> waitingScratch_;
+};
+
+} // namespace sisa::isa
+
+#endif // SISA_SISA_SERVING_HPP

@@ -23,6 +23,14 @@
  * Scu::dispatchBatch. Each worker's private SimContext carries its
  * vaults' scu.xvault_transfers / setops.xvault_bytes tallies until
  * the barrier merges them into the issuing thread's context.
+ *
+ * SHARING. One pool may back several SCUs (Scu::adoptPool): the
+ * serving layer's K query sessions dispatch into one set of host
+ * workers instead of spawning K pools. The pool itself stays
+ * single-dispatch -- runQueues' claim/beat scratch is not reentrant
+ * -- so sharers must serialize their dispatches. The serving layer's
+ * lockstep QueryScheduler (sisa/serving.hpp) guarantees exactly that:
+ * at most one session holds the dispatch grant at a time.
  */
 
 #ifndef SISA_SISA_VAULT_POOL_HPP
@@ -118,6 +126,7 @@ class VaultWorkerPool
     std::uint32_t
     laneBeats(std::uint32_t lane) const
     {
+        const std::lock_guard<std::mutex> lock(beatMutex_);
         return lane < laneBeatsCapacity_
                    ? laneBeats_[lane].load(std::memory_order_relaxed)
                    : 0;
@@ -160,11 +169,17 @@ class VaultWorkerPool
     /** Per-lane count of claimed ops (the thieves' depth estimate). */
     std::unique_ptr<std::atomic<std::uint32_t>[]> laneClaimed_;
     std::size_t laneClaimedCapacity_ = 0;
-    /** Per-lane charged-op heartbeats (see laneBeats). */
+    /**
+     * Per-lane charged-op heartbeats (see laneBeats). Guarded by
+     * beatMutex_ against the shared-pool case: a session draining its
+     * async window (setBeatAccumulation) may be host-concurrent with
+     * another session's granted runQueues growing the array.
+     */
     std::unique_ptr<std::atomic<std::uint32_t>[]> laneBeats_;
     std::size_t laneBeatsCapacity_ = 0;
     /** Accumulate beats across runQueues calls (async window). */
     bool accumulateBeats_ = false;
+    mutable std::mutex beatMutex_;
 };
 
 } // namespace sisa::isa

@@ -1,5 +1,6 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/logging.hpp"
@@ -73,6 +74,40 @@ averageOfSpeedups(const std::vector<double> &baseline,
             ratios.push_back(baseline[i] / improved[i]);
     }
     return geometricMean(ratios);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    p = std::min(std::max(p, std::nextafter(0.0, 1.0)), 100.0);
+    const auto n = static_cast<double>(samples.size());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * n)); // 1-based nearest rank.
+    const std::size_t idx = std::max<std::size_t>(rank, 1) - 1;
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                     samples.end());
+    return samples[idx];
+}
+
+double
+p50(const std::vector<double> &samples)
+{
+    return percentile(samples, 50.0);
+}
+
+double
+p95(const std::vector<double> &samples)
+{
+    return percentile(samples, 95.0);
+}
+
+double
+p99(const std::vector<double> &samples)
+{
+    return percentile(samples, 99.0);
 }
 
 Histogram::Histogram(std::uint64_t bin_width) : binWidth_(bin_width)

@@ -58,6 +58,22 @@ double averageOfSpeedups(const std::vector<double> &baseline,
                          const std::vector<double> &improved);
 
 /**
+ * Nearest-rank percentile (inclusive): the smallest sample such that
+ * at least p% of the samples are <= it -- sorted[ceil(p/100 * n) - 1].
+ * This is the tail-latency convention (a p99 of 100 samples is the
+ * 99th-smallest, i.e. the worst sample excluded), exact on integer
+ * cycle counts: no interpolation, the returned value is always an
+ * actual sample. @p samples need not be sorted; p is clamped to
+ * (0, 100]. Returns 0 when empty.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** percentile() at the serving benches' standard points. */
+double p50(const std::vector<double> &samples);
+double p95(const std::vector<double> &samples);
+double p99(const std::vector<double> &samples);
+
+/**
  * Fixed-bin histogram over non-negative integer samples, used for the
  * set-size traces behind Figure 9b and the degree distributions of
  * Figure 7a.

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Multi-tenant serving tests: exact-cycle pins on the ServingModel
+ * policy core (FCFS order, Credit deficit round-robin, Priority
+ * preemption points, the virtual-time vault-queueing rule), lockstep
+ * determinism of the QueryScheduler, and the headline isolation
+ * differential -- every query's functional result and per-query
+ * cycle/counter account is bit-identical solo vs. co-tenant, across
+ * batch workers x routing x placement x faults x async, under every
+ * scheduling policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/bron_kerbosch.hpp"
+#include "algorithms/kclique.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "core/sisa_engine.hpp"
+#include "graph/generators.hpp"
+#include "serve/scenario.hpp"
+#include "sim/context.hpp"
+#include "sisa/serving.hpp"
+
+namespace {
+
+using namespace sisa;
+
+// --- ServingModel pins -----------------------------------------------------
+
+TEST(ServingModel, FcfsGrantsByArrival)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    ASSERT_EQ(model.enroll(), 0u);
+    ASSERT_EQ(model.enroll(), 1u);
+    ASSERT_EQ(model.enroll(), 2u);
+
+    EXPECT_EQ(model.pick({0, 1, 2}), 0u);
+    EXPECT_EQ(model.pick({0, 1, 2}), 0u); // Still waiting: still first.
+    EXPECT_EQ(model.pick({1, 2}), 1u);
+    EXPECT_EQ(model.pick({2}), 2u);
+    EXPECT_EQ(model.admissionLog(),
+              (std::vector<sim::QueryId>{0, 0, 1, 2}));
+}
+
+TEST(ServingModel, CreditExhaustionPassesTheTurn)
+{
+    isa::ServingModel model(isa::SchedPolicy::Credit, /*quantum=*/100);
+    model.enroll();
+    model.enroll();
+    EXPECT_EQ(model.credit(0), 100);
+    EXPECT_EQ(model.credit(1), 100);
+
+    // q0 wins the first turn and overdraws its quantum.
+    EXPECT_EQ(model.pick({0, 1}), 0u);
+    model.charge(0, {.own = 150, .lanes = {}});
+    EXPECT_EQ(model.credit(0), -50);
+
+    // Exhausted q0 passes the turn to q1, which keeps the cursor
+    // while it retains credit.
+    EXPECT_EQ(model.pick({0, 1}), 1u);
+    model.charge(1, {.own = 30, .lanes = {}});
+    EXPECT_EQ(model.pick({0, 1}), 1u);
+    model.charge(1, {.own = 80, .lanes = {}});
+    EXPECT_EQ(model.credit(1), -10);
+
+    // Both exhausted: one refill revives both, and the turn passes
+    // round-robin PAST the cursor (q1) back to q0 -- the query whose
+    // exhaustion forced the refill doesn't get to keep the slot.
+    EXPECT_EQ(model.pick({0, 1}), 0u);
+    EXPECT_EQ(model.credit(0), 50);
+    EXPECT_EQ(model.credit(1), 90);
+    model.charge(0, {.own = 60, .lanes = {}});
+
+    // q0 exhausted again; q1 still has credit from the refill.
+    EXPECT_EQ(model.pick({0, 1}), 1u);
+    EXPECT_EQ(model.admissionLog(),
+              (std::vector<sim::QueryId>{0, 1, 1, 0, 1}));
+}
+
+TEST(ServingModel, CreditDeepDeficitRefillsRepeatedly)
+{
+    isa::ServingModel model(isa::SchedPolicy::Credit, /*quantum=*/10);
+    model.enroll();
+    EXPECT_EQ(model.pick({0}), 0u);
+    model.charge(0, {.own = 35, .lanes = {}});
+    EXPECT_EQ(model.credit(0), -25);
+    // A 35-cycle dispatch against a 10-cycle quantum dug a deep
+    // deficit: the next pick refills three times (-25 -> +5).
+    EXPECT_EQ(model.pick({0}), 0u);
+    EXPECT_EQ(model.credit(0), 5);
+}
+
+TEST(ServingModel, PriorityPreemptsAtDispatchBoundaries)
+{
+    isa::ServingModel model(isa::SchedPolicy::Priority);
+    model.enroll(/*priority=*/0);
+    model.enroll(/*priority=*/5);
+    model.enroll(/*priority=*/5);
+
+    // Highest priority wins; ties resolve by arrival order.
+    EXPECT_EQ(model.pick({0, 1, 2}), 1u);
+    model.charge(1, {.own = 1000, .lanes = {}});
+    // Re-evaluated at every boundary: q1 keeps winning while alive.
+    EXPECT_EQ(model.pick({0, 1, 2}), 1u);
+    model.finish(1);
+    EXPECT_EQ(model.pick({0, 2}), 2u);
+    model.finish(2);
+    EXPECT_EQ(model.pick({0}), 0u);
+}
+
+TEST(ServingModel, VaultClocksQueueCoTenantLanes)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.enroll();
+    model.enroll();
+
+    // q0: 10 own cycles, 100 busy cycles on vault 0.
+    isa::DispatchDemand d0;
+    d0.own = 10;
+    d0.addLane(0, 100);
+    model.charge(0, d0);
+
+    // q1 starts at its own issue point 0, but vault 0 is busy until
+    // 100: its 50-cycle lane queues behind and ends at 150.
+    isa::DispatchDemand d1;
+    d1.own = 5;
+    d1.addLane(0, 50);
+    model.charge(1, d1);
+
+    model.finish(0);
+    model.finish(1);
+    EXPECT_EQ(model.completion(0), 100u);
+    EXPECT_EQ(model.completion(1), 150u);
+    EXPECT_EQ(model.vaultClock(0), 150u);
+    EXPECT_EQ(model.vaultClock(1), 0u);
+}
+
+TEST(ServingModel, SoloCompletionEqualsOwnWhenLanesFit)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.enroll();
+    // Barriered dispatches fold the lane makespan into own, so no
+    // lane clock can outrun the issue point: completion == own.
+    isa::DispatchDemand d;
+    d.own = 100;
+    d.addLane(0, 40);
+    d.addLane(1, 60);
+    model.charge(0, d);
+    model.finish(0);
+    EXPECT_EQ(model.ownCycles(0), 100u);
+    EXPECT_EQ(model.completion(0), 100u);
+}
+
+// --- QueryScheduler lockstep -----------------------------------------------
+
+/** Run @p dispatches admit/report rounds per query on K threads. */
+std::vector<sim::QueryId>
+runLockstep(isa::SchedPolicy policy, mem::Cycles quantum,
+            std::uint32_t queries, std::uint32_t dispatches,
+            mem::Cycles own_per_dispatch)
+{
+    isa::QueryScheduler sched(policy, quantum);
+    std::vector<sim::QueryId> ids;
+    for (std::uint32_t q = 0; q < queries; ++q)
+        ids.push_back(sched.enroll());
+    std::vector<std::thread> threads;
+    for (std::uint32_t q = 0; q < queries; ++q) {
+        threads.emplace_back([&, q] {
+            for (std::uint32_t d = 0; d < dispatches; ++d) {
+                sched.admit(ids[q]);
+                sched.report(ids[q],
+                             {.own = own_per_dispatch, .lanes = {}});
+            }
+            sched.leave(ids[q], {});
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    return sched.model().admissionLog();
+}
+
+TEST(QueryScheduler, FcfsLockstepDrainsQueriesInArrivalOrder)
+{
+    // FCFS always grants the lowest live id: q0 runs to completion,
+    // then q1, then q2 -- regardless of host thread timing.
+    const std::vector<sim::QueryId> expect{0, 0, 0, 1, 1, 1, 2, 2, 2};
+    for (int run = 0; run < 3; ++run)
+        EXPECT_EQ(runLockstep(isa::SchedPolicy::Fcfs, 100, 3, 3, 10),
+                  expect);
+}
+
+TEST(QueryScheduler, CreditLockstepRoundRobinsOnQuantumBoundaries)
+{
+    // own == quantum: every dispatch exhausts the turn, so grants
+    // round-robin perfectly.
+    const std::vector<sim::QueryId> expect{0, 1, 2, 0, 1, 2, 0, 1, 2};
+    for (int run = 0; run < 3; ++run)
+        EXPECT_EQ(runLockstep(isa::SchedPolicy::Credit, 10, 3, 3, 10),
+                  expect);
+}
+
+// --- Serving scenario differentials ----------------------------------------
+
+graph::Graph
+testGraph()
+{
+    graph::RmatParams params;
+    params.scale = 7;
+    params.edgeFactor = 8;
+    return graph::rmat(params, 42);
+}
+
+serve::ScenarioConfig
+baseConfig()
+{
+    serve::ScenarioConfig config;
+    config.policy = isa::SchedPolicy::Fcfs;
+    config.queries = {{.problem = "tc", .priority = 0, .cutoff = 500},
+                      {.problem = "mc", .priority = 2, .cutoff = 40},
+                      {.problem = "kcc-4", .priority = 5, .cutoff = 150}};
+    return config;
+}
+
+mem::Cycles
+soloMakespanFloor(const serve::ScenarioReport &report)
+{
+    mem::Cycles floor = 0;
+    for (const serve::QueryReport &qr : report.queries)
+        floor = std::max(floor, qr.ownCycles);
+    return floor;
+}
+
+/**
+ * The headline invariant: run the mixed workload co-tenant, then each
+ * query solo (K=1, same config), and require every query's value,
+ * tagged busy/stall cycles, and full counter account (setops.* and
+ * scu.* alike) to be bit-identical -- scheduling moves modeled time
+ * only. Also checks per-query conservation: the model's own-cycle
+ * account equals the session's tagged cycle total, and the virtual
+ * completion can only add queueing delay on top of it.
+ */
+void
+expectSoloCoTenantIdentical(const graph::Graph &graph,
+                            const serve::ScenarioConfig &config)
+{
+    const serve::ScenarioReport co =
+        serve::serveMixedWorkload(graph, config);
+    ASSERT_EQ(co.queries.size(), config.queries.size());
+    for (std::size_t i = 0; i < config.queries.size(); ++i) {
+        serve::ScenarioConfig solo_config = config;
+        solo_config.queries = {config.queries[i]};
+        const serve::ScenarioReport solo =
+            serve::serveMixedWorkload(graph, solo_config);
+        ASSERT_EQ(solo.queries.size(), 1u);
+        const serve::QueryReport &s = solo.queries[0];
+        const serve::QueryReport &c = co.queries[i];
+        SCOPED_TRACE("problem=" + c.problem);
+        EXPECT_EQ(s.value, c.value);
+        EXPECT_EQ(s.account.busy, c.account.busy);
+        EXPECT_EQ(s.account.stall, c.account.stall);
+        EXPECT_EQ(s.account.counters, c.account.counters);
+        EXPECT_EQ(s.faults.retries, c.faults.retries);
+        EXPECT_EQ(s.faults.laneStalls, c.faults.laneStalls);
+        EXPECT_EQ(s.faults.recoveryBytes, c.faults.recoveryBytes);
+        EXPECT_EQ(s.ownCycles, c.ownCycles);
+        // Conservation: no lost or double-charged cycles -- the
+        // model's own account IS the session's tagged cycle total.
+        EXPECT_EQ(c.ownCycles, c.account.cycles());
+        EXPECT_GE(c.completion, c.ownCycles);
+        // Solo, nothing ever queues ahead: completion == own.
+        EXPECT_EQ(s.completion, s.ownCycles);
+    }
+    EXPECT_GE(co.makespan, soloMakespanFloor(co));
+}
+
+TEST(ServingScenario, IsolationAcrossWorkersAndRouting)
+{
+    const graph::Graph graph = testGraph();
+    for (std::uint32_t workers : {1u, 4u}) {
+        for (isa::Routing routing :
+             {isa::Routing::Primary, isa::Routing::MinBytes,
+              isa::Routing::Balanced}) {
+            serve::ScenarioConfig config = baseConfig();
+            config.scu.batchWorkers = workers;
+            config.scu.routing = routing;
+            SCOPED_TRACE("workers=" + std::to_string(workers) +
+                         " routing=" +
+                         std::to_string(static_cast<int>(routing)));
+            expectSoloCoTenantIdentical(graph, config);
+        }
+    }
+}
+
+TEST(ServingScenario, IsolationUnderFaults)
+{
+    const graph::Graph graph = testGraph();
+    for (std::uint32_t workers : {1u, 4u}) {
+        serve::ScenarioConfig config = baseConfig();
+        config.scu.batchWorkers = workers;
+        config.scu.routing = isa::Routing::Balanced;
+        config.scu.faults.enabled = true;
+        config.scu.faults.seed = 7;
+        config.scu.faults.corruptRate = 0.02;
+        config.scu.faults.stallRate = 0.02;
+        config.scu.faults.dropRate = 0.01;
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSoloCoTenantIdentical(graph, config);
+    }
+}
+
+TEST(ServingScenario, IsolationUnderAsyncWindow)
+{
+    const graph::Graph graph = testGraph();
+    for (std::uint32_t workers : {1u, 4u}) {
+        serve::ScenarioConfig config = baseConfig();
+        config.scu.batchWorkers = workers;
+        config.scu.routing = isa::Routing::Balanced;
+        config.scu.asyncDepth = 8;
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSoloCoTenantIdentical(graph, config);
+    }
+}
+
+TEST(ServingScenario, IsolationUnderAsyncPlusFaults)
+{
+    // The TSan serving smoke's configuration: stealing pool, async
+    // window, and fault injection all on at once.
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.queries.push_back(
+        {.problem = "cl-jac", .priority = 1, .cutoff = 300});
+    config.scu.batchWorkers = 4;
+    config.scu.routing = isa::Routing::Balanced;
+    config.scu.asyncDepth = 8;
+    config.scu.faults.enabled = true;
+    config.scu.faults.seed = 7;
+    config.scu.faults.corruptRate = 0.02;
+    config.scu.faults.stallRate = 0.02;
+    expectSoloCoTenantIdentical(graph, config);
+}
+
+TEST(ServingScenario, IsolationAcrossPlacements)
+{
+    const graph::Graph graph = testGraph();
+    for (const char *placement : {"range", "locality"}) {
+        serve::ScenarioConfig config = baseConfig();
+        config.scu.batchWorkers = 4;
+        config.placement = placement;
+        SCOPED_TRACE(placement);
+        expectSoloCoTenantIdentical(graph, config);
+    }
+}
+
+TEST(ServingScenario, PolicyChangesTimingNotResults)
+{
+    // Functional results and work accounts are policy-invariant; only
+    // virtual completions may move.
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.scu.batchWorkers = 4;
+    const serve::ScenarioReport fcfs =
+        serve::serveMixedWorkload(graph, config);
+    for (isa::SchedPolicy policy :
+         {isa::SchedPolicy::Credit, isa::SchedPolicy::Priority}) {
+        config.policy = policy;
+        const serve::ScenarioReport other =
+            serve::serveMixedWorkload(graph, config);
+        ASSERT_EQ(other.queries.size(), fcfs.queries.size());
+        for (std::size_t i = 0; i < fcfs.queries.size(); ++i) {
+            SCOPED_TRACE(fcfs.queries[i].problem);
+            EXPECT_EQ(other.queries[i].value, fcfs.queries[i].value);
+            EXPECT_EQ(other.queries[i].account.counters,
+                      fcfs.queries[i].account.counters);
+            EXPECT_EQ(other.queries[i].ownCycles,
+                      fcfs.queries[i].ownCycles);
+        }
+    }
+}
+
+TEST(ServingScenario, AdmissionLogIsDeterministic)
+{
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.scu.batchWorkers = 4;
+    config.policy = isa::SchedPolicy::Credit;
+    const serve::ScenarioReport a =
+        serve::serveMixedWorkload(graph, config);
+    const serve::ScenarioReport b =
+        serve::serveMixedWorkload(graph, config);
+    EXPECT_EQ(a.admissionLog, b.admissionLog);
+    ASSERT_EQ(a.queries.size(), b.queries.size());
+    for (std::size_t i = 0; i < a.queries.size(); ++i) {
+        EXPECT_EQ(a.queries[i].completion, b.queries[i].completion);
+        EXPECT_EQ(a.queries[i].ownCycles, b.queries[i].ownCycles);
+    }
+}
+
+TEST(ServingScenario, PriorityQueryIsGrantedFirst)
+{
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.policy = isa::SchedPolicy::Priority;
+    const serve::ScenarioReport report =
+        serve::serveMixedWorkload(graph, config);
+    // kcc-4 (priority 5) outranks mc (2) and tc (0): it owns the
+    // first grant and every grant until it completes.
+    ASSERT_FALSE(report.admissionLog.empty());
+    const sim::QueryId top = report.queries[2].id;
+    EXPECT_EQ(report.admissionLog.front(), top);
+    bool top_done = false;
+    for (const sim::QueryId q : report.admissionLog) {
+        if (q != top)
+            top_done = true;
+        else
+            EXPECT_FALSE(top_done)
+                << "priority query granted after losing a turn";
+    }
+}
+
+TEST(ServingScenario, MatchesPlainEngineRun)
+{
+    // The serving stack must not perturb the modeled work at all: a
+    // K=1 scenario reproduces a plain (schedulerless) engine run's
+    // value and tagged account bit-for-bit.
+    const graph::Graph graph = testGraph();
+
+    core::SisaEngine engine(graph.numVertices(), isa::ScuConfig{}, 1);
+    sim::SimContext ctx(1);
+    ctx.bindQuery(0);
+    ctx.setPatternCutoff(500);
+    algorithms::OrientedSetGraph osg(graph, engine);
+    const std::uint64_t plain_value = algorithms::triangleCount(osg, ctx);
+    engine.drainBatches(ctx, 0);
+    const sim::QueryAccount &plain = ctx.queryAccount(0);
+
+    serve::ScenarioConfig config;
+    config.queries = {{.problem = "tc", .priority = 0, .cutoff = 500}};
+    const serve::ScenarioReport report =
+        serve::serveMixedWorkload(graph, config);
+    EXPECT_EQ(report.queries[0].value, plain_value);
+    EXPECT_EQ(report.queries[0].account.busy, plain.busy);
+    EXPECT_EQ(report.queries[0].account.stall, plain.stall);
+    EXPECT_EQ(report.queries[0].account.counters, plain.counters);
+}
+
+TEST(ServingScenario, RejectsUnknownProblem)
+{
+    EXPECT_FALSE(serve::validServeProblem("pagerank"));
+    EXPECT_FALSE(serve::validServeProblem("kcc-7"));
+    EXPECT_FALSE(serve::validServeProblem("kcc-"));
+    EXPECT_TRUE(serve::validServeProblem("kcc-3"));
+    EXPECT_TRUE(serve::validServeProblem("tc"));
+    EXPECT_TRUE(serve::validServeProblem("cl-ovr"));
+    EXPECT_TRUE(serve::validServeProblem("lp"));
+}
+
+} // namespace

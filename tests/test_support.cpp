@@ -167,6 +167,41 @@ TEST(Stats, SummariesDiffer)
               averageOfSpeedups(base, improved));
 }
 
+TEST(Stats, PercentileNearestRank)
+{
+    // Nearest-rank inclusive: sorted[ceil(p/100 * n) - 1]; always an
+    // actual sample, no interpolation. Input need not be sorted.
+    const std::vector<double> v{30.0, 10.0, 50.0, 20.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 20.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 21.0), 20.0); // ceil rounds up.
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0); // Clamped to (0,100].
+}
+
+TEST(Stats, PercentileTailConvention)
+{
+    // The serving benches' convention: with exactly 100 samples, p99
+    // is the 99th-smallest -- the single worst sample is excluded,
+    // and p50 is the 50th-smallest.
+    std::vector<double> v;
+    for (int i = 100; i >= 1; --i)
+        v.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p50(v), 50.0);
+    EXPECT_DOUBLE_EQ(p95(v), 95.0);
+    EXPECT_DOUBLE_EQ(p99(v), 99.0);
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 99.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+    const std::vector<double> two{3.0, 1.0};
+    EXPECT_DOUBLE_EQ(p50(two), 1.0);
+    EXPECT_DOUBLE_EQ(p99(two), 3.0);
+}
+
 TEST(Stats, HistogramBinning)
 {
     Histogram h(5);

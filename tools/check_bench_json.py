@@ -31,6 +31,12 @@ REQUIRED_ROW = {"name": str, "size": int, "unit": str,
                 "speedup": (int, float)}
 VALID_UNITS = {"ns", "bytes", "cycles"}
 REQUIRED_ROWS = (
+    # The multi-tenant serving tail-latency rows (PR 9): FCFS vs
+    # Credit per-query virtual completion percentiles on the mixed
+    # straggler scenario (bench_serving merges them into the sweep's
+    # file after bench_microbench writes it).
+    "serve_tail_rmat9_p50_cycles",
+    "serve_tail_rmat9_p99_cycles",
     # The async-dispatch barrier-retirement rows (PR 8): barriered vs
     # in-flight-window makespan of the same bit-identical kernels.
     "async_tc_rmat9_cycles",
@@ -105,6 +111,28 @@ def check(path: str) -> list[str]:
     for name in REQUIRED_ROWS:
         if name not in seen:
             errors.append(f"{path}: required row '{name}' missing")
+
+    # Serving-row semantics: percentiles must be ordered (p50 <= p99
+    # in both the FCFS and Credit columns) and the Credit scheduler
+    # must beat FCFS at the tail (speedup > 1) -- the acceptance
+    # criterion of the multi-tenant serving PR.
+    by_name = {row.get("name"): row for row in rows
+               if isinstance(row, dict)}
+    p50 = by_name.get("serve_tail_rmat9_p50_cycles")
+    p99 = by_name.get("serve_tail_rmat9_p99_cycles")
+    if p50 and p99:
+        for col in ("scalar_ns", "vector_ns"):
+            lo, hi = p50.get(col), p99.get(col)
+            if (isinstance(lo, (int, float)) and
+                    isinstance(hi, (int, float)) and lo > hi):
+                errors.append(
+                    f"{path}: serve {col} p50 {lo} > p99 {hi}")
+    if p99:
+        speedup = p99.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup <= 1.0:
+            errors.append(
+                f"{path}: serve_tail_rmat9_p99_cycles speedup "
+                f"{speedup} <= 1 (credit must beat FCFS at the tail)")
     return errors
 
 

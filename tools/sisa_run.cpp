@@ -49,23 +49,37 @@
  *              DEPTH pending batches (default 8) so independent
  *              batches overlap in modeled time; results and work
  *              counters stay bit-identical to async=off.
+ *   serve:     serve=fcfs|credit[:QUANTUM]|priority (sisa mode) --
+ *              multi-tenant serving (serve/scenario.hpp): the problem
+ *              argument becomes a comma list of co-tenant queries,
+ *              each PROBLEM[:PRIORITY], run concurrently under the
+ *              chosen admission policy. Prints one row per query
+ *              (value, own cycles, virtual completion, fault summary)
+ *              plus p50/p95/p99 completion percentiles.
  *
  * Every argument is validated up front: unknown tokens, non-numeric
  * counts, unknown datasets, and unreadable/malformed graph files all
  * print the usage and exit non-zero instead of crashing mid-run.
+ * The usage text is GENERATED from kPositionalDocs/kKeyArgDocs below:
+ * a new argument shows up in the synopsis and the per-key help by
+ * adding one table entry, so the banner cannot drift from the parser.
  */
 
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "graph/dataset_registry.hpp"
 #include "graph/io.hpp"
 #include "harness.hpp"
+#include "serve/scenario.hpp"
 #include "sisa/analysis.hpp"
 #include "sisa/faults.hpp"
+#include "sisa/serving.hpp"
 #include "sisa/trace.hpp"
+#include "support/stats.hpp"
 
 using namespace sisa;
 using namespace sisa::bench;
@@ -86,30 +100,65 @@ listDatasets()
     return 0;
 }
 
+/** One documented argument: synopsis token + help line. */
+struct ArgDoc
+{
+    const char *name;     ///< Help-line label ("dataset", "serve").
+    const char *synopsis; ///< Synopsis token ("[async=SPEC]").
+    const char *help;     ///< One-line description.
+};
+
+/** Positional arguments, in synopsis order. */
+constexpr ArgDoc kPositionalDocs[] = {
+    {"problem", "<problem>",
+     "tc | kcc-3..6 | ksc-3..6 | mc | si-4s[-L] | cl-jac | cl-ovr | "
+     "cl-tot (comma list of PROBLEM[:PRIORITY] under serve=)"},
+    {"dataset", "<dataset>",
+     "registry name (--list) or file:PATH (edge list)"},
+    {"mode", "<mode>", "non-set | set-based | sisa"},
+    {"threads", "[threads]", "modeled thread count (default 32)"},
+    {"cutoff", "[cutoff]",
+     "per-thread pattern cutoff (default per problem)"},
+    {"placement", "[placement]",
+     "hash | range | locality (sisa mode only)"},
+    {"routing", "[routing]",
+     "primary | min-bytes | balanced (sisa mode only)"},
+    {"replace", "[replace]", "none | dynamic (sisa mode only)"},
+};
+
+/** Order-flexible key=value specs (argv[9]..), in synopsis order. */
+constexpr ArgDoc kKeyArgDocs[] = {
+    {"faults", "[faults=SPEC]",
+     "faults=key=val,... e.g. faults=seed=7,corrupt=0.02,fail=3@2 "
+     "(sisa mode only)"},
+    {"analyze", "[analyze=MODE]",
+     "analyze=off | warn | strict | trace[:FILE] (sisa mode only)"},
+    {"async", "[async=SPEC]",
+     "async=on[:DEPTH] | off (sisa mode only; default depth 8)"},
+    {"serve", "[serve=SPEC]",
+     "serve=fcfs | credit[:QUANTUM] | priority (sisa mode only): run "
+     "the problem comma list as co-tenant queries"},
+};
+
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s <problem> <dataset> <mode> [threads] "
-                 "[cutoff] [placement] [routing] [replace] "
-                 "[faults=SPEC] [analyze=MODE] [async=SPEC]\n"
-                 "       %s --list\n"
-                 "       dataset:   registry name (--list) or "
-                 "file:PATH (edge list)\n"
-                 "       placement: hash | range | locality "
-                 "(sisa mode only)\n"
-                 "       routing:   primary | min-bytes | balanced "
-                 "(sisa mode only)\n"
-                 "       replace:   none | dynamic "
-                 "(sisa mode only)\n"
-                 "       faults:    faults=key=val,... e.g. "
-                 "faults=seed=7,corrupt=0.02,fail=3@2 "
-                 "(sisa mode only)\n"
-                 "       analyze:   analyze=off | warn | strict | "
-                 "trace[:FILE] (sisa mode only)\n"
-                 "       async:     async=on[:DEPTH] | off "
-                 "(sisa mode only; default depth 8)\n",
-                 argv0, argv0);
+    std::string banner = std::string("usage: ") + argv0;
+    for (const ArgDoc &doc : kPositionalDocs)
+        banner += std::string(" ") + doc.synopsis;
+    for (const ArgDoc &doc : kKeyArgDocs)
+        banner += std::string(" ") + doc.synopsis;
+    banner += std::string("\n       ") + argv0 + " --list\n";
+    const auto helpLine = [&banner](const ArgDoc &doc) {
+        banner += std::string("       ") + doc.name + ":";
+        banner += std::string(10 - std::strlen(doc.name), ' ');
+        banner += std::string(doc.help) + "\n";
+    };
+    for (const ArgDoc &doc : kPositionalDocs)
+        helpLine(doc);
+    for (const ArgDoc &doc : kKeyArgDocs)
+        helpLine(doc);
+    std::fputs(banner.c_str(), stderr);
     return 2;
 }
 
@@ -126,6 +175,100 @@ parseCount(const char *arg, T &out)
     const char *end = arg + std::strlen(arg);
     const auto [ptr, ec] = std::from_chars(arg, end, out);
     return ec == std::errc() && ptr == end && arg != end;
+}
+
+/**
+ * serve= mode: parse the problem comma list (PROBLEM[:PRIORITY]
+ * items), run the mixed workload co-tenant, and print one row per
+ * query -- the algorithm's value, the query's own modeled cycles,
+ * its virtual completion under the admission policy, and its fault
+ * summary -- plus completion percentiles over the query population.
+ * Returns an exit code.
+ */
+int
+runServe(const graph::Graph &g, const std::string &problems,
+         const RunConfig &config, bool cutoff_given,
+         isa::SchedPolicy policy, mem::Cycles quantum,
+         const char *argv0)
+{
+    serve::ScenarioConfig sc;
+    sc.policy = policy;
+    sc.quantum = quantum;
+    sc.scu = config.scu;
+    sc.placement = config.placement;
+    sc.threads = config.threads;
+    if (config.routing == "min-bytes")
+        sc.scu.routing = isa::Routing::MinBytes;
+    else if (config.routing == "balanced")
+        sc.scu.routing = isa::Routing::Balanced;
+
+    for (std::size_t start = 0; start <= problems.size();) {
+        std::size_t comma = problems.find(',', start);
+        if (comma == std::string::npos)
+            comma = problems.size();
+        std::string item = problems.substr(start, comma - start);
+        start = comma + 1;
+        serve::QuerySpec spec;
+        const std::size_t colon = item.find(':');
+        if (colon != std::string::npos) {
+            if (!parseCount(item.c_str() + colon + 1, spec.priority)) {
+                std::fprintf(stderr, "bad query priority in '%s'\n",
+                             item.c_str());
+                return usage(argv0);
+            }
+            item.resize(colon);
+        }
+        spec.problem = item;
+        if (!serve::validServeProblem(spec.problem)) {
+            std::fprintf(stderr,
+                         "unknown serve problem '%s' (tc | mc | "
+                         "kcc-3..6 | cl-jac | cl-ovr | cl-tot | lp)\n",
+                         spec.problem.c_str());
+            return usage(argv0);
+        }
+        if (cutoff_given)
+            spec.cutoff = config.cutoff;
+        sc.queries.push_back(std::move(spec));
+    }
+
+    std::printf("serving %zu queries, policy=%s quantum=%llu, T=%u, "
+                "placement=%s, routing=%s\n",
+                sc.queries.size(), isa::schedPolicyName(policy),
+                static_cast<unsigned long long>(quantum),
+                config.threads,
+                config.placement.empty() ? "hash"
+                                         : config.placement.c_str(),
+                config.routing.empty() ? "primary"
+                                       : config.routing.c_str());
+
+    const serve::ScenarioReport report =
+        serve::serveMixedWorkload(g, sc);
+    std::vector<double> completions;
+    for (const serve::QueryReport &qr : report.queries) {
+        std::printf("query %u: problem=%-6s value=%llu "
+                    "own_cycles=%llu completion=%llu retries=%llu "
+                    "lane_stalls=%llu quarantined=%u "
+                    "recovery_bytes=%llu\n",
+                    qr.id, qr.problem.c_str(),
+                    static_cast<unsigned long long>(qr.value),
+                    static_cast<unsigned long long>(qr.ownCycles),
+                    static_cast<unsigned long long>(qr.completion),
+                    static_cast<unsigned long long>(qr.faults.retries),
+                    static_cast<unsigned long long>(
+                        qr.faults.laneStalls),
+                    qr.faults.quarantinedVaults,
+                    static_cast<unsigned long long>(
+                        qr.faults.recoveryBytes));
+        completions.push_back(static_cast<double>(qr.completion));
+    }
+    std::printf("serve makespan:    %llu\n",
+                static_cast<unsigned long long>(report.makespan));
+    std::printf("completion p50=%.0f p95=%.0f p99=%.0f\n",
+                support::p50(completions), support::p95(completions),
+                support::p99(completions));
+    std::printf("admission grants:  %zu\n",
+                report.admissionLog.size());
+    return 0;
 }
 
 } // namespace
@@ -202,7 +345,10 @@ main(int argc, char **argv)
     bool have_faults = false;
     bool have_analyze = false;
     bool have_async = false;
+    bool have_serve = false;
     bool lint_trace = false;
+    isa::SchedPolicy serve_policy = isa::SchedPolicy::Fcfs;
+    mem::Cycles serve_quantum = isa::ServingModel::default_quantum;
     std::string trace_json;
     for (int i = 9; i < argc; ++i) {
         const std::string spec = argv[i];
@@ -300,11 +446,51 @@ main(int argc, char **argv)
                              value.c_str());
                 return usage(argv[0]);
             }
+        } else if (spec.rfind("serve=", 0) == 0) {
+            if (have_serve) {
+                std::fprintf(stderr, "duplicate serve= spec\n");
+                return usage(argv[0]);
+            }
+            have_serve = true;
+            if (mode != Mode::Sisa) {
+                std::fprintf(
+                    stderr,
+                    "serve is only meaningful in sisa mode\n");
+                return usage(argv[0]);
+            }
+            std::string value = spec.substr(6);
+            const std::size_t colon = value.find(':');
+            if (colon != std::string::npos) {
+                if (!parseCount(value.c_str() + colon + 1,
+                                serve_quantum) ||
+                    serve_quantum == 0) {
+                    std::fprintf(stderr,
+                                 "bad serve quantum '%s' (positive "
+                                 "integer)\n",
+                                 value.c_str() + colon + 1);
+                    return usage(argv[0]);
+                }
+                value.resize(colon);
+            }
+            const auto policy = isa::parseSchedPolicy(value);
+            if (!policy) {
+                std::fprintf(stderr,
+                             "bad serve policy '%s' (fcfs | "
+                             "credit[:QUANTUM] | priority)\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+            serve_policy = *policy;
         } else {
             std::fprintf(stderr, "unexpected argument '%s'\n",
                          argv[i]);
             return usage(argv[0]);
         }
+    }
+    if (have_serve && (have_analyze || config.replace)) {
+        std::fprintf(stderr, "serve= does not combine with analyze= "
+                             "or dynamic re-placement\n");
+        return usage(argv[0]);
     }
     isa::InstructionTrace trace;
     if (lint_trace)
@@ -333,6 +519,10 @@ main(int argc, char **argv)
         g = graph::makeDataset(*spec);
     }
     std::printf("dataset: %s\n", g.describe().c_str());
+    if (have_serve) {
+        return runServe(g, problem, config, /*cutoff_given=*/argc > 5,
+                        serve_policy, serve_quantum, argv[0]);
+    }
     std::printf("running %s in %s mode, T=%u, cutoff=%llu, "
                 "placement=%s, routing=%s, replace=%s\n",
                 problem.c_str(), modeName(mode), config.threads,
