@@ -16,6 +16,22 @@
  *   serve_tail_rmat9_p50_cycles   scalar_ns=FCFS p50, vector_ns=Credit p50
  *   serve_tail_rmat9_p99_cycles   scalar_ns=FCFS p99, vector_ns=Credit p99
  *
+ * Overload sweep (PR 10): 16 deadline-bearing triangle counts arrive
+ * open-loop at 0.5x/1x/2x/4x of solo capacity (inter-arrival =
+ * solo-completion / load-factor, deadline = arrival + 3x solo), run
+ * once with no overload protection and once under shed=edf with a
+ * bounded admission queue. EDF sheds provably-unreachable deadlines
+ * before they waste vault time and grants earliest-deadline-first,
+ * so past saturation it completes MORE queries within deadline than
+ * admitting everything. Rows (unit "queries" unless noted):
+ *
+ *   serve_overload_rmat9_goodput_2x        scalar=no-shed goodput,
+ *       vector=edf goodput at 2x load (gate: speedup <= 1, EDF wins)
+ *   serve_overload_rmat9_shed_rate_{0p5x,1x,2x,4x}   scalar=offered
+ *       queries, vector=edf survivors (gate: ratio monotone in load)
+ *   serve_overload_rmat9_p99_cycles_2x     unit "cycles": p99
+ *       completion of survivors, no-shed vs edf at 2x load
+ *
  * With --kernels-json=FILE the rows are merged into an existing
  * BENCH_kernels.json written by bench_microbench --kernels-only:
  * stale serve_* rows are dropped and the fresh ones appended, so CI
@@ -79,6 +95,7 @@ struct Row
     std::uint64_t size;
     double fcfs;
     double credit;
+    const char *unit = "cycles";
 };
 
 std::string
@@ -87,13 +104,75 @@ rowJson(const Row &r)
     char buf[256];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"size\": %llu, "
-                  "\"unit\": \"cycles\", "
+                  "\"unit\": \"%s\", "
                   "\"scalar_ns\": %.1f, \"vector_ns\": %.1f, "
                   "\"speedup\": %.3f}",
                   r.name.c_str(),
-                  static_cast<unsigned long long>(r.size), r.fcfs,
-                  r.credit, r.fcfs / r.credit);
+                  static_cast<unsigned long long>(r.size), r.unit,
+                  r.fcfs, r.credit, r.fcfs / r.credit);
     return buf;
+}
+
+/**
+ * One overload cell: 16 open-loop tc queries in two deadline
+ * classes -- even arrivals are latency-critical (tight deadline,
+ * rel_deadline/2 after arrival), odd arrivals are batch-tolerant
+ * (4x looser). Under FCFS grant order a tight query stuck behind
+ * earlier loose arrivals burns its slack in the queue and times
+ * out; EDF grants it first and lets the loose deadlines absorb the
+ * wait, which is where its goodput edge comes from.
+ */
+serve::ScenarioConfig
+overloadWorkload(isa::ShedPolicy shed, double inter_arrival,
+                 mem::Cycles rel_deadline)
+{
+    serve::ScenarioConfig config;
+    config.policy = isa::SchedPolicy::Fcfs;
+    config.scu.batchWorkers = 1;
+    config.shed = shed;
+    config.admitCapacity = shed == isa::ShedPolicy::None ? 0 : 4;
+    for (int i = 0; i < 16; ++i) {
+        serve::QuerySpec spec;
+        spec.problem = "tc";
+        spec.cutoff = 500;
+        spec.arrival =
+            static_cast<mem::Cycles>(static_cast<double>(i) *
+                                     inter_arrival);
+        if (rel_deadline != isa::no_deadline)
+            spec.deadline =
+                spec.arrival + (i % 2 == 0 ? rel_deadline / 2
+                                           : rel_deadline * 2);
+        config.queries.push_back(std::move(spec));
+    }
+    return config;
+}
+
+struct OverloadOutcome
+{
+    double goodput = 0.0;   ///< Completed within deadline.
+    double survivors = 0.0; ///< Completed at all.
+    double p99 = 0.0;       ///< p99 completion of the survivors.
+};
+
+OverloadOutcome
+runOverload(const graph::Graph &graph, isa::ShedPolicy shed,
+            double inter_arrival, mem::Cycles rel_deadline)
+{
+    const serve::ScenarioReport report = serve::serveMixedWorkload(
+        graph, overloadWorkload(shed, inter_arrival, rel_deadline));
+    std::vector<double> completions;
+    std::vector<double> deadlines;
+    for (const serve::QueryReport &qr : report.queries) {
+        if (qr.state != isa::QueryState::Completed)
+            continue;
+        completions.push_back(static_cast<double>(qr.completion));
+        deadlines.push_back(static_cast<double>(qr.deadline));
+    }
+    OverloadOutcome out;
+    out.goodput = support::goodput(completions, deadlines, 0.0);
+    out.survivors = static_cast<double>(completions.size());
+    out.p99 = support::p99(completions);
+    return out;
 }
 
 /**
@@ -186,16 +265,75 @@ main(int argc, char **argv)
     const std::vector<double> credit =
         completions(g, isa::SchedPolicy::Credit);
 
-    const std::vector<Row> rows = {
+    std::vector<Row> rows = {
         {"serve_tail_rmat9_p50_cycles", g.numVertices(),
          support::p50(fcfs), support::p50(credit)},
         {"serve_tail_rmat9_p99_cycles", g.numVertices(),
          support::p99(fcfs), support::p99(credit)},
     };
+
+    // Overload sweep. Capacity is set by the serialized resource --
+    // shared vault-lane time -- not by solo completion (each session
+    // has its own modeled core, so serial phases overlap across
+    // queries). Calibrate per-query service time from a 16-query
+    // burst makespan, offer arrivals at service/load, and give each
+    // query a deadline of 3x its solo completion after arrival.
+    serve::ScenarioConfig solo_config =
+        overloadWorkload(isa::ShedPolicy::None, 0.0, isa::no_deadline);
+    solo_config.queries.resize(1);
+    const double solo = static_cast<double>(
+        serve::serveMixedWorkload(g, solo_config)
+            .queries[0]
+            .completion);
+    const double burst_makespan = static_cast<double>(
+        serve::serveMixedWorkload(
+            g, overloadWorkload(isa::ShedPolicy::None, 0.0,
+                                isa::no_deadline))
+            .makespan);
+    const double service = burst_makespan / 16.0;
+    const mem::Cycles rel_deadline =
+        static_cast<mem::Cycles>(3.0 * solo);
+    std::printf("overload sweep: solo tc %.0f cycles, per-query "
+                "service %.0f cycles, deadline +%llu\n",
+                solo, service,
+                static_cast<unsigned long long>(rel_deadline));
+
+    const struct
+    {
+        const char *tag;
+        double load;
+    } kLoads[] = {
+        {"0p5x", 0.5}, {"1x", 1.0}, {"2x", 2.0}, {"4x", 4.0}};
+    OverloadOutcome none2x;
+    OverloadOutcome edf2x;
+    for (const auto &[tag, load] : kLoads) {
+        const double inter_arrival = service / load;
+        const OverloadOutcome none = runOverload(
+            g, isa::ShedPolicy::None, inter_arrival, rel_deadline);
+        const OverloadOutcome edf = runOverload(
+            g, isa::ShedPolicy::Edf, inter_arrival, rel_deadline);
+        if (load == 2.0) {
+            none2x = none;
+            edf2x = edf;
+        }
+        rows.push_back({std::string("serve_overload_rmat9_"
+                                    "shed_rate_") +
+                            tag,
+                        g.numVertices(), 16.0, edf.survivors,
+                        "queries"});
+        std::printf("  load %-4s goodput none=%2.0f edf=%2.0f, "
+                    "edf survivors %2.0f/16\n",
+                    tag, none.goodput, edf.goodput, edf.survivors);
+    }
+    rows.push_back({"serve_overload_rmat9_goodput_2x",
+                    g.numVertices(), none2x.goodput, edf2x.goodput,
+                    "queries"});
+    rows.push_back({"serve_overload_rmat9_p99_cycles_2x",
+                    g.numVertices(), none2x.p99, edf2x.p99});
+
     for (const Row &r : rows) {
-        std::printf("  %-28s %12.0f cycles -> %12.0f cycles "
-                    "(%.2fx)\n",
-                    r.name.c_str(), r.fcfs, r.credit,
+        std::printf("  %-36s %12.0f %s -> %12.0f %s (%.2fx)\n",
+                    r.name.c_str(), r.fcfs, r.unit, r.credit, r.unit,
                     r.fcfs / r.credit);
     }
 

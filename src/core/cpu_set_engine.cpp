@@ -34,6 +34,7 @@ CpuSetEngine::bindSession(QuerySession &session)
 {
     SetEngine::bindSession(session);
     sessionBase_ = session.ctx().totalCycles();
+    sessionVerdict_ = isa::QueryState::Running;
 }
 
 isa::DispatchDemand
@@ -42,6 +43,7 @@ CpuSetEngine::unbindSession()
     isa::DispatchDemand tail;
     tail.own = session_->ctx().totalCycles() - sessionBase_;
     sessionBase_ = 0;
+    sessionVerdict_ = isa::QueryState::Running;
     SetEngine::unbindSession();
     return tail;
 }
@@ -345,8 +347,21 @@ CpuSetEngine::executeBatch(sim::SimContext &ctx, sim::ThreadId tid,
     // (the same dispatch granularity the SCU gates at); empty
     // batches skip admission like the SCU's early return does.
     const bool gated = session_ != nullptr && batch.size() != 0;
-    if (gated)
-        session_->scheduler().admit(session_->id());
+    if (gated) {
+        // A cancelled query stays cancelled: rethrow on any later
+        // gated dispatch instead of re-entering the scheduler.
+        if (sessionVerdict_ != isa::QueryState::Running)
+            throw isa::QueryCancelledError(session_->id(),
+                                           sessionVerdict_);
+        const isa::QueryState verdict =
+            session_->scheduler().admit(session_->id());
+        if (verdict != isa::QueryState::Running) {
+            // No async window to drain on the CPU path; the grant
+            // slot is held until the session's leave().
+            sessionVerdict_ = verdict;
+            throw isa::QueryCancelledError(session_->id(), verdict);
+        }
+    }
     BatchResult result;
     result.entries.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -105,6 +105,8 @@ class CpuSetEngine : public SetEngine
     double gallopThreshold_;
     /** Session ctx cycle total at the last gated report. */
     mem::Cycles sessionBase_ = 0;
+    /** Scheduler cancelled the bound query (verdict to rethrow). */
+    isa::QueryState sessionVerdict_ = isa::QueryState::Running;
 };
 
 } // namespace sisa::core

@@ -51,8 +51,21 @@ class QuerySession
      */
     QuerySession(std::string label, isa::QueryScheduler &sched,
                  std::uint32_t threads, std::uint32_t priority = 0)
+        : QuerySession(std::move(label), sched, threads,
+                       isa::AdmissionSpec{priority})
+    {
+    }
+
+    /**
+     * Enroll with a full lifecycle contract: arrival offset, deadline,
+     * and fault budget in addition to the priority. The scheduler's
+     * ServingModel owns the resulting lifecycle verdict; query it via
+     * state() after finish().
+     */
+    QuerySession(std::string label, isa::QueryScheduler &sched,
+                 std::uint32_t threads, const isa::AdmissionSpec &spec)
         : label_(std::move(label)), sched_(&sched),
-          id_(sched.enroll(priority)), ctx_(threads)
+          id_(sched.enroll(spec)), ctx_(threads)
     {
         ctx_.bindQuery(id_);
     }
@@ -129,6 +142,13 @@ class QuerySession
     completion() const
     {
         return sched_->model().completion(id_);
+    }
+
+    /** Terminal lifecycle verdict (after finish()). */
+    isa::QueryState
+    state() const
+    {
+        return sched_->model().state(id_);
     }
 
   private:

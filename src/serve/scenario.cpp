@@ -1,6 +1,7 @@
 #include "serve/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "core/sisa_engine.hpp"
 #include "sisa/placement.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 
 namespace sisa::serve {
 
@@ -129,6 +131,24 @@ serveDefaultCutoff(const std::string &problem)
     return 0; // lp has no pattern cutoff.
 }
 
+std::vector<mem::Cycles>
+poissonArrivals(std::uint64_t seed, double mean, std::size_t n)
+{
+    sisa_assert(mean > 0.0, "poissonArrivals: mean must be positive");
+    support::SplitMix64 rng(seed);
+    std::vector<mem::Cycles> arrivals;
+    arrivals.reserve(n);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // 53-bit mantissa uniform in (0, 1]: never feeds log() zero.
+        const double u =
+            1.0 - static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+        clock += -mean * std::log(u);
+        arrivals.push_back(static_cast<mem::Cycles>(clock));
+    }
+    return arrivals;
+}
+
 ScenarioReport
 serveMixedWorkload(const graph::Graph &graph,
                    const ScenarioConfig &config)
@@ -141,6 +161,8 @@ serveMixedWorkload(const graph::Graph &graph,
     }
 
     isa::QueryScheduler sched(config.policy, config.quantum);
+    sched.setOverload(config.shed, config.admitCapacity,
+                      config.scu.pim.vaults);
     std::vector<Tenant> tenants(config.queries.size());
 
     // Phase 1 (serial, this thread): per-tenant engines, sessions,
@@ -158,8 +180,13 @@ serveMixedWorkload(const graph::Graph &graph,
             pool = t.engine->scu().sharedPool();
         else
             t.engine->scu().adoptPool(pool);
+        isa::AdmissionSpec admission;
+        admission.priority = spec.priority;
+        admission.arrival = spec.arrival;
+        admission.deadline = spec.deadline;
+        admission.faultBudget = spec.faultBudget;
         t.session = std::make_unique<core::QuerySession>(
-            spec.problem, sched, config.threads, spec.priority);
+            spec.problem, sched, config.threads, admission);
         t.session->ctx().setPatternCutoff(
             spec.cutoff != 0 ? spec.cutoff
                              : serveDefaultCutoff(spec.problem));
@@ -190,6 +217,10 @@ serveMixedWorkload(const graph::Graph &graph,
             Tenant &t = tenants[i];
             try {
                 t.value = runQuery(t, config.queries[i], graph);
+            } catch (const isa::QueryCancelledError &) {
+                // A lifecycle verdict (TimedOut / Shed / Aborted),
+                // not an error: the report carries the state and the
+                // query's value stays 0.
             } catch (...) {
                 t.error = std::current_exception();
             }
@@ -213,6 +244,7 @@ serveMixedWorkload(const graph::Graph &graph,
     ScenarioReport report;
     report.queries.reserve(tenants.size());
     report.admissionLog = sched.model().admissionLog();
+    report.lifecycleLog = sched.model().lifecycleLog();
     for (std::size_t i = 0; i < tenants.size(); ++i) {
         Tenant &t = tenants[i];
         QueryReport qr;
@@ -221,6 +253,10 @@ serveMixedWorkload(const graph::Graph &graph,
         qr.value = t.value;
         qr.ownCycles = sched.model().ownCycles(qr.id);
         qr.completion = sched.model().completion(qr.id);
+        qr.state = sched.model().state(qr.id);
+        qr.arrival = sched.model().arrival(qr.id);
+        qr.deadline = sched.model().deadline(qr.id);
+        qr.deadlineMet = sched.model().deadlineMet(qr.id);
         qr.faults = t.session->faults();
         qr.account = t.session->ctx().queryAccount(qr.id);
         report.makespan = std::max(report.makespan, qr.completion);

@@ -45,6 +45,12 @@ struct QuerySpec
     std::uint32_t priority = 0;
     /** Pattern cutoff; 0 picks the problem's serving default. */
     std::uint64_t cutoff = 0;
+    /** Virtual arrival offset (cycles); queries park until then. */
+    mem::Cycles arrival = 0;
+    /** Absolute virtual deadline; no_deadline disables enforcement. */
+    mem::Cycles deadline = isa::no_deadline;
+    /** Fault events this query may absorb before it is Aborted. */
+    std::uint64_t faultBudget = isa::no_fault_budget;
 };
 
 /** Whole-scenario configuration. */
@@ -63,6 +69,10 @@ struct ScenarioConfig
     std::string placement{};
     /** Modeled threads per session (1 = one core per query). */
     std::uint32_t threads = 1;
+    /** Overload policy for the bounded admission queue. */
+    isa::ShedPolicy shed = isa::ShedPolicy::None;
+    /** Admission queue bound (0 = unbounded) under shed != none. */
+    std::uint32_t admitCapacity = 0;
     std::vector<QuerySpec> queries;
 };
 
@@ -74,6 +84,10 @@ struct QueryReport
     std::uint64_t value = 0;      ///< The algorithm's scalar result.
     mem::Cycles ownCycles = 0;    ///< Query-issued cycles (model).
     mem::Cycles completion = 0;   ///< Virtual end-to-end makespan.
+    isa::QueryState state = isa::QueryState::Pending; ///< Verdict.
+    mem::Cycles arrival = 0;      ///< Virtual arrival offset.
+    mem::Cycles deadline = isa::no_deadline; ///< Contract deadline.
+    bool deadlineMet = true;      ///< Completed within deadline?
     isa::BatchFaultSummary faults; ///< Faults across its dispatches.
     sim::QueryAccount account;    ///< Tagged busy/stall/counters.
 };
@@ -83,6 +97,8 @@ struct ScenarioReport
 {
     std::vector<QueryReport> queries; ///< In enrollment order.
     std::vector<sim::QueryId> admissionLog;
+    /** Every lifecycle transition, in virtual decision order. */
+    std::vector<isa::ServingModel::LifecycleEvent> lifecycleLog;
     mem::Cycles makespan = 0; ///< Max completion over all queries.
 };
 
@@ -91,6 +107,15 @@ bool validServeProblem(const std::string &problem);
 
 /** Serving default pattern cutoff for @p problem. */
 std::uint64_t serveDefaultCutoff(const std::string &problem);
+
+/**
+ * Deterministic open-loop arrival generator: @p n arrival offsets
+ * whose inter-arrival gaps are exponentially distributed with mean
+ * @p mean cycles, drawn from a splitmix64 stream seeded with @p seed.
+ * Pure function of (seed, mean, n) -- no wall clock anywhere.
+ */
+std::vector<mem::Cycles> poissonArrivals(std::uint64_t seed,
+                                         double mean, std::size_t n);
 
 /**
  * Run every query of @p config concurrently against @p graph and

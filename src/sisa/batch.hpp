@@ -100,6 +100,19 @@ enum class BatchOpKind : std::uint8_t
  * `serving` CTest label enforces this across workers x routing x
  * placement x faults x async).
  *
+ * The guarantee survives the query lifecycle (sisa/serving.hpp):
+ * deadlines, admission control, and overload shedding cancel a query
+ * only BETWEEN its dispatches (QueryCancelledError out of the gated
+ * admit), and a cancellation drains only the victim's own async
+ * window, charging the drain to the victim (`scu.cancel_drains`,
+ * `setops.cancelled_cycles`). So under any mix of deadlines,
+ * arrivals, shedding, and fault budgets, every query that COMPLETES
+ * still reports results, ids, and setops.* totals bit-identical to
+ * its solo run, and the lifecycle verdicts themselves (TimedOut /
+ * Shed / Aborted, and the lifecycle log recording them) are pure
+ * functions of modeled time -- independent of host worker count or
+ * wall-clock timing.
+ *
  * Operand `a` is the PRIMARY operand: under Routing::Primary the SCU
  * routes the op to `a`'s vault (under Routing::MinBytes it runs
  * where the bigger operand lives, with ties keeping `a`'s vault),

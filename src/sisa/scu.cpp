@@ -805,6 +805,9 @@ Scu::bindQuery(QueryScheduler &sched, sim::QueryId query,
     query_ = query;
     schedBase_ = ctx.totalCycles();
     demand_.lanes.clear();
+    demand_.faultEvents = 0;
+    cancelled_ = false;
+    cancelVerdict_ = QueryState::Running;
 }
 
 DispatchDemand
@@ -814,18 +817,66 @@ Scu::unbindQuery(const sim::SimContext &ctx)
     DispatchDemand tail;
     tail.own = ctx.totalCycles() - schedBase_;
     tail.lanes = std::move(demand_.lanes);
+    tail.faultEvents = demand_.faultEvents;
     sched_ = nullptr;
     query_ = sim::no_query;
     schedBase_ = 0;
     demand_.lanes.clear();
+    demand_.faultEvents = 0;
+    cancelled_ = false;
+    cancelVerdict_ = QueryState::Running;
     return tail;
 }
 
 void
-Scu::admitDispatch()
+Scu::admitDispatch(sim::SimContext &ctx, sim::ThreadId tid)
 {
-    if (sched_)
-        sched_->admit(query_);
+    if (!sched_)
+        return;
+    // Once cancelled, the query stays cancelled: any further gated
+    // dispatch attempted while the algorithm unwinds (e.g. from a
+    // catch block) rethrows instead of re-entering the scheduler --
+    // the grant slot is already spoken for until leave().
+    if (cancelled_)
+        throw QueryCancelledError(query_, cancelVerdict_);
+    const QueryState verdict = sched_->admit(query_);
+    if (verdict == QueryState::Running)
+        return;
+    cancelled_ = true;
+    cancelVerdict_ = verdict;
+    ctx.bumpCounter("scu.cancel_drains");
+    (void)tid; // The window's bound thread pays the drain.
+    cancelWindow();
+    throw QueryCancelledError(query_, verdict);
+}
+
+void
+Scu::cancelWindow()
+{
+    if (!windowCtx_)
+        return;
+    // Same settlement as drainWindow -- the bound thread pays the
+    // pending modeled completions -- but booked as cancellation
+    // cost: the abandoned batches' vault time was already spent on
+    // the shared clocks, so it must be priced, not dropped. The
+    // uncollected tickets' functional results die with the session's
+    // store; only the timing ledger survives into the leave() tail.
+    sim::SimContext &ctx = *windowCtx_;
+    const sim::ThreadId tid = windowTid_;
+    const mem::Cycles now = nowV();
+    if (maxCompletionV_ > now) {
+        ctx.chargeStall(tid, maxCompletionV_ - now);
+        ctx.bumpCounter("setops.cancelled_cycles",
+                        maxCompletionV_ - now);
+    }
+    windowCtx_ = nullptr;
+    pendingTickets_.clear();
+    deps_.clear();
+    laneClockV_.clear();
+    maxCompletionV_ = 0;
+    reduceEndV_ = 0;
+    if (pool_)
+        pool_->setBeatAccumulation(false);
 }
 
 void
@@ -837,7 +888,9 @@ Scu::reportDispatch(const sim::SimContext &ctx)
     demand.own = ctx.totalCycles() - schedBase_;
     schedBase_ = ctx.totalCycles();
     demand.lanes = std::move(demand_.lanes);
+    demand.faultEvents = demand_.faultEvents;
     demand_.lanes.clear();
+    demand_.faultEvents = 0;
     sched_->report(query_, std::move(demand));
 }
 
@@ -1335,8 +1388,9 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
     // Serving admission: block until the scheduler grants this query
     // a dispatch slot. Sits AFTER the analyzer (a strict reject must
     // not strand a grant) and before any charge, so co-tenant
-    // dispatches interleave at whole-dispatch boundaries.
-    admitDispatch();
+    // dispatches interleave at whole-dispatch boundaries. A
+    // cancellation verdict throws QueryCancelledError from here.
+    admitDispatch(ctx, tid);
 
     // The dispatch coordinate fault points address; maintained even
     // with the injector off (an integer increment) so enabling faults
@@ -1766,6 +1820,12 @@ Scu::dispatchBatch(sim::SimContext &ctx, sim::ThreadId tid,
             ctx.counter("setops.recovery_bytes") - base_recovery;
         result.faults.quarantinedVaults =
             quarantine_.deadCount() - base_dead;
+        // Draw the dispatch's recovery events against the query's
+        // fault budget (reported at the next admission boundary).
+        if (sched_)
+            demand_.faultEvents += result.faults.retries +
+                                   result.faults.laneStalls +
+                                   result.faults.quarantinedVaults;
     }
     maybeShrinkScratch(n);
     reportDispatch(ctx);
@@ -2007,8 +2067,9 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
     }
 
     // Serving admission at the same point as the barriered path:
-    // after the fences and the analyzer, before any charge.
-    admitDispatch();
+    // after the fences and the analyzer, before any charge. A
+    // cancellation verdict cancel-drains the window and throws.
+    admitDispatch(ctx, tid);
 
     // Open the window lazily on the first overlapped dispatch.
     if (!windowCtx_) {
@@ -2214,6 +2275,9 @@ Scu::dispatchAsync(sim::SimContext &ctx, sim::ThreadId tid,
             ctx.counter("scu.lane_stalls") - base_stalls;
         result.faults.recoveryBytes =
             ctx.counter("setops.recovery_bytes") - base_recovery;
+        if (sched_)
+            demand_.faultEvents += result.faults.retries +
+                                   result.faults.laneStalls;
     }
     maybeShrinkScratch(n);
 

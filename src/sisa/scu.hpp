@@ -779,8 +779,25 @@ class Scu
     /** The worker pool, created lazily on the first parallel batch. */
     VaultWorkerPool &pool();
 
-    /** Block in the scheduler until this query may dispatch. */
-    void admitDispatch();
+    /**
+     * Block in the scheduler until this query may dispatch. On a
+     * cancellation verdict (deadline / shed / fault budget) the
+     * dispatch must not run: the async window is cancel-drained --
+     * its pending modeled completions are charged to (@p ctx, @p
+     * tid) and priced in scu.cancel_drains / setops.cancelled_cycles
+     * so abandoned work is never silently dropped -- and
+     * QueryCancelledError unwinds to the session's finish(). Every
+     * later gated dispatch of the cancelled query rethrows without
+     * re-entering the scheduler.
+     */
+    void admitDispatch(sim::SimContext &ctx, sim::ThreadId tid);
+
+    /**
+     * Retire the async window on a cancellation: identical timing
+     * settlement to drainWindow (the bound thread pays the pending
+     * completions), but the charge is booked as cancellation cost.
+     */
+    void cancelWindow();
 
     /** Close the grant: report the dispatch's demand (see bindQuery). */
     void reportDispatch(const sim::SimContext &ctx);
@@ -837,6 +854,10 @@ class Scu
     mem::Cycles schedBase_ = 0;
     /** Per-vault busy cycles accumulating toward the next report. */
     DispatchDemand demand_;
+    /** Set once the scheduler cancelled the bound query. */
+    bool cancelled_ = false;
+    /** The cancellation verdict (valid while cancelled_). */
+    QueryState cancelVerdict_ = QueryState::Running;
     /**
      * Non-null iff config_.faults.enabled -- the single gate every
      * fault hook sits behind, so a disabled injector costs one

@@ -12,7 +12,9 @@
  *
  *  - ServingModel: the deterministic single-threaded core -- policy
  *    pick rule, per-query virtual timelines, shared per-vault busy
- *    clocks, the admission log. Exact-cycle pins drive it directly.
+ *    clocks, the admission log, and the query LIFECYCLE machine
+ *    (arrivals, deadlines, overload shedding, fault budgets). Exact-
+ *    cycle pins drive it directly.
  *  - QueryScheduler: the thread-safe blocking wrapper the sessions'
  *    host threads park on. Admission is LOCKSTEP: a grant is issued
  *    only when every unfinished query is parked at its admit() point
@@ -20,12 +22,35 @@
  *    pure function of the policy and the queries' demands --
  *    deterministic regardless of host thread timing.
  *
+ * Query lifecycle (PR 10). Every query walks the state machine
+ *
+ *   Pending -> Admitted -> Running -> { Completed, TimedOut,
+ *                                       Shed, Aborted }
+ *
+ * entirely in VIRTUAL time: a query becomes eligible when the
+ * admission clock reaches its arrival offset, enters the bounded
+ * admission queue (Admitted), turns Running at its first grant, and
+ * ends Completed -- or is cancelled at an admission boundary:
+ * TimedOut when its own virtual timeline passes its deadline, Shed
+ * when the overload policy drops it (queue overflow, or an EDF-
+ * provably-unreachable deadline), Aborted when its fault budget is
+ * exhausted. Cancellation is COOPERATIVE: the model never yanks a
+ * dispatch mid-flight; it wakes the parked query with a verdict and
+ * the SCU drains that query's async window, pricing the abandoned
+ * work (scu.cancel_drains / setops.cancelled_cycles) before the
+ * session retires. Because every decision reads only model state,
+ * lifecycle verdicts and shed logs are deterministic and host-timing
+ * independent.
+ *
  * Isolation contract: scheduling moves MODELED time only. A query's
  * functional results, result ids, and setops.* work totals are
  * bit-identical solo vs. co-tenant under every policy (each session
  * owns its engine/store; only vault-time contention is shared), and
  * the sum of per-query own-cycle accounts equals the sum of the
- * sessions' context cycles -- no lost or double-charged cycles.
+ * sessions' context cycles -- no lost or double-charged cycles. The
+ * lifecycle layer extends the contract to every COMPLETED query:
+ * deadlines, shedding, and co-tenant cancellations never change what
+ * a surviving query computes, only when it completes.
  */
 
 #ifndef SISA_SISA_SERVING_HPP
@@ -35,6 +60,8 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -53,6 +80,73 @@ const char *schedPolicyName(SchedPolicy policy);
 std::optional<SchedPolicy> parseSchedPolicy(std::string_view name);
 
 /**
+ * Lifecycle states of a served query. Running doubles as the
+ * "granted, keep going" admit() verdict; the last four are terminal.
+ */
+enum class QueryState : std::uint8_t
+{
+    Pending,   ///< Enrolled; arrival not yet reached / not admitted.
+    Admitted,  ///< In the admission queue, no dispatch granted yet.
+    Running,   ///< At least one dispatch granted.
+    Completed, ///< Ran to completion (possibly past its deadline).
+    TimedOut,  ///< Cancelled: virtual deadline passed mid-run.
+    Shed,      ///< Dropped by the overload policy before running.
+    Aborted,   ///< Cancelled: fault budget exhausted.
+};
+
+const char *queryStateName(QueryState state);
+
+/** Is @p state one of the four terminal verdicts? */
+bool queryStateTerminal(QueryState state);
+
+/**
+ * Overload shedding policy of the bounded admission queue:
+ *
+ *  - none:   unbounded queue, nothing is ever shed;
+ *  - reject: a query arriving into a full queue is shed;
+ *  - oldest: a full queue sheds its oldest not-yet-running query to
+ *            make room (the newcomer is shed if every queued query
+ *            already ran);
+ *  - edf:    grants go earliest-deadline-first, a full queue sheds
+ *            the LATEST-deadline not-yet-running query, and a query
+ *            whose deadline is provably unreachable -- even if every
+ *            vault lane were free at its earliest start -- is shed
+ *            at the admission boundary instead of wasting capacity.
+ */
+enum class ShedPolicy : std::uint8_t { None, Reject, Oldest, Edf };
+
+const char *shedPolicyName(ShedPolicy policy);
+
+/** Parse "none" / "reject" / "oldest" / "edf". */
+std::optional<ShedPolicy> parseShedPolicy(std::string_view name);
+
+/** QuerySpec sentinel: no deadline. */
+inline constexpr mem::Cycles no_deadline = ~mem::Cycles{0};
+
+/** QuerySpec sentinel: unlimited fault budget. */
+inline constexpr std::uint64_t no_fault_budget = ~std::uint64_t{0};
+
+/**
+ * Per-query admission parameters. The default spec reproduces the
+ * pre-lifecycle behaviour exactly: arrive at 0, never time out,
+ * never shed, unlimited faults.
+ */
+struct AdmissionSpec
+{
+    /** Scheduler priority (SchedPolicy::Priority only). */
+    std::uint32_t priority = 0;
+    /** Virtual-time arrival offset (open-loop; no wall clock). */
+    mem::Cycles arrival = 0;
+    /** Virtual-time completion deadline, or no_deadline. */
+    mem::Cycles deadline = no_deadline;
+    /**
+     * Max fault events (retries + lane stalls + quarantines, PR 6's
+     * recovery accounting) before the query is Aborted.
+     */
+    std::uint64_t faultBudget = no_fault_budget;
+};
+
+/**
  * What one granted dispatch consumed, reported back at the next
  * admission boundary:
  *
@@ -61,12 +155,16 @@ std::optional<SchedPolicy> parseSchedPolicy(std::string_view name);
  *    report) -- advances only that query's virtual timeline;
  *  - `lanes`: per-vault busy cycles the dispatch put on the shared
  *    vaults -- advance the shared vault clocks that co-tenant
- *    dispatches queue behind.
+ *    dispatches queue behind;
+ *  - `faultEvents`: recovery events the dispatch absorbed (retries +
+ *    lane stalls + quarantined vaults) -- drawn against the query's
+ *    fault budget.
  */
 struct DispatchDemand
 {
     mem::Cycles own = 0;
     std::vector<std::pair<std::uint32_t, mem::Cycles>> lanes;
+    std::uint64_t faultEvents = 0;
 
     void
     addLane(std::uint32_t vault, mem::Cycles cycles)
@@ -76,19 +174,51 @@ struct DispatchDemand
 };
 
 /**
+ * Thrown out of a gated dispatch when the scheduler cancelled the
+ * query at the admission boundary (deadline, shed, fault budget).
+ * NOT an error of the run: the serving layer catches it, retires the
+ * session cleanly, and records the verdict in the query's report.
+ */
+class QueryCancelledError : public std::runtime_error
+{
+  public:
+    QueryCancelledError(sim::QueryId query, QueryState verdict)
+        : std::runtime_error("query " + std::to_string(query) +
+                             " cancelled: " + queryStateName(verdict)),
+          query_(query), verdict_(verdict)
+    {
+    }
+
+    sim::QueryId query() const { return query_; }
+    QueryState verdict() const { return verdict_; }
+
+  private:
+    sim::QueryId query_;
+    QueryState verdict_;
+};
+
+/**
  * Deterministic serving core: policy state, per-query virtual
- * timelines, shared vault clocks. Single-threaded -- QueryScheduler
- * serializes access; tests drive it directly for exact-cycle pins.
+ * timelines, shared vault clocks, lifecycle machine. Single-threaded
+ * -- QueryScheduler serializes access; tests drive it directly for
+ * exact-cycle pins.
  *
  * Virtual-time rule (charge): a dispatch granted to query q starts at
- * q's issue point t0 (the sum of its own cycles so far; queries all
- * arrive at 0). Its own cycles advance the issue point to t0 + own;
+ * q's issue point t0 (its arrival offset plus the sum of its own
+ * cycles so far). Its own cycles advance the issue point to t0 + own;
  * each lane (v, c) occupies vault v from max(clock[v], t0) for c
  * cycles. The query's completion is the max of its final issue point
- * and every vault clock it ever advanced -- so a solo query's
- * completion equals its context cycle total exactly (own already
+ * and every vault clock it ever advanced -- so a solo query arriving
+ * at 0 completes exactly at its context cycle total (own already
  * contains each dispatch's makespan), and a co-tenant query
  * additionally waits out the vault time queued ahead of it.
+ *
+ * Admission clock (decide): grants only go to queries that have
+ * ARRIVED. The clock nowV never ticks a host clock; at every
+ * admission boundary it warps forward to the earliest ready point
+ * (max of arrival and issue) over the parked queries, so at least
+ * one query is always eligible and the sweep's outcome is a pure
+ * function of model state.
  */
 class ServingModel
 {
@@ -103,28 +233,82 @@ class ServingModel
     mem::Cycles quantum() const { return quantum_; }
 
     /**
-     * Register a query; ids are dense and double as arrival order
+     * Bound admission queue + shedding policy. @p capacity limits
+     * the live admitted population (Admitted + Running); 0 means
+     * unbounded. @p vaultWidth (the configured vault count) feeds
+     * EDF's reachability bound; 0 disables the vault-floor term.
+     * Configure before the first decide().
+     */
+    void setOverload(ShedPolicy shed, std::size_t capacity = 0,
+                     std::uint32_t vaultWidth = 0);
+
+    ShedPolicy shedPolicy() const { return shed_; }
+
+    /**
+     * Register a query; ids are dense and double as enrollment order
      * (FCFS rank, Priority tie-break, Credit round-robin order).
      */
-    sim::QueryId enroll(std::uint32_t priority = 0);
+    sim::QueryId enroll(const AdmissionSpec &spec);
+
+    sim::QueryId
+    enroll(std::uint32_t priority = 0)
+    {
+        AdmissionSpec spec;
+        spec.priority = priority;
+        return enroll(spec);
+    }
 
     std::size_t enrolled() const { return queries_.size(); }
+
+    /**
+     * One admission-boundary decision over the parked set @p waiting
+     * (non-empty, ascending): either a grant (verdict == Running) or
+     * a cancellation wake (verdict == TimedOut / Shed / Aborted).
+     * The sweep, in order: warp the admission clock, process
+     * arrivals through the bounded queue, time out deadline
+     * violators, abort budget exhaustions, shed EDF-unreachable
+     * queries, then pick a grantee among the eligible. At most one
+     * cancellation per call -- the wake occupies the grant slot.
+     */
+    struct Decision
+    {
+        sim::QueryId query = 0;
+        QueryState verdict = QueryState::Running;
+    };
+
+    Decision decide(const std::vector<sim::QueryId> &waiting);
 
     /**
      * Choose which of @p waiting (non-empty, ascending) dispatches
      * next, and log the grant. Credit deducts on charge(), refilling
      * every live query by the quantum when no waiting query has
-     * credit left.
+     * credit left. Under ShedPolicy::Edf the pick is earliest-
+     * deadline-first instead of the base policy's rule. decide()
+     * calls this with the eligible subset; exact-cycle pins call it
+     * directly (every query eligible, lifecycle bypassed).
      */
     sim::QueryId pick(const std::vector<sim::QueryId> &waiting);
 
     /** Apply one granted dispatch's demand to the virtual clocks. */
     void charge(sim::QueryId query, const DispatchDemand &demand);
 
-    /** The query is done; freeze its completion time. */
+    /**
+     * The query is done; freeze its completion time and terminal
+     * state (the pending cancellation verdict if one was issued,
+     * Completed otherwise).
+     */
     void finish(sim::QueryId query);
 
     bool finished(sim::QueryId query) const;
+
+    /** Lifecycle state (terminal only after finish()). */
+    QueryState state(sim::QueryId query) const;
+
+    /**
+     * The cancellation verdict decide() woke @p query with, or
+     * Running when it was granted normally. admit() returns this.
+     */
+    QueryState grantVerdict(sim::QueryId query) const;
 
     /** Virtual end-to-end makespan of a finished query. */
     mem::Cycles completion(sim::QueryId query) const;
@@ -132,11 +316,24 @@ class ServingModel
     /** Total own (issuing-thread) cycles charged by the query. */
     mem::Cycles ownCycles(sim::QueryId query) const;
 
+    /** The query's arrival offset / deadline (spec echo). */
+    mem::Cycles arrival(sim::QueryId query) const;
+    mem::Cycles deadline(sim::QueryId query) const;
+
+    /** Fault events charged against the query's budget so far. */
+    std::uint64_t faultSpend(sim::QueryId query) const;
+
+    /** Completed at or before its deadline (no deadline = met). */
+    bool deadlineMet(sim::QueryId query) const;
+
     /** Remaining Credit balance (meaningful under Credit only). */
     std::int64_t credit(sim::QueryId query) const;
 
     /** Busy-until clock of @p vault (0 if never touched). */
     mem::Cycles vaultClock(std::uint32_t vault) const;
+
+    /** The admission clock (diagnostics; advanced by decide()). */
+    mem::Cycles virtualNow() const { return nowV_; }
 
     /** Every grant in order -- the pinned admission interleaving. */
     const std::vector<sim::QueryId> &admissionLog() const
@@ -144,25 +341,72 @@ class ServingModel
         return admitted_;
     }
 
+    /** One lifecycle transition (in decision order). */
+    struct LifecycleEvent
+    {
+        sim::QueryId query = 0;
+        QueryState state = QueryState::Pending;
+
+        bool
+        operator==(const LifecycleEvent &other) const
+        {
+            return query == other.query && state == other.state;
+        }
+    };
+
+    /**
+     * Every lifecycle transition in decision order -- the shed /
+     * cancellation log the overload tests pin. Deterministic and
+     * host-timing independent (decisions read only model state).
+     */
+    const std::vector<LifecycleEvent> &lifecycleLog() const
+    {
+        return lifecycle_;
+    }
+
   private:
     struct Query
     {
-        std::uint32_t priority = 0;
+        AdmissionSpec spec;
+        QueryState state = QueryState::Pending;
+        /** Cancellation verdict to deliver at the wake (or Running). */
+        QueryState wake = QueryState::Running;
         mem::Cycles issue = 0; ///< Own-cycle timeline position.
         mem::Cycles tail = 0;  ///< Latest vault time it occupied.
         mem::Cycles own = 0;
         mem::Cycles completionAt = 0;
+        std::uint64_t faultSpend = 0;
         std::int64_t credit = 0;
         bool done = false;
     };
 
     bool creditEligible(const std::vector<sim::QueryId> &waiting) const;
 
+    /** max(arrival, issue): when q's next dispatch could start. */
+    mem::Cycles readyPoint(const Query &q) const;
+
+    /** Earliest free vault lane under the configured width. */
+    mem::Cycles vaultFloor() const;
+
+    /** Queries in Admitted/Running (the bounded-queue population). */
+    std::size_t liveAdmitted() const;
+
+    void transition(sim::QueryId query, QueryState state);
+
+    /** Admit @p query or pick a shed victim (capacity policy). */
+    std::optional<Decision> admitArrival(sim::QueryId query);
+
     SchedPolicy policy_;
     mem::Cycles quantum_;
+    ShedPolicy shed_ = ShedPolicy::None;
+    std::size_t capacity_ = 0; ///< 0 = unbounded.
+    std::uint32_t vaultWidth_ = 0;
+    mem::Cycles nowV_ = 0; ///< Admission clock (virtual, warped).
     std::vector<Query> queries_;
     std::vector<mem::Cycles> vaultClock_;
     std::vector<sim::QueryId> admitted_;
+    std::vector<LifecycleEvent> lifecycle_;
+    std::vector<sim::QueryId> eligibleScratch_;
     sim::QueryId cursor_ = 0; ///< Credit round-robin position.
 };
 
@@ -170,18 +414,24 @@ class ServingModel
  * Thread-safe lockstep admission gate over a ServingModel. Protocol,
  * per session host thread:
  *
- *   id = enroll(priority);            // before any thread starts
+ *   id = enroll(spec);                // before any thread starts
  *   ... per dispatch:
- *   admit(id);                        // blocks until granted
- *   <dispatch through the bound Scu>
- *   report(id, demand);               // ends the grant
- *   ... when the query completes:
+ *   verdict = admit(id);              // blocks until granted/cancelled
+ *   <dispatch through the bound Scu>  // (on a cancel verdict the Scu
+ *   report(id, demand);               //  throws QueryCancelledError
+ *   ... when the query completes:     //  instead of dispatching)
  *   leave(id, final_demand);          // trailing own cycles + done
  *
  * The Scu drives admit/report itself once bindQuery() attaches it to
  * a scheduler; leave() is the session teardown's job. A grant is
  * issued only when all unfinished queries are parked in admit(), so
  * every run of the same queries yields the same admission log.
+ *
+ * Cancellation rides the grant slot: a cancelled query wakes from
+ * admit() with its verdict, does NOT report, and holds the slot
+ * until its leave() -- so cancelled-session teardown (window drain,
+ * set release) never overlaps a co-tenant's dispatch on the shared
+ * worker pool.
  */
 class QueryScheduler
 {
@@ -190,11 +440,28 @@ class QueryScheduler
         SchedPolicy policy,
         mem::Cycles quantum = ServingModel::default_quantum);
 
-    /** Register a query BEFORE its session thread starts. */
-    sim::QueryId enroll(std::uint32_t priority = 0);
+    /** Configure overload protection BEFORE any thread starts. */
+    void setOverload(ShedPolicy shed, std::size_t capacity = 0,
+                     std::uint32_t vaultWidth = 0);
 
-    /** Block until the policy grants this query a dispatch slot. */
-    void admit(sim::QueryId query);
+    /** Register a query BEFORE its session thread starts. */
+    sim::QueryId enroll(const AdmissionSpec &spec);
+
+    sim::QueryId
+    enroll(std::uint32_t priority = 0)
+    {
+        AdmissionSpec spec;
+        spec.priority = priority;
+        return enroll(spec);
+    }
+
+    /**
+     * Block until the policy grants this query a dispatch slot.
+     * Returns QueryState::Running on a grant; a cancellation verdict
+     * (TimedOut / Shed / Aborted) means the dispatch must NOT run --
+     * the caller drains its in-flight state and unwinds to leave().
+     */
+    QueryState admit(sim::QueryId query);
 
     /** End the grant, feeding the dispatch's demand to the model. */
     void report(sim::QueryId query, DispatchDemand demand);
@@ -211,7 +478,8 @@ class QueryScheduler
 
     /**
      * The model, for post-run inspection (completions, admission
-     * log). Only safe once every enrolled query has left.
+     * log, lifecycle log). Only safe once every enrolled query has
+     * left.
      */
     const ServingModel &model() const { return model_; }
 

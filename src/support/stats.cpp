@@ -110,6 +110,38 @@ p99(const std::vector<double> &samples)
     return percentile(samples, 99.0);
 }
 
+double
+deadlineHitRatio(const std::vector<double> &completions,
+                 const std::vector<double> &deadlines)
+{
+    sisa_assert(completions.size() == deadlines.size(),
+                "deadlineHitRatio needs paired samples");
+    if (completions.empty())
+        return 1.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < completions.size(); ++i) {
+        if (completions[i] <= deadlines[i])
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(completions.size());
+}
+
+double
+goodput(const std::vector<double> &completions,
+        const std::vector<double> &deadlines, double horizon)
+{
+    sisa_assert(completions.size() == deadlines.size(),
+                "goodput needs paired samples");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < completions.size(); ++i) {
+        if (completions[i] <= deadlines[i] &&
+            (horizon == 0.0 || completions[i] <= horizon))
+            ++count;
+    }
+    return static_cast<double>(count);
+}
+
 Histogram::Histogram(std::uint64_t bin_width) : binWidth_(bin_width)
 {
     sisa_assert(bin_width >= 1, "histogram bin width must be >= 1");

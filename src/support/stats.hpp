@@ -74,6 +74,26 @@ double p95(const std::vector<double> &samples);
 double p99(const std::vector<double> &samples);
 
 /**
+ * Fraction of paired samples with completion[i] <= deadline[i] --
+ * the deadline hit ratio of a served query population. Queries that
+ * never completed are reported by passing an infinite completion
+ * (or simply omitting the pair). Empty input is vacuously 1.
+ * Requires equally sized vectors.
+ */
+double deadlineHitRatio(const std::vector<double> &completions,
+                        const std::vector<double> &deadlines);
+
+/**
+ * Goodput in queries: how many paired samples completed within BOTH
+ * their deadline and the horizon (horizon 0 = unbounded). This is
+ * the numerator the overload benches gate on -- work that was
+ * finished in time, not merely admitted. Requires equally sized
+ * vectors.
+ */
+double goodput(const std::vector<double> &completions,
+               const std::vector<double> &deadlines, double horizon);
+
+/**
  * Fixed-bin histogram over non-negative integer samples, used for the
  * set-size traces behind Figure 9b and the degree distributions of
  * Figure 7a.

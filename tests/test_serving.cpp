@@ -460,4 +460,407 @@ TEST(ServingScenario, RejectsUnknownProblem)
     EXPECT_TRUE(serve::validServeProblem("lp"));
 }
 
+// --- Lifecycle model pins --------------------------------------------------
+
+using Event = isa::ServingModel::LifecycleEvent;
+
+TEST(LifecycleModel, ArrivalsGatePendingQueries)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    isa::AdmissionSpec late;
+    late.arrival = 1000;
+    model.enroll(isa::AdmissionSpec{});
+    model.enroll(late);
+
+    // q1 has not arrived: q0 owns every grant even though FCFS would
+    // otherwise consider both waiters.
+    isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 0u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Running);
+    model.charge(0, {.own = 500, .lanes = {}});
+    d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 0u); // Clock at 500 < 1000: q1 still pending.
+    EXPECT_EQ(model.state(1), isa::QueryState::Pending);
+    model.finish(0);
+
+    // Alone in the waiting set, q1 warps the admission clock forward
+    // to its arrival instead of deadlocking the sweep.
+    d = model.decide({1});
+    EXPECT_EQ(d.query, 1u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Running);
+    EXPECT_EQ(model.virtualNow(), 1000u);
+    model.charge(1, {.own = 100, .lanes = {}});
+    model.finish(1);
+    EXPECT_EQ(model.completion(0), 500u);
+    EXPECT_EQ(model.completion(1), 1100u); // Arrival offsets the end.
+}
+
+TEST(LifecycleModel, DeadlinePassageCancelsAtTheBoundary)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    isa::AdmissionSpec spec;
+    spec.deadline = 100;
+    model.enroll(spec);
+
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    model.charge(0, {.own = 150, .lanes = {}});
+
+    // The next boundary finds the issue point past the deadline: no
+    // later dispatch can complete the query in time.
+    const isa::ServingModel::Decision d = model.decide({0});
+    EXPECT_EQ(d.query, 0u);
+    EXPECT_EQ(d.verdict, isa::QueryState::TimedOut);
+    EXPECT_EQ(model.grantVerdict(0), isa::QueryState::TimedOut);
+    model.finish(0);
+    EXPECT_EQ(model.state(0), isa::QueryState::TimedOut);
+    EXPECT_FALSE(model.deadlineMet(0));
+    EXPECT_EQ(model.completion(0), 150u);
+    EXPECT_EQ(model.lifecycleLog(),
+              (std::vector<Event>{{0, isa::QueryState::Admitted},
+                                  {0, isa::QueryState::Running},
+                                  {0, isa::QueryState::TimedOut}}));
+}
+
+TEST(LifecycleModel, DeadlineBoundaryIsInclusive)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    isa::AdmissionSpec spec;
+    spec.deadline = 100;
+    model.enroll(spec);
+
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    model.charge(0, {.own = 100, .lanes = {}});
+    // Landing exactly ON the deadline is a hit (<=, not <).
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    model.finish(0);
+    EXPECT_EQ(model.state(0), isa::QueryState::Completed);
+    EXPECT_TRUE(model.deadlineMet(0));
+}
+
+TEST(LifecycleModel, RejectShedsTheNewcomer)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.setOverload(isa::ShedPolicy::Reject, /*capacity=*/1);
+    model.enroll();
+    model.enroll();
+
+    // q0 fills the only slot; arriving into a full queue sheds q1 at
+    // its arrival instant, before it ever runs.
+    const isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 1u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Shed);
+    model.finish(1); // The woken victim retires.
+    EXPECT_EQ(model.state(1), isa::QueryState::Shed);
+    EXPECT_EQ(model.completion(1), 0u); // Frozen at its arrival.
+
+    // The incumbent is unaffected and completes normally.
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    model.charge(0, {.own = 40, .lanes = {}});
+    model.finish(0);
+    EXPECT_EQ(model.state(0), isa::QueryState::Completed);
+    EXPECT_EQ(model.lifecycleLog(),
+              (std::vector<Event>{{0, isa::QueryState::Admitted},
+                                  {1, isa::QueryState::Shed},
+                                  {0, isa::QueryState::Running},
+                                  {0, isa::QueryState::Completed}}));
+}
+
+TEST(LifecycleModel, OldestShedsTheEldestQueuedQuery)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.setOverload(isa::ShedPolicy::Oldest, /*capacity=*/1);
+    model.enroll();
+    model.enroll();
+
+    // shed=oldest evicts the incumbent to make room for the newcomer.
+    const isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 0u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Shed);
+    EXPECT_EQ(model.state(1), isa::QueryState::Admitted);
+    model.finish(0);
+    EXPECT_EQ(model.decide({1}).verdict, isa::QueryState::Running);
+    EXPECT_EQ(model.lifecycleLog(),
+              (std::vector<Event>{{0, isa::QueryState::Admitted},
+                                  {1, isa::QueryState::Admitted},
+                                  {0, isa::QueryState::Shed},
+                                  {1, isa::QueryState::Running}}));
+}
+
+TEST(LifecycleModel, EdfShedsTheLatestDeadlineOnOverflow)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.setOverload(isa::ShedPolicy::Edf, /*capacity=*/1);
+    isa::AdmissionSpec lax;
+    lax.deadline = 5000;
+    isa::AdmissionSpec urgent;
+    urgent.deadline = 100;
+    model.enroll(lax);
+    model.enroll(urgent);
+
+    // The queue is full when the urgent query arrives: EDF evicts the
+    // laxer incumbent rather than the newcomer.
+    const isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 0u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Shed);
+    EXPECT_EQ(model.state(1), isa::QueryState::Admitted);
+}
+
+TEST(LifecycleModel, EdfShedsUnreachableDeadlines)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.setOverload(isa::ShedPolicy::Edf, /*capacity=*/0,
+                      /*vaultWidth=*/1);
+    isa::AdmissionSpec first;
+    first.deadline = 10000;
+    isa::AdmissionSpec doomed;
+    doomed.arrival = 500;
+    doomed.deadline = 600;
+    model.enroll(first);
+    model.enroll(doomed);
+
+    EXPECT_EQ(model.decide({0, 1}).query, 0u);
+    isa::DispatchDemand d0;
+    d0.own = 700;
+    d0.addLane(0, 700);
+    model.charge(0, d0);
+
+    // q1 arrives at 500 but the single vault lane is busy until 700,
+    // past its deadline of 600: even an immediate grant cannot make
+    // it, so EDF sheds it instead of burning shared lane time.
+    const isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 1u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Shed);
+}
+
+TEST(LifecycleModel, EdfGrantsEarliestDeadlineFirst)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    model.setOverload(isa::ShedPolicy::Edf);
+    isa::AdmissionSpec lax;
+    lax.deadline = 5000;
+    isa::AdmissionSpec urgent;
+    urgent.deadline = 1000;
+    model.enroll(lax);
+    model.enroll(urgent);
+
+    // Base FCFS would grant q0; EDF admission overrides to the
+    // tighter deadline so shed decisions and grant order agree.
+    const isa::ServingModel::Decision d = model.decide({0, 1});
+    EXPECT_EQ(d.query, 1u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Running);
+}
+
+TEST(LifecycleModel, FaultBudgetExhaustionAborts)
+{
+    isa::ServingModel model(isa::SchedPolicy::Fcfs);
+    isa::AdmissionSpec spec;
+    spec.faultBudget = 2;
+    model.enroll(spec);
+
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    // Spending exactly the budget is still within it.
+    model.charge(0, {.own = 10, .lanes = {}, .faultEvents = 2});
+    EXPECT_EQ(model.faultSpend(0), 2u);
+    EXPECT_EQ(model.decide({0}).verdict, isa::QueryState::Running);
+    // One more fault event tips the query over: Aborted, not Shed.
+    model.charge(0, {.own = 10, .lanes = {}, .faultEvents = 1});
+    const isa::ServingModel::Decision d = model.decide({0});
+    EXPECT_EQ(d.query, 0u);
+    EXPECT_EQ(d.verdict, isa::QueryState::Aborted);
+    model.finish(0);
+    EXPECT_EQ(model.state(0), isa::QueryState::Aborted);
+}
+
+TEST(LifecycleModel, PoissonArrivalsAreDeterministic)
+{
+    const std::vector<mem::Cycles> a =
+        serve::poissonArrivals(7, 1500.0, 8);
+    const std::vector<mem::Cycles> b =
+        serve::poissonArrivals(7, 1500.0, 8);
+    ASSERT_EQ(a.size(), 8u);
+    EXPECT_EQ(a, b); // Pure function of (seed, mean, n).
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GE(a[i], a[i - 1]); // A non-decreasing arrival clock.
+    EXPECT_NE(serve::poissonArrivals(8, 1500.0, 8), a);
+}
+
+// --- Lifecycle scenario differentials --------------------------------------
+
+/**
+ * The lifecycle headline: a co-tenant cancelled mid-run (async window
+ * in flight) must leave every surviving query's result and account
+ * bit-identical to its solo run, and the cancellation charge itself
+ * must be explicit in the victim's counters.
+ */
+TEST(ServingLifecycle, CancelMidWindowLeavesSurvivorsBitIdentical)
+{
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.scu.batchWorkers = 4;
+    config.scu.routing = isa::Routing::Balanced;
+    config.scu.asyncDepth = 8;
+    // A doomed tenant: generous enough to start dispatching, far too
+    // tight to finish -- it is cancelled between dispatches with its
+    // async window still open.
+    config.queries.push_back({.problem = "tc",
+                              .priority = 0,
+                              .cutoff = 500,
+                              .arrival = 0,
+                              .deadline = 2000});
+
+    const serve::ScenarioReport co =
+        serve::serveMixedWorkload(graph, config);
+    ASSERT_EQ(co.queries.size(), 4u);
+    const serve::QueryReport &doomed = co.queries[3];
+    EXPECT_EQ(doomed.state, isa::QueryState::TimedOut);
+    EXPECT_FALSE(doomed.deadlineMet);
+    // The cancellation drained the victim's async window exactly once
+    // and charged the drain to the victim, not to a co-tenant.
+    ASSERT_EQ(doomed.account.counters.count("scu.cancel_drains"), 1u);
+    EXPECT_EQ(doomed.account.counters.at("scu.cancel_drains"), 1u);
+    // The drain's stall lands in the victim's own tagged account.
+    EXPECT_EQ(doomed.ownCycles, doomed.account.cycles());
+
+    for (std::size_t i = 0; i < 3; ++i) {
+        serve::ScenarioConfig solo_config = config;
+        solo_config.queries = {config.queries[i]};
+        const serve::ScenarioReport solo =
+            serve::serveMixedWorkload(graph, solo_config);
+        const serve::QueryReport &s = solo.queries[0];
+        const serve::QueryReport &c = co.queries[i];
+        SCOPED_TRACE("problem=" + c.problem);
+        EXPECT_EQ(c.state, isa::QueryState::Completed);
+        EXPECT_EQ(s.value, c.value);
+        EXPECT_EQ(s.account.busy, c.account.busy);
+        EXPECT_EQ(s.account.stall, c.account.stall);
+        EXPECT_EQ(s.account.counters, c.account.counters);
+        EXPECT_EQ(s.ownCycles, c.ownCycles);
+    }
+}
+
+/**
+ * Verdicts, the lifecycle log, and the cancellation charges are
+ * modeled state: they must be bit-identical across host worker
+ * counts and across repeated runs.
+ */
+TEST(ServingLifecycle, VerdictsAndShedLogWorkerCountInvariant)
+{
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config;
+    config.policy = isa::SchedPolicy::Fcfs;
+    config.scu.routing = isa::Routing::Balanced;
+    config.scu.asyncDepth = 8;
+    config.shed = isa::ShedPolicy::Edf;
+    config.admitCapacity = 2;
+    config.queries = {
+        {.problem = "tc", .cutoff = 300, .arrival = 0,
+         .deadline = 100000},
+        {.problem = "tc", .cutoff = 300, .arrival = 10,
+         .deadline = 50000},
+        {.problem = "tc", .cutoff = 300, .arrival = 20,
+         .deadline = 40000},
+        {.problem = "tc", .cutoff = 300, .arrival = 30,
+         .deadline = 30000},
+    };
+
+    bool have_baseline = false;
+    serve::ScenarioReport baseline;
+    // The repeated worker count doubles as a rerun-determinism check.
+    for (std::uint32_t workers : {1u, 2u, 4u, 4u}) {
+        config.scu.batchWorkers = workers;
+        const serve::ScenarioReport r =
+            serve::serveMixedWorkload(graph, config);
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        if (!have_baseline) {
+            baseline = r;
+            have_baseline = true;
+            // Four arrivals into a two-slot queue, none of which can
+            // complete before the last arrival: exactly two sheds.
+            std::size_t sheds = 0;
+            for (const serve::QueryReport &qr : r.queries)
+                sheds += qr.state == isa::QueryState::Shed;
+            EXPECT_EQ(sheds, 2u);
+            continue;
+        }
+        EXPECT_EQ(r.lifecycleLog, baseline.lifecycleLog);
+        EXPECT_EQ(r.admissionLog, baseline.admissionLog);
+        ASSERT_EQ(r.queries.size(), baseline.queries.size());
+        for (std::size_t i = 0; i < r.queries.size(); ++i) {
+            SCOPED_TRACE("query=" + std::to_string(i));
+            EXPECT_EQ(r.queries[i].state, baseline.queries[i].state);
+            EXPECT_EQ(r.queries[i].completion,
+                      baseline.queries[i].completion);
+            EXPECT_EQ(r.queries[i].deadlineMet,
+                      baseline.queries[i].deadlineMet);
+            // Exact-cycle pin on the cancellation charges: the drain
+            // stall and cancelled-cycle counters are modeled, so they
+            // cannot move with host parallelism.
+            EXPECT_EQ(r.queries[i].account.counters,
+                      baseline.queries[i].account.counters);
+            EXPECT_EQ(r.queries[i].ownCycles,
+                      baseline.queries[i].ownCycles);
+        }
+    }
+}
+
+TEST(ServingLifecycle, FaultBudgetConvertsFaultStormToAbort)
+{
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    config.scu.batchWorkers = 4;
+    config.scu.routing = isa::Routing::Balanced;
+    config.scu.faults.enabled = true;
+    config.scu.faults.seed = 7;
+    config.scu.faults.corruptRate = 0.05;
+    config.scu.faults.stallRate = 0.05;
+    config.scu.faults.dropRate = 0.02;
+    // tc absorbs nothing: its first recovery event aborts it.
+    config.queries[0].faultBudget = 0;
+
+    const serve::ScenarioReport co =
+        serve::serveMixedWorkload(graph, config);
+    ASSERT_EQ(co.queries.size(), 3u);
+    EXPECT_EQ(co.queries[0].state, isa::QueryState::Aborted);
+
+    // The fault-storm tenant's abort must not perturb the others.
+    for (std::size_t i = 1; i < config.queries.size(); ++i) {
+        serve::ScenarioConfig solo_config = config;
+        solo_config.queries = {config.queries[i]};
+        const serve::ScenarioReport solo =
+            serve::serveMixedWorkload(graph, solo_config);
+        const serve::QueryReport &s = solo.queries[0];
+        const serve::QueryReport &c = co.queries[i];
+        SCOPED_TRACE("problem=" + c.problem);
+        EXPECT_EQ(c.state, isa::QueryState::Completed);
+        EXPECT_EQ(s.value, c.value);
+        EXPECT_EQ(s.account.counters, c.account.counters);
+        EXPECT_EQ(s.faults.retries, c.faults.retries);
+        EXPECT_EQ(s.faults.laneStalls, c.faults.laneStalls);
+        EXPECT_EQ(s.ownCycles, c.ownCycles);
+    }
+}
+
+TEST(ServingLifecycle, DefaultSpecsReproducePreLifecycleBehaviour)
+{
+    // No deadlines, no arrivals, shed=none: the lifecycle machinery
+    // must be invisible -- every query Completed, every deadline met,
+    // and the lifecycle log is exactly the Admitted/Running/Completed
+    // frame around the pinned admission order.
+    const graph::Graph graph = testGraph();
+    serve::ScenarioConfig config = baseConfig();
+    const serve::ScenarioReport report =
+        serve::serveMixedWorkload(graph, config);
+    for (const serve::QueryReport &qr : report.queries) {
+        SCOPED_TRACE(qr.problem);
+        EXPECT_EQ(qr.state, isa::QueryState::Completed);
+        EXPECT_TRUE(qr.deadlineMet);
+        EXPECT_EQ(qr.arrival, 0u);
+        EXPECT_EQ(qr.deadline, isa::no_deadline);
+    }
+    std::size_t completions = 0;
+    for (const Event &event : report.lifecycleLog)
+        completions += event.state == isa::QueryState::Completed;
+    EXPECT_EQ(completions, report.queries.size());
+}
+
 } // namespace

@@ -202,6 +202,30 @@ TEST(Stats, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(p99(two), 3.0);
 }
 
+TEST(Stats, DeadlineHitRatioPins)
+{
+    // Paired convention: hit iff completion[i] <= deadline[i].
+    const std::vector<double> completions{100.0, 250.0, 400.0, 90.0};
+    const std::vector<double> deadlines{150.0, 200.0, 400.0, 80.0};
+    EXPECT_DOUBLE_EQ(deadlineHitRatio(completions, deadlines), 0.5);
+    // Equality counts as a hit (<=, not <).
+    EXPECT_DOUBLE_EQ(deadlineHitRatio({5.0}, {5.0}), 1.0);
+    // Empty population is vacuously perfect.
+    EXPECT_DOUBLE_EQ(deadlineHitRatio({}, {}), 1.0);
+}
+
+TEST(Stats, GoodputPins)
+{
+    // Goodput counts queries finished within BOTH deadline and
+    // horizon; horizon 0 disables the horizon bound.
+    const std::vector<double> completions{100.0, 250.0, 400.0};
+    const std::vector<double> deadlines{150.0, 300.0, 350.0};
+    EXPECT_DOUBLE_EQ(goodput(completions, deadlines, 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(goodput(completions, deadlines, 200.0), 1.0);
+    EXPECT_DOUBLE_EQ(goodput(completions, deadlines, 250.0), 2.0);
+    EXPECT_DOUBLE_EQ(goodput({}, {}, 0.0), 0.0);
+}
+
 TEST(Stats, HistogramBinning)
 {
     Histogram h(5);

@@ -29,7 +29,7 @@ REQUIRED_TOP = {"tier": str, "block_elems": int, "host_threads": int,
 REQUIRED_ROW = {"name": str, "size": int, "unit": str,
                 "scalar_ns": (int, float), "vector_ns": (int, float),
                 "speedup": (int, float)}
-VALID_UNITS = {"ns", "bytes", "cycles"}
+VALID_UNITS = {"ns", "bytes", "cycles", "queries"}
 REQUIRED_ROWS = (
     # The multi-tenant serving tail-latency rows (PR 9): FCFS vs
     # Credit per-query virtual completion percentiles on the mixed
@@ -37,6 +37,15 @@ REQUIRED_ROWS = (
     # file after bench_microbench writes it).
     "serve_tail_rmat9_p50_cycles",
     "serve_tail_rmat9_p99_cycles",
+    # The overload / query-lifecycle rows (PR 10): deadline-bearing
+    # open-loop arrivals at 0.5x-4x of vault capacity, no shedding
+    # (scalar) vs shed=edf (vector).
+    "serve_overload_rmat9_goodput_2x",
+    "serve_overload_rmat9_shed_rate_0p5x",
+    "serve_overload_rmat9_shed_rate_1x",
+    "serve_overload_rmat9_shed_rate_2x",
+    "serve_overload_rmat9_shed_rate_4x",
+    "serve_overload_rmat9_p99_cycles_2x",
     # The async-dispatch barrier-retirement rows (PR 8): barriered vs
     # in-flight-window makespan of the same bit-identical kernels.
     "async_tc_rmat9_cycles",
@@ -133,6 +142,32 @@ def check(path: str) -> list[str]:
             errors.append(
                 f"{path}: serve_tail_rmat9_p99_cycles speedup "
                 f"{speedup} <= 1 (credit must beat FCFS at the tail)")
+
+    # Overload-row semantics (PR 10). Goodput at 2x load: the row's
+    # scalar column is no-shedding goodput and the vector column is
+    # shed=edf goodput, so EDF winning (or tying) means speedup <= 1.
+    goodput = by_name.get("serve_overload_rmat9_goodput_2x")
+    if goodput:
+        speedup = goodput.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup > 1.0:
+            errors.append(
+                f"{path}: serve_overload_rmat9_goodput_2x speedup "
+                f"{speedup} > 1 (edf goodput must not trail "
+                f"no-shedding at 2x load)")
+    # Shed rate (offered / edf survivors) must be monotone
+    # non-decreasing in the offered load: shedding MORE under LESS
+    # load means the admission queue is misbehaving.
+    prev_rate, prev_tag = None, None
+    for tag in ("0p5x", "1x", "2x", "4x"):
+        row = by_name.get(f"serve_overload_rmat9_shed_rate_{tag}")
+        rate = row.get("speedup") if row else None
+        if not isinstance(rate, (int, float)):
+            continue
+        if prev_rate is not None and rate < prev_rate - 1e-9:
+            errors.append(
+                f"{path}: shed rate not monotone in load: "
+                f"{prev_tag} -> {prev_rate} but {tag} -> {rate}")
+        prev_rate, prev_tag = rate, tag
     return errors
 
 

@@ -54,8 +54,27 @@
  *              argument becomes a comma list of co-tenant queries,
  *              each PROBLEM[:PRIORITY], run concurrently under the
  *              chosen admission policy. Prints one row per query
- *              (value, own cycles, virtual completion, fault summary)
- *              plus p50/p95/p99 completion percentiles.
+ *              (value, own cycles, virtual completion, lifecycle
+ *              verdict, fault summary) plus p50/p95/p99 completion
+ *              percentiles.
+ *   deadline:  deadline=CYCLES (serve= mode) -- every query must
+ *              complete within CYCLES virtual cycles of its arrival;
+ *              a query whose dispatch tail crosses the deadline is
+ *              cancelled (TimedOut), one that merely finishes late
+ *              stays Completed with deadline_met=0.
+ *   arrive:    arrive=OFFSET | poisson:SEED:MEAN (serve= mode) --
+ *              deterministic virtual arrival times: query i arrives
+ *              at i*OFFSET, or open-loop with seeded-splitmix64
+ *              exponential inter-arrival gaps of mean MEAN cycles.
+ *              No wall clock anywhere; reruns are bit-identical.
+ *   shed:      shed=none|reject|oldest|edf[:CAPACITY] (serve= mode)
+ *              -- overload protection for the admission queue. With
+ *              CAPACITY set, an arrival into a full queue rejects
+ *              the newcomer, drops the oldest waiter, or (edf) drops
+ *              the latest-deadline waiter; edf additionally sheds
+ *              queries whose deadlines are provably unreachable
+ *              given the vault lane clocks, and grants
+ *              earliest-deadline-first.
  *
  * Every argument is validated up front: unknown tokens, non-numeric
  * counts, unknown datasets, and unreadable/malformed graph files all
@@ -138,6 +157,16 @@ constexpr ArgDoc kKeyArgDocs[] = {
     {"serve", "[serve=SPEC]",
      "serve=fcfs | credit[:QUANTUM] | priority (sisa mode only): run "
      "the problem comma list as co-tenant queries"},
+    {"deadline", "[deadline=CYCLES]",
+     "deadline=CYCLES (serve= only): cancel queries that cannot "
+     "complete within CYCLES of their arrival"},
+    {"arrive", "[arrive=SPEC]",
+     "arrive=OFFSET | poisson:SEED:MEAN (serve= only): deterministic "
+     "virtual arrival times (query i at i*OFFSET, or seeded "
+     "exponential inter-arrivals)"},
+    {"shed", "[shed=SPEC]",
+     "shed=none | reject | oldest | edf[:CAPACITY] (serve= only): "
+     "admission-queue overload policy"},
 };
 
 int
@@ -177,23 +206,39 @@ parseCount(const char *arg, T &out)
     return ec == std::errc() && ptr == end && arg != end;
 }
 
+/** Lifecycle knobs of a serve= run (deadline/arrive/shed specs). */
+struct ServeOptions
+{
+    isa::SchedPolicy policy = isa::SchedPolicy::Fcfs;
+    mem::Cycles quantum = isa::ServingModel::default_quantum;
+    /** Relative deadline (cycles after arrival); no_deadline = off. */
+    mem::Cycles deadline = isa::no_deadline;
+    bool poisson = false;       ///< arrive=poisson:SEED:MEAN given.
+    mem::Cycles offset = 0;     ///< arrive=OFFSET (query i at i*OFFSET).
+    std::uint64_t seed = 0;     ///< Poisson stream seed.
+    std::uint64_t mean = 0;     ///< Poisson mean inter-arrival gap.
+    isa::ShedPolicy shed = isa::ShedPolicy::None;
+    std::uint32_t capacity = 0; ///< Admission bound (0 = unbounded).
+};
+
 /**
  * serve= mode: parse the problem comma list (PROBLEM[:PRIORITY]
  * items), run the mixed workload co-tenant, and print one row per
  * query -- the algorithm's value, the query's own modeled cycles,
- * its virtual completion under the admission policy, and its fault
- * summary -- plus completion percentiles over the query population.
- * Returns an exit code.
+ * its virtual completion under the admission policy, its lifecycle
+ * verdict, and its fault summary -- plus completion percentiles and
+ * goodput over the query population. Returns an exit code.
  */
 int
 runServe(const graph::Graph &g, const std::string &problems,
          const RunConfig &config, bool cutoff_given,
-         isa::SchedPolicy policy, mem::Cycles quantum,
-         const char *argv0)
+         const ServeOptions &opts, const char *argv0)
 {
     serve::ScenarioConfig sc;
-    sc.policy = policy;
-    sc.quantum = quantum;
+    sc.policy = opts.policy;
+    sc.quantum = opts.quantum;
+    sc.shed = opts.shed;
+    sc.admitCapacity = opts.capacity;
     sc.scu = config.scu;
     sc.placement = config.placement;
     sc.threads = config.threads;
@@ -231,43 +276,84 @@ runServe(const graph::Graph &g, const std::string &problems,
         sc.queries.push_back(std::move(spec));
     }
 
+    // Lifecycle contracts: arrival times first (explicit stride or
+    // seeded open-loop), then deadlines relative to each arrival.
+    if (opts.poisson) {
+        const std::vector<mem::Cycles> arrivals =
+            serve::poissonArrivals(opts.seed,
+                                   static_cast<double>(opts.mean),
+                                   sc.queries.size());
+        for (std::size_t i = 0; i < sc.queries.size(); ++i)
+            sc.queries[i].arrival = arrivals[i];
+    } else if (opts.offset != 0) {
+        for (std::size_t i = 0; i < sc.queries.size(); ++i)
+            sc.queries[i].arrival =
+                static_cast<mem::Cycles>(i) * opts.offset;
+    }
+    if (opts.deadline != isa::no_deadline) {
+        for (serve::QuerySpec &spec : sc.queries)
+            spec.deadline = spec.arrival + opts.deadline;
+    }
+
     std::printf("serving %zu queries, policy=%s quantum=%llu, T=%u, "
-                "placement=%s, routing=%s\n",
-                sc.queries.size(), isa::schedPolicyName(policy),
-                static_cast<unsigned long long>(quantum),
+                "placement=%s, routing=%s, shed=%s\n",
+                sc.queries.size(), isa::schedPolicyName(opts.policy),
+                static_cast<unsigned long long>(opts.quantum),
                 config.threads,
                 config.placement.empty() ? "hash"
                                          : config.placement.c_str(),
                 config.routing.empty() ? "primary"
-                                       : config.routing.c_str());
+                                       : config.routing.c_str(),
+                isa::shedPolicyName(opts.shed));
 
     const serve::ScenarioReport report =
         serve::serveMixedWorkload(g, sc);
     std::vector<double> completions;
+    std::vector<double> deadlines;
+    std::size_t survivors = 0;
     for (const serve::QueryReport &qr : report.queries) {
-        std::printf("query %u: problem=%-6s value=%llu "
-                    "own_cycles=%llu completion=%llu retries=%llu "
-                    "lane_stalls=%llu quarantined=%u "
-                    "recovery_bytes=%llu\n",
+        std::printf("query %u: problem=%-6s state=%-9s value=%llu "
+                    "own_cycles=%llu completion=%llu arrival=%llu "
+                    "deadline_met=%d retries=%llu lane_stalls=%llu "
+                    "quarantined=%u recovery_bytes=%llu\n",
                     qr.id, qr.problem.c_str(),
+                    isa::queryStateName(qr.state),
                     static_cast<unsigned long long>(qr.value),
                     static_cast<unsigned long long>(qr.ownCycles),
                     static_cast<unsigned long long>(qr.completion),
+                    static_cast<unsigned long long>(qr.arrival),
+                    qr.deadlineMet ? 1 : 0,
                     static_cast<unsigned long long>(qr.faults.retries),
                     static_cast<unsigned long long>(
                         qr.faults.laneStalls),
                     qr.faults.quarantinedVaults,
                     static_cast<unsigned long long>(
                         qr.faults.recoveryBytes));
+        if (qr.state != isa::QueryState::Completed)
+            continue;
+        ++survivors;
         completions.push_back(static_cast<double>(qr.completion));
+        if (qr.deadline != isa::no_deadline)
+            deadlines.push_back(static_cast<double>(qr.deadline));
     }
     std::printf("serve makespan:    %llu\n",
                 static_cast<unsigned long long>(report.makespan));
+    std::printf("completed %zu/%zu queries\n", survivors,
+                report.queries.size());
     std::printf("completion p50=%.0f p95=%.0f p99=%.0f\n",
                 support::p50(completions), support::p95(completions),
                 support::p99(completions));
+    if (deadlines.size() == completions.size() &&
+        !deadlines.empty()) {
+        std::printf(
+            "deadline hit ratio=%.3f goodput=%.0f queries\n",
+            support::deadlineHitRatio(completions, deadlines),
+            support::goodput(completions, deadlines, 0.0));
+    }
     std::printf("admission grants:  %zu\n",
                 report.admissionLog.size());
+    std::printf("lifecycle events:  %zu\n",
+                report.lifecycleLog.size());
     return 0;
 }
 
@@ -346,9 +432,11 @@ main(int argc, char **argv)
     bool have_analyze = false;
     bool have_async = false;
     bool have_serve = false;
+    bool have_deadline = false;
+    bool have_arrive = false;
+    bool have_shed = false;
     bool lint_trace = false;
-    isa::SchedPolicy serve_policy = isa::SchedPolicy::Fcfs;
-    mem::Cycles serve_quantum = isa::ServingModel::default_quantum;
+    ServeOptions serve_opts;
     std::string trace_json;
     for (int i = 9; i < argc; ++i) {
         const std::string spec = argv[i];
@@ -462,8 +550,8 @@ main(int argc, char **argv)
             const std::size_t colon = value.find(':');
             if (colon != std::string::npos) {
                 if (!parseCount(value.c_str() + colon + 1,
-                                serve_quantum) ||
-                    serve_quantum == 0) {
+                                serve_opts.quantum) ||
+                    serve_opts.quantum == 0) {
                     std::fprintf(stderr,
                                  "bad serve quantum '%s' (positive "
                                  "integer)\n",
@@ -480,7 +568,86 @@ main(int argc, char **argv)
                              value.c_str());
                 return usage(argv[0]);
             }
-            serve_policy = *policy;
+            serve_opts.policy = *policy;
+        } else if (spec.rfind("deadline=", 0) == 0) {
+            if (have_deadline) {
+                std::fprintf(stderr, "duplicate deadline= spec\n");
+                return usage(argv[0]);
+            }
+            have_deadline = true;
+            if (!parseCount(spec.c_str() + 9, serve_opts.deadline) ||
+                serve_opts.deadline == 0) {
+                std::fprintf(stderr,
+                             "bad deadline '%s' (positive cycle "
+                             "count)\n",
+                             spec.c_str() + 9);
+                return usage(argv[0]);
+            }
+        } else if (spec.rfind("arrive=", 0) == 0) {
+            if (have_arrive) {
+                std::fprintf(stderr, "duplicate arrive= spec\n");
+                return usage(argv[0]);
+            }
+            have_arrive = true;
+            const std::string value = spec.substr(7);
+            if (value.rfind("poisson:", 0) == 0) {
+                serve_opts.poisson = true;
+                const std::string rest = value.substr(8);
+                const std::size_t colon = rest.find(':');
+                if (colon == std::string::npos ||
+                    !parseCount(rest.substr(0, colon).c_str(),
+                                serve_opts.seed) ||
+                    !parseCount(rest.c_str() + colon + 1,
+                                serve_opts.mean)) {
+                    std::fprintf(stderr,
+                                 "bad poisson arrival spec '%s' "
+                                 "(poisson:SEED:MEAN)\n",
+                                 value.c_str());
+                    return usage(argv[0]);
+                }
+                if (serve_opts.mean == 0) {
+                    std::fprintf(stderr,
+                                 "poisson mean inter-arrival must "
+                                 "be positive\n");
+                    return usage(argv[0]);
+                }
+            } else if (!parseCount(value.c_str(),
+                                   serve_opts.offset)) {
+                std::fprintf(stderr,
+                             "bad arrival offset '%s' (non-negative "
+                             "cycle count or poisson:SEED:MEAN)\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+        } else if (spec.rfind("shed=", 0) == 0) {
+            if (have_shed) {
+                std::fprintf(stderr, "duplicate shed= spec\n");
+                return usage(argv[0]);
+            }
+            have_shed = true;
+            std::string value = spec.substr(5);
+            const std::size_t colon = value.find(':');
+            if (colon != std::string::npos) {
+                if (!parseCount(value.c_str() + colon + 1,
+                                serve_opts.capacity) ||
+                    serve_opts.capacity == 0) {
+                    std::fprintf(stderr,
+                                 "bad shed capacity '%s' (positive "
+                                 "integer)\n",
+                                 value.c_str() + colon + 1);
+                    return usage(argv[0]);
+                }
+                value.resize(colon);
+            }
+            const auto shed = isa::parseShedPolicy(value);
+            if (!shed) {
+                std::fprintf(stderr,
+                             "bad shed policy '%s' (none | reject | "
+                             "oldest | edf[:CAPACITY])\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
+            serve_opts.shed = *shed;
         } else {
             std::fprintf(stderr, "unexpected argument '%s'\n",
                          argv[i]);
@@ -490,6 +657,11 @@ main(int argc, char **argv)
     if (have_serve && (have_analyze || config.replace)) {
         std::fprintf(stderr, "serve= does not combine with analyze= "
                              "or dynamic re-placement\n");
+        return usage(argv[0]);
+    }
+    if ((have_deadline || have_arrive || have_shed) && !have_serve) {
+        std::fprintf(stderr, "deadline=, arrive=, and shed= are "
+                             "serve= mode arguments\n");
         return usage(argv[0]);
     }
     isa::InstructionTrace trace;
@@ -521,7 +693,7 @@ main(int argc, char **argv)
     std::printf("dataset: %s\n", g.describe().c_str());
     if (have_serve) {
         return runServe(g, problem, config, /*cutoff_given=*/argc > 5,
-                        serve_policy, serve_quantum, argv[0]);
+                        serve_opts, argv[0]);
     }
     std::printf("running %s in %s mode, T=%u, cutoff=%llu, "
                 "placement=%s, routing=%s, replace=%s\n",
